@@ -1,0 +1,209 @@
+//! Figs. 15/16/17: evolution of pairwise cache overlap over time.
+//!
+//! Pairs of clients are grouped by their overlap on the *first* analysis
+//! day; each group's mean overlap is then tracked across the remaining
+//! days. The paper's reading: small initial overlaps decay smoothly
+//! (shared files age out), while large initial overlaps persist for
+//! weeks *despite* heavy cache turnover — sustained interest proximity.
+
+use std::collections::HashMap;
+
+use edonkey_trace::model::{PeerId, Trace};
+use edonkey_trace::pipeline::sorted_intersection_len;
+
+use crate::semantic::overlap_counts;
+
+/// One tracked group of pairs.
+#[derive(Clone, Debug)]
+pub struct OverlapGroup {
+    /// The group's initial overlap (files in common on the first day).
+    pub initial_overlap: u32,
+    /// Number of pairs in the group (the paper annotates these).
+    pub pairs: usize,
+    /// `(day, mean overlap)` across the analysis window.
+    pub series: Vec<(u32, f64)>,
+}
+
+/// Tracks mean overlap over time for pairs grouped by initial overlap.
+///
+/// * `initial_overlaps`: which groups to track (e.g. `1..=10` for
+///   Fig. 15, `[20, 25, 30, 35, 40, 45, 51, 57]` for Fig. 16).
+/// * `max_pairs_per_group`: optional cap on tracked pairs per group
+///   (deterministic: first pairs in peer order) to bound the cost at
+///   full scale; `None` tracks everything.
+/// * `max_holders`: optional cap on per-file holder counts when forming
+///   pairs (files above it contribute quadratically many pairs while
+///   carrying no pair-specific signal); `None` uses every file.
+///
+/// Pairs are formed on the first trace day over peers observed that day.
+pub fn overlap_evolution(
+    trace: &Trace,
+    initial_overlaps: &[u32],
+    max_pairs_per_group: Option<usize>,
+    max_holders: Option<usize>,
+) -> Vec<OverlapGroup> {
+    let Some(first) = trace.days.first() else {
+        return Vec::new();
+    };
+    // Initial overlaps among first-day caches.
+    let n_peers = trace.peers.len();
+    let mut day_caches: Vec<Vec<edonkey_trace::model::FileRef>> = vec![Vec::new(); n_peers];
+    for (peer, cache) in &first.caches {
+        day_caches[peer.index()] = cache.clone();
+    }
+    let counts = overlap_counts(&day_caches, trace.files.len(), |_| true, max_holders);
+    let mut groups: HashMap<u32, Vec<(u32, u32)>> = HashMap::new();
+    let wanted: std::collections::HashSet<u32> = initial_overlaps.iter().copied().collect();
+    let mut pairs_sorted: Vec<((u32, u32), u32)> = counts.iter().collect();
+    // Deterministic order regardless of hash-map iteration.
+    pairs_sorted.sort_unstable_by_key(|&(pair, _)| pair);
+    for (pair, overlap) in pairs_sorted {
+        if wanted.contains(&overlap) {
+            let group = groups.entry(overlap).or_default();
+            if max_pairs_per_group.map_or(true, |cap| group.len() < cap) {
+                group.push(pair);
+            }
+        }
+    }
+
+    let mut result: Vec<OverlapGroup> = initial_overlaps
+        .iter()
+        .filter_map(|&k| {
+            groups.get(&k).map(|pairs| OverlapGroup {
+                initial_overlap: k,
+                pairs: pairs.len(),
+                series: Vec::with_capacity(trace.days.len()),
+            })
+        })
+        .collect();
+
+    for snap in &trace.days {
+        // Caches for this day, indexed by peer (empty when unobserved).
+        let mut caches: Vec<&[edonkey_trace::model::FileRef]> = vec![&[]; n_peers];
+        for (peer, cache) in &snap.caches {
+            caches[peer.index()] = cache;
+        }
+        for group in &mut result {
+            let pairs = &groups[&group.initial_overlap];
+            let total: u64 = pairs
+                .iter()
+                .map(|&(a, b)| {
+                    sorted_intersection_len(caches[a as usize], caches[b as usize]) as u64
+                })
+                .sum();
+            group.series.push((snap.day, total as f64 / pairs.len().max(1) as f64));
+        }
+    }
+    result
+}
+
+/// The pairs with the largest first-day overlaps (Fig. 17 tracks the
+/// extreme groups: 327, 172, 161, 159 common files). Returns
+/// `(overlap, pair)` descending, up to `k` entries.
+pub fn largest_initial_overlaps(
+    trace: &Trace,
+    k: usize,
+    max_holders: Option<usize>,
+) -> Vec<(u32, (PeerId, PeerId))> {
+    let Some(first) = trace.days.first() else {
+        return Vec::new();
+    };
+    let n_peers = trace.peers.len();
+    let mut day_caches: Vec<Vec<edonkey_trace::model::FileRef>> = vec![Vec::new(); n_peers];
+    for (peer, cache) in &first.caches {
+        day_caches[peer.index()] = cache.clone();
+    }
+    let counts = overlap_counts(&day_caches, trace.files.len(), |_| true, max_holders);
+    let mut all: Vec<(u32, (u32, u32))> = counts.iter().map(|(p, c)| (c, p)).collect();
+    all.sort_unstable_by_key(|&(c, p)| (std::cmp::Reverse(c), p));
+    all.into_iter()
+        .take(k)
+        .map(|(c, (a, b))| (c, (PeerId(a), PeerId(b))))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edonkey_proto::md4::Md4;
+    use edonkey_proto::query::FileKind;
+    use edonkey_trace::model::{CountryCode, FileInfo, FileRef, PeerInfo, TraceBuilder};
+
+    /// Two pairs: (p0,p1) start with overlap 2 and keep it; (p2,p3)
+    /// start with overlap 1 and lose it on day 2.
+    fn build() -> Trace {
+        let mut b = TraceBuilder::new();
+        let peers: Vec<_> = (0..4)
+            .map(|i| {
+                b.intern_peer(PeerInfo {
+                    uid: Md4::digest(&[i]),
+                    ip: i as u32,
+                    country: CountryCode::new("NL"),
+                    asn: 2,
+                })
+            })
+            .collect();
+        let files: Vec<FileRef> = (0..5)
+            .map(|i| {
+                b.intern_file(FileInfo {
+                    id: Md4::digest(format!("f{i}").as_bytes()),
+                    size: 1,
+                    kind: FileKind::Audio,
+                })
+            })
+            .collect();
+        b.observe(1, peers[0], vec![files[0], files[1]]);
+        b.observe(1, peers[1], vec![files[0], files[1], files[2]]);
+        b.observe(1, peers[2], vec![files[3]]);
+        b.observe(1, peers[3], vec![files[3], files[4]]);
+        b.observe(2, peers[0], vec![files[0], files[1]]);
+        b.observe(2, peers[1], vec![files[0], files[1]]);
+        b.observe(2, peers[2], vec![files[4]]);
+        b.observe(2, peers[3], vec![files[3]]);
+        b.finish()
+    }
+
+    #[test]
+    fn groups_and_series() {
+        let trace = build();
+        let groups = overlap_evolution(&trace, &[1, 2], None, None);
+        assert_eq!(groups.len(), 2);
+        let g1 = groups.iter().find(|g| g.initial_overlap == 1).unwrap();
+        assert_eq!(g1.pairs, 1);
+        assert_eq!(g1.series, vec![(1, 1.0), (2, 0.0)]);
+        let g2 = groups.iter().find(|g| g.initial_overlap == 2).unwrap();
+        assert_eq!(g2.series, vec![(1, 2.0), (2, 2.0)]);
+    }
+
+    #[test]
+    fn missing_groups_are_omitted() {
+        let trace = build();
+        let groups = overlap_evolution(&trace, &[7], None, None);
+        assert!(groups.is_empty());
+    }
+
+    #[test]
+    fn pair_cap_is_respected() {
+        let trace = build();
+        let groups = overlap_evolution(&trace, &[1, 2], Some(1), None);
+        for g in groups {
+            assert!(g.pairs <= 1);
+        }
+    }
+
+    #[test]
+    fn largest_overlaps_ordering() {
+        let trace = build();
+        let top = largest_initial_overlaps(&trace, 2, None);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].0, 2);
+        assert_eq!(top[0].1, (PeerId(0), PeerId(1)));
+        assert_eq!(top[1].0, 1);
+    }
+
+    #[test]
+    fn empty_trace() {
+        assert!(overlap_evolution(&Trace::new(), &[1], None, None).is_empty());
+        assert!(largest_initial_overlaps(&Trace::new(), 3, None).is_empty());
+    }
+}

@@ -1,0 +1,203 @@
+//! Figs. 13/14: the semantic clustering correlation.
+//!
+//! The paper's metric: *"the probability that any two clients having at
+//! least a given number of files in common share another one"* — i.e.
+//! for each `k`, among peer pairs with at least `k` common files, the
+//! fraction that have at least `k + 1`. It predicts whether a peer that
+//! answered `k` queries will answer another, which is exactly why
+//! semantic neighbour lists work.
+//!
+//! Pair overlaps are computed with an inverted index: each file
+//! contributes `(holders choose 2)` co-occurrence increments. To keep
+//! the quadratic blow-up of very popular files in check, files held by
+//! more than a configurable number of peers can be skipped — mirroring
+//! the paper's own need to study the metric *without* popular files
+//! (their Fig. 14 "all files" panel shows popular files mask genuine
+//! clustering anyway).
+
+use std::collections::HashMap;
+
+use edonkey_trace::model::FileRef;
+
+/// Pairwise overlap counts between peers.
+///
+/// Only pairs with at least one qualifying common file are stored.
+pub struct OverlapCounts {
+    counts: HashMap<(u32, u32), u32>,
+}
+
+impl OverlapCounts {
+    /// Number of pairs with at least one common file.
+    pub fn pair_count(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Iterates over `(pair, overlap)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = ((u32, u32), u32)> + '_ {
+        self.counts.iter().map(|(&pair, &c)| (pair, c))
+    }
+
+    /// The overlap of a specific pair (unordered).
+    pub fn overlap(&self, a: u32, b: u32) -> u32 {
+        let key = if a < b { (a, b) } else { (b, a) };
+        self.counts.get(&key).copied().unwrap_or(0)
+    }
+}
+
+/// Computes pairwise overlap counts from caches, counting only files
+/// accepted by `qualifies` and skipping files with more than
+/// `max_holders` holders (`None` = no cap).
+///
+/// `qualifies(file) -> bool` lets Fig. 13 restrict to audio files in a
+/// popularity band and Fig. 14 to fixed popularity levels.
+pub fn overlap_counts(
+    caches: &[Vec<FileRef>],
+    n_files: usize,
+    qualifies: impl Fn(FileRef) -> bool,
+    max_holders: Option<usize>,
+) -> OverlapCounts {
+    let mut holders: Vec<Vec<u32>> = vec![Vec::new(); n_files];
+    for (peer, cache) in caches.iter().enumerate() {
+        for &f in cache {
+            if qualifies(f) {
+                holders[f.index()].push(peer as u32);
+            }
+        }
+    }
+    let cap = max_holders.unwrap_or(usize::MAX);
+    let mut counts: HashMap<(u32, u32), u32> = HashMap::new();
+    for hs in &holders {
+        if hs.len() < 2 || hs.len() > cap {
+            continue;
+        }
+        for i in 0..hs.len() {
+            for j in i + 1..hs.len() {
+                *counts.entry((hs[i], hs[j])).or_insert(0) += 1;
+            }
+        }
+    }
+    OverlapCounts { counts }
+}
+
+/// One point of the Fig. 13 curve.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CorrelationPoint {
+    /// Number of files in common `k`.
+    pub common: u32,
+    /// Probability (percent) that such a pair shares at least one more.
+    pub probability_percent: f64,
+    /// Number of pairs with at least `k` common files (the support).
+    pub pairs: usize,
+}
+
+/// The clustering correlation curve: for each `k ≥ 1` present in the
+/// data, `P(overlap ≥ k+1 | overlap ≥ k)`.
+pub fn correlation_curve(overlaps: &OverlapCounts) -> Vec<CorrelationPoint> {
+    // pairs_with_at_least[k] via a histogram + suffix sum.
+    let mut histogram: HashMap<u32, usize> = HashMap::new();
+    let mut max_overlap = 0u32;
+    for (_, c) in overlaps.iter() {
+        *histogram.entry(c).or_insert(0) += 1;
+        max_overlap = max_overlap.max(c);
+    }
+    if max_overlap == 0 {
+        return Vec::new();
+    }
+    let mut at_least = vec![0usize; max_overlap as usize + 2];
+    for (&overlap, &n) in &histogram {
+        at_least[overlap as usize] += n;
+    }
+    for k in (1..=max_overlap as usize).rev() {
+        at_least[k] += at_least[k + 1];
+    }
+    (1..=max_overlap)
+        .filter(|&k| at_least[k as usize] > 0)
+        .map(|k| CorrelationPoint {
+            common: k,
+            probability_percent: 100.0 * at_least[k as usize + 1] as f64
+                / at_least[k as usize] as f64,
+            pairs: at_least[k as usize],
+        })
+        .collect()
+}
+
+/// Convenience: the full Fig. 13 pipeline over a cache set.
+pub fn clustering_correlation(
+    caches: &[Vec<FileRef>],
+    n_files: usize,
+    qualifies: impl Fn(FileRef) -> bool,
+    max_holders: Option<usize>,
+) -> Vec<CorrelationPoint> {
+    correlation_curve(&overlap_counts(caches, n_files, qualifies, max_holders))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(i: u32) -> FileRef {
+        FileRef(i)
+    }
+
+    #[test]
+    fn overlap_counting() {
+        let caches = vec![
+            vec![f(0), f(1), f(2)],
+            vec![f(0), f(1), f(3)],
+            vec![f(2)],
+            vec![],
+        ];
+        let overlaps = overlap_counts(&caches, 4, |_| true, None);
+        assert_eq!(overlaps.overlap(0, 1), 2);
+        assert_eq!(overlaps.overlap(1, 0), 2, "order-insensitive");
+        assert_eq!(overlaps.overlap(0, 2), 1);
+        assert_eq!(overlaps.overlap(1, 2), 0);
+        assert_eq!(overlaps.pair_count(), 2);
+    }
+
+    #[test]
+    fn qualifying_filter_restricts_files() {
+        let caches = vec![vec![f(0), f(1)], vec![f(0), f(1)]];
+        let only_f1 = overlap_counts(&caches, 2, |fr| fr.0 == 1, None);
+        assert_eq!(only_f1.overlap(0, 1), 1);
+    }
+
+    #[test]
+    fn holder_cap_skips_blockbusters() {
+        let caches = vec![vec![f(0)], vec![f(0)], vec![f(0)], vec![f(0)]];
+        let capped = overlap_counts(&caches, 1, |_| true, Some(3));
+        assert_eq!(capped.pair_count(), 0, "file with 4 holders skipped at cap 3");
+        let uncapped = overlap_counts(&caches, 1, |_| true, None);
+        assert_eq!(uncapped.pair_count(), 6);
+    }
+
+    #[test]
+    fn correlation_curve_values() {
+        // Three pairs with overlaps 1, 2, 3:
+        // P(≥2 | ≥1) = 2/3, P(≥3 | ≥2) = 1/2, P(≥4 | ≥3) = 0.
+        let caches = vec![
+            vec![f(0)],
+            vec![f(0)],                   // pair (0,1): overlap 1
+            vec![f(1), f(2)],
+            vec![f(1), f(2)],             // pair (2,3): overlap 2
+            vec![f(3), f(4), f(5)],
+            vec![f(3), f(4), f(5)],       // pair (4,5): overlap 3
+        ];
+        let curve = clustering_correlation(&caches, 6, |_| true, None);
+        assert_eq!(curve.len(), 3);
+        assert_eq!(curve[0].common, 1);
+        assert_eq!(curve[0].pairs, 3);
+        assert!((curve[0].probability_percent - 200.0 / 3.0).abs() < 1e-9);
+        assert!((curve[1].probability_percent - 50.0).abs() < 1e-9);
+        assert_eq!(curve[2].probability_percent, 0.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let curve = clustering_correlation(&[], 0, |_| true, None);
+        assert!(curve.is_empty());
+        let caches = vec![vec![f(0)], vec![f(1)]];
+        let curve = clustering_correlation(&caches, 2, |_| true, None);
+        assert!(curve.is_empty(), "no pair shares anything");
+    }
+}

@@ -1,0 +1,36 @@
+//! Criterion bench: the Section 5 search simulation — requests per
+//! second under each neighbour policy, one- and two-hop.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use edonkey_semsearch::sim::{simulate, SimConfig};
+use edonkey_trace::pipeline::filter;
+use edonkey_workload::{generate_trace, WorkloadConfig};
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut config = WorkloadConfig::test_scale(2);
+    config.days = 10;
+    let (_, trace) = generate_trace(config);
+    let filtered = filter(&trace).trace;
+    let caches = filtered.static_caches();
+    let n_files = filtered.files.len();
+    let requests: u64 = caches.iter().map(|c| c.len() as u64).sum();
+
+    let mut group = c.benchmark_group("search_sim");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(requests));
+    for (name, config) in [
+        ("lru_20", SimConfig::lru(20)),
+        ("history_20", SimConfig::history(20)),
+        ("random_20", SimConfig::random(20)),
+        ("lru_20_two_hop", SimConfig::lru(20).with_two_hop()),
+        ("lru_200", SimConfig::lru(200)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| simulate(std::hint::black_box(&caches), n_files, &config))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

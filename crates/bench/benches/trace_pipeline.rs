@@ -1,0 +1,36 @@
+//! Criterion bench: the trace pipeline (filtering, extrapolation,
+//! randomization) on a test-scale trace — the per-run fixed cost of
+//! every experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edonkey_trace::pipeline::{extrapolate, filter, ExtrapolateConfig};
+use edonkey_trace::randomize::Shuffler;
+use edonkey_workload::{generate_trace, WorkloadConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut config = WorkloadConfig::test_scale(1);
+    config.days = 20;
+    let (_, trace) = generate_trace(config);
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(20);
+    group.bench_function("filter", |b| b.iter(|| filter(std::hint::black_box(&trace))));
+    let filtered = filter(&trace).trace;
+    group.bench_function("extrapolate", |b| {
+        b.iter(|| extrapolate(std::hint::black_box(&filtered), ExtrapolateConfig::default()))
+    });
+    let caches = filtered.static_caches();
+    group.bench_function("randomize_10k_swaps", |b| {
+        b.iter(|| {
+            let mut shuffler = Shuffler::new(std::hint::black_box(caches.clone()));
+            let mut rng = StdRng::seed_from_u64(7);
+            shuffler.run(10_000, &mut rng);
+            shuffler.into_caches()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

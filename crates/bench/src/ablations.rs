@@ -1,0 +1,144 @@
+//! Ablations beyond the paper: each one switches off a single mechanism
+//! of the workload model or the search design and measures what the
+//! paper's headline metrics do (DESIGN.md §7).
+
+use edonkey_analysis::{semantic, view};
+use edonkey_semsearch::sim::{simulate, SimConfig};
+use edonkey_trace::randomize::{recommended_iterations, Shuffler};
+use edonkey_workload::generate_trace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{f, Emitter, Scale, SEED};
+
+/// Interest-model strength: sweep `interest_mix` (β) from 0 and measure
+/// both the clustering correlation at k = 3 and the LRU-20 hit rate.
+///
+/// β = 0 is the null model — if semantic clustering in the other figures
+/// were an artefact, this column would look the same as the rest.
+pub fn ablation_interest(scale: Scale) {
+    let mut e = Emitter::new("ablation_interest");
+    e.comment("Ablation: semantic-clustering strength (interest_mix sweep)");
+    e.comment("interest_mix\tP(k=3)_pct\tlru20_hit_pct");
+    for &beta in &[0.0, 0.15, 0.30, 0.45, 0.55, 0.70] {
+        let mut config = scale.config(SEED);
+        config.interest_mix = beta;
+        let (_, trace) = generate_trace(config);
+        let filtered = edonkey_trace::pipeline::filter(&trace).trace;
+        let caches = filtered.static_caches();
+        let n_files = filtered.files.len();
+        let curve = semantic::clustering_correlation(&caches, n_files, |_| true, Some(400));
+        let p3 = curve
+            .iter()
+            .find(|p| p.common == 3)
+            .map(|p| p.probability_percent)
+            .unwrap_or(0.0);
+        let hit = simulate(&caches, n_files, &SimConfig::lru(20).with_seed(SEED)).hit_rate();
+        e.row([f(beta, 2), f(p3, 2), f(100.0 * hit, 2)]);
+    }
+    e.finish();
+}
+
+/// Randomization-iteration sweep: how much clustering survives at a
+/// given multiple of the prescribed ½·N·ln N iterations — validates the
+/// appendix's sufficiency claim.
+pub fn ablation_randomize(scale: Scale) {
+    let mut e = Emitter::new("ablation_randomize");
+    e.comment("Ablation: residual clustering vs randomization effort");
+    e.comment("fraction_of_half_n_ln_n\tP(k=3)_pct\tswaps_performed");
+    let (_, trace) = generate_trace(scale.config(SEED));
+    let filtered = edonkey_trace::pipeline::filter(&trace).trace;
+    let caches = filtered.static_caches();
+    let n_files = filtered.files.len();
+    let replicas: usize = caches.iter().map(Vec::len).sum();
+    let full = recommended_iterations(replicas);
+    let mut shuffler = Shuffler::new(caches);
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0xab1a);
+    let mut applied = 0u64;
+    for &fraction in &[0.0, 0.1, 0.25, 0.5, 1.0, 2.0] {
+        let target = (fraction * full as f64) as u64;
+        shuffler.run(target - applied, &mut rng);
+        applied = target;
+        let mut snapshot = shuffler.caches().to_vec();
+        for cache in &mut snapshot {
+            cache.sort_unstable();
+        }
+        let popularity = view::popularity_of_caches(&snapshot, n_files);
+        let curve = semantic::clustering_correlation(
+            &snapshot,
+            n_files,
+            |fr| popularity[fr.index()] == 3,
+            None,
+        );
+        let p3 = curve
+            .iter()
+            .find(|p| p.common == 3)
+            .map(|p| p.probability_percent)
+            .unwrap_or(0.0);
+        e.row([
+            f(fraction, 2),
+            f(p3, 2),
+            shuffler.stats().performed.to_string(),
+        ]);
+    }
+    e.finish();
+}
+
+/// Crawler bandwidth vs trace completeness: how measurement bias scales
+/// with the browse budget.
+pub fn ablation_crawler(scale: Scale) {
+    let mut e = Emitter::new("ablation_crawler");
+    e.comment("Ablation: crawler budget vs observed completeness");
+    e.comment("coverage_budget\tobserved_peers\tobserved_files\tsnapshots");
+    let mut config = scale.config(SEED);
+    // The protocol crawl is heavier than the ideal observer; shrink.
+    config.peers = config.peers.min(3_000);
+    config.files = config.files.min(25_000);
+    config.days = config.days.min(14);
+    let population = edonkey_workload::Population::generate(config.clone());
+    for &coverage in &[0.1, 0.3, 0.6, 1.0, 1.5] {
+        let (trace, _) = edonkey_netsim::run_crawl(
+            &population,
+            edonkey_netsim::NetConfig::default(),
+            edonkey_netsim::CrawlerConfig { outage_days: vec![], ..Default::default() }
+                .budget_for(config.peers, coverage, coverage),
+        );
+        e.row([
+            f(coverage, 2),
+            trace.peers.len().to_string(),
+            trace.files.len().to_string(),
+            trace.snapshot_count().to_string(),
+        ]);
+    }
+    e.finish();
+}
+
+/// Policy-design sweep: LRU vs History vs Random vs a hybrid
+/// ("popularity-aware" LRU that only records uploads of files below a
+/// popularity cutoff — the fix sketched in Section 5.3.2 for keeping
+/// rare-file specialists in the lists).
+pub fn ablation_policies(scale: Scale) {
+    let mut e = Emitter::new("ablation_policies");
+    e.comment("Ablation: list policies incl. popularity-filtered LRU");
+    e.comment("policy\tlist_size\thit_rate_pct");
+    let (_, trace) = generate_trace(scale.config(SEED));
+    let filtered = edonkey_trace::pipeline::filter(&trace).trace;
+    let caches = filtered.static_caches();
+    let n_files = filtered.files.len();
+    for &size in &[5usize, 20, 100] {
+        for config in [
+            SimConfig::lru(size),
+            SimConfig::history(size),
+            SimConfig::random(size),
+            SimConfig::rare_lru(size, 10),
+        ] {
+            let result = simulate(&caches, n_files, &config.clone().with_seed(SEED));
+            e.row([
+                config.policy.name().to_string(),
+                size.to_string(),
+                f(100.0 * result.hit_rate(), 2),
+            ]);
+        }
+    }
+    e.finish();
+}

@@ -1,0 +1,5 @@
+//! Ablation study (DESIGN.md §7). Usage:
+//! `cargo run --release -p edonkey-bench --bin ablation_crawler [--scale test|small|repro|paper]`
+fn main() {
+    edonkey_bench::ablations::ablation_crawler(edonkey_bench::Scale::from_env());
+}

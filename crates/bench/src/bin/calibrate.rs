@@ -1,0 +1,69 @@
+//! Calibration helper: prints the headline metrics the shape checks
+//! gate on, for a grid of workload knobs. Not part of the reproduction
+//! itself — a tool for tuning DESIGN.md §4.4's defaults.
+use edonkey_semsearch::experiment;
+use edonkey_semsearch::sim::{simulate, SimConfig};
+use edonkey_trace::pipeline::filter;
+use edonkey_trace::randomize::recommended_iterations;
+use edonkey_workload::{generate_trace, WorkloadConfig};
+
+fn probe(label: &str, config: WorkloadConfig) {
+    let (_, trace) = generate_trace(config);
+    let filtered = filter(&trace).trace;
+    let caches = filtered.static_caches();
+    let n_files = filtered.files.len();
+    let replicas: usize = caches.iter().map(Vec::len).sum();
+
+    let popularity = edonkey_analysis::view::popularity_of_caches(&caches, n_files);
+    let top_spread = *popularity.iter().max().unwrap_or(&0) as f64
+        / caches.iter().filter(|c| !c.is_empty()).count().max(1) as f64;
+    let top15 = {
+        let sizes: Vec<u64> =
+            caches.iter().map(|c| c.len() as u64).filter(|&s| s > 0).collect();
+        edonkey_analysis::stats::top_share(&sizes, 0.15)
+    };
+
+    let lru20 = simulate(&caches, n_files, &SimConfig::lru(20)).hit_rate();
+    let (no_up, _) = edonkey_semsearch::filters::remove_top_uploaders(&caches, 0.15);
+    let lru20_noup = simulate(&no_up, n_files, &SimConfig::lru(20)).hit_rate();
+    let lru5 = simulate(&caches, n_files, &SimConfig::lru(5)).hit_rate();
+    let mut pop_sweep = String::new();
+    for q in [0.05f64, 0.15, 0.30] {
+        let (no_pop, _) = edonkey_semsearch::filters::remove_top_files(&caches, n_files, q);
+        let left: u64 = no_pop.iter().map(|c| c.len() as u64).sum();
+        let r = simulate(&no_pop, n_files, &SimConfig::lru(5));
+        pop_sweep.push_str(&format!(
+            " -pop{:.0}%={:.2}({:.0}%req)",
+            q * 100.0,
+            r.hit_rate(),
+            100.0 * left as f64 / replicas as f64
+        ));
+    }
+    let lru5_nopop = -1.0f64; let _ = lru5_nopop;
+    let full = recommended_iterations(replicas);
+    let sweep = experiment::randomization_sweep(&caches, n_files, 10, &[0, full], 3);
+
+    println!(
+        "{label}: top15={top15:.2} spread={top_spread:.3} lru20={lru20:.2} -up15={lru20_noup:.2} lru5={lru5:.2}{pop_sweep} rand: {:.2}->{:.2}",
+        sweep[0].hit_rate, sweep[1].hit_rate
+    );
+}
+
+fn main() {
+    let base = || {
+        let mut c = WorkloadConfig::test_scale(20060418);
+        c.peers = 2_000;
+        c.files = 40_000;
+        c.topics = 400;
+        c.days = 20; // mirror the integration tests: multi-day unions
+        c
+    };
+    probe("t400      ", base());
+    let mut c = base();
+    c.file_attractiveness_alpha = 0.95;
+    c.file_attractiveness_cap = 1_000.0;
+    probe("deep pop  ", c);
+    let mut c = base();
+    c.files = 80_000;
+    probe("files80k  ", c);
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's fig04 (see DESIGN.md §5). Usage:
+//! `cargo run --release -p edonkey-bench --bin fig04 [--scale test|small|repro|paper]`
+fn main() {
+    let scale = edonkey_bench::Scale::from_env();
+    let workload = edonkey_bench::Workload::generate(scale);
+    edonkey_bench::figures_measure::fig04(&workload);
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's fig14 (see DESIGN.md §5). Usage:
+//! `cargo run --release -p edonkey-bench --bin fig14 [--scale test|small|repro|paper]`
+fn main() {
+    let scale = edonkey_bench::Scale::from_env();
+    let workload = edonkey_bench::Workload::generate(scale);
+    edonkey_bench::figures_cluster::fig14(&workload);
+}

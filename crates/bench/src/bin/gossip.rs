@@ -1,0 +1,33 @@
+//! Beyond-the-paper experiment: proactive (gossip) vs reactive (LRU)
+//! semantic neighbours on the same workload.
+//! Usage: `cargo run --release -p edonkey-bench --bin gossip [--scale …]`
+use edonkey_bench::{f, Emitter, Scale, Workload, SEED};
+use edonkey_semsearch::gossip::{build_overlay, overlay_hit_rate, GossipConfig};
+use edonkey_semsearch::sim::{simulate, SimConfig};
+
+fn main() {
+    let w = Workload::generate(Scale::from_env());
+    let caches = w.filtered.static_caches();
+    let n_files = w.filtered.files.len();
+    let mut e = Emitter::new("gossip");
+    e.comment("Gossip-built vs download-learned semantic neighbours");
+    e.comment("mechanism\tview_size\thit_rate_pct");
+    for &size in &[5usize, 10, 20] {
+        let lru = simulate(&caches, n_files, &SimConfig::lru(size).with_seed(SEED));
+        e.row(["lru".to_string(), size.to_string(), f(100.0 * lru.hit_rate(), 2)]);
+        for cycles in [0u32, 10, 25] {
+            let overlay = build_overlay(
+                &caches,
+                &GossipConfig { semantic_view: size, cycles, ..GossipConfig::default() },
+            );
+            let rate = overlay_hit_rate(&caches, n_files, &overlay, SEED);
+            e.row([
+                format!("gossip_{cycles}cycles"),
+                size.to_string(),
+                f(100.0 * rate, 2),
+            ]);
+        }
+        e.blank();
+    }
+    e.finish();
+}

@@ -1,0 +1,29 @@
+//! Beyond-the-paper experiment: how much request traffic an AS-level
+//! PeerCache index (Section 4.1's discussion) could keep local.
+//! Usage: `cargo run --release -p edonkey-bench --bin peercache [--scale …]`
+use edonkey_analysis::peercache;
+use edonkey_bench::{f, Emitter, Scale, Workload};
+
+fn main() {
+    let w = Workload::generate(Scale::from_env());
+    let mut e = Emitter::new("peercache");
+    e.comment("PeerCache opportunity: request locality under the Section 5.1 replay model");
+    let counts = peercache::request_locality(&w.filtered);
+    e.comment("scope\thit_rate_pct");
+    e.row(["same_as".to_string(), f(100.0 * counts.as_hit_rate(), 2)]);
+    e.row(["same_country".to_string(), f(100.0 * counts.country_hit_rate(), 2)]);
+    e.blank();
+    e.comment("per-AS: asn\tclients\tas_local_hit_pct");
+    for (asn, clients, rate) in peercache::per_as_hit_rates(&w.filtered, 8) {
+        e.row([asn.to_string(), clients.to_string(), f(100.0 * rate, 2)]);
+    }
+    e.blank();
+    e.comment("by popularity band: lo\thi\tas_local_hit_pct");
+    for ((lo, hi), rate) in peercache::as_hit_rate_by_popularity(
+        &w.filtered,
+        &[(1, 2), (3, 10), (11, 100), (101, u32::MAX)],
+    ) {
+        e.row([lo.to_string(), hi.to_string(), f(100.0 * rate, 2)]);
+    }
+    e.finish();
+}

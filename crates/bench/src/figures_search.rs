@@ -1,0 +1,203 @@
+//! Regeneration of Section 5 artefacts: Figs. 18–23 and Table 3.
+
+use edonkey_semsearch::experiment;
+use edonkey_semsearch::neighbours::PolicyKind;
+use edonkey_semsearch::sim::{simulate, SimConfig};
+use edonkey_trace::model::FileRef;
+use edonkey_trace::randomize::recommended_iterations;
+
+use crate::{f, Emitter, Workload, SEED};
+
+/// The list sizes every Section 5 sweep uses.
+const SIZES: &[usize] = &[5, 10, 20, 40, 60, 100, 150, 200];
+
+fn static_caches(w: &Workload) -> (Vec<Vec<FileRef>>, usize) {
+    (w.filtered.static_caches(), w.filtered.files.len())
+}
+
+/// Fig. 18: hit rate vs list size for LRU, History and Random.
+pub fn fig18(w: &Workload) {
+    let mut e = Emitter::new("fig18");
+    e.comment("Fig. 18: semantic-neighbour search hit rate (filtered static trace)");
+    e.comment("policy\tlist_size\thit_rate_pct\trequests");
+    let (caches, n_files) = static_caches(w);
+    for (policy, sweep) in experiment::policy_comparison(&caches, n_files, SIZES, SEED) {
+        for point in sweep {
+            e.row([
+                policy.name().to_string(),
+                point.list_size.to_string(),
+                f(100.0 * point.result.hit_rate(), 2),
+                point.result.requests.to_string(),
+            ]);
+        }
+        e.blank();
+    }
+    e.finish();
+}
+
+/// Fig. 19: LRU hit rate without the top 5/10/15 % uploaders.
+pub fn fig19(w: &Workload) {
+    let mut e = Emitter::new("fig19");
+    e.comment("Fig. 19: LRU hit rate after removing the most generous uploaders");
+    e.comment("removed_pct\tlist_size\thit_rate_pct\trequests");
+    let (caches, n_files) = static_caches(w);
+    for (q, sweep) in
+        experiment::uploader_removal_grid(&caches, n_files, &[0.0, 0.05, 0.10, 0.15], SIZES, SEED)
+    {
+        for point in sweep {
+            e.row([
+                f(100.0 * q, 0),
+                point.list_size.to_string(),
+                f(100.0 * point.result.hit_rate(), 2),
+                point.result.requests.to_string(),
+            ]);
+        }
+        e.blank();
+    }
+    e.finish();
+}
+
+/// Fig. 20: LRU hit rate without the top 5/15/30 % most popular files.
+pub fn fig20(w: &Workload) {
+    let mut e = Emitter::new("fig20");
+    e.comment("Fig. 20: LRU hit rate after removing the most popular files");
+    e.comment("removed_pct\tlist_size\thit_rate_pct\trequests");
+    let (caches, n_files) = static_caches(w);
+    for (q, sweep) in
+        experiment::file_removal_grid(&caches, n_files, &[0.0, 0.05, 0.15, 0.30], SIZES, SEED)
+    {
+        for point in sweep {
+            e.row([
+                f(100.0 * q, 0),
+                point.list_size.to_string(),
+                f(100.0 * point.result.hit_rate(), 2),
+                point.result.requests.to_string(),
+            ]);
+        }
+        e.blank();
+    }
+    e.finish();
+}
+
+/// Table 3: combined influence of generous uploaders and popular files.
+pub fn table3(w: &Workload) {
+    let mut e = Emitter::new("table3");
+    e.comment("Table 3: combined removal of generous uploaders and popular files (LRU)");
+    e.comment("uploaders_removed_pct\tfiles_removed_pct\tsize5_pct\tsize10_pct\tsize20_pct");
+    let (caches, n_files) = static_caches(w);
+    let grid = [
+        (0.0, 0.0),
+        (0.05, 0.0),
+        (0.0, 0.05),
+        (0.05, 0.05),
+        (0.15, 0.0),
+        (0.0, 0.15),
+        (0.15, 0.15),
+    ];
+    for ((uploaders, files), sweep) in
+        experiment::combined_removal_table(&caches, n_files, &grid, &[5, 10, 20], SEED)
+    {
+        e.row([
+            f(100.0 * uploaders, 0),
+            f(100.0 * files, 0),
+            f(100.0 * sweep[0].result.hit_rate(), 1),
+            f(100.0 * sweep[1].result.hit_rate(), 1),
+            f(100.0 * sweep[2].result.hit_rate(), 1),
+        ]);
+    }
+    e.finish();
+}
+
+/// Fig. 21: hit rate vs number of swaps on the progressively randomized
+/// trace (LRU, 10 neighbours).
+pub fn fig21(w: &Workload) {
+    let mut e = Emitter::new("fig21");
+    e.comment("Fig. 21: LRU-10 hit rate vs trace randomization (swap attempts)");
+    e.comment("swaps\thit_rate_pct");
+    let (caches, n_files) = static_caches(w);
+    let replicas: usize = caches.iter().map(Vec::len).sum();
+    let full = recommended_iterations(replicas);
+    let checkpoints: Vec<u64> =
+        [0.0, 0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0].iter().map(|&x| (x * full as f64) as u64).collect();
+    for point in experiment::randomization_sweep(&caches, n_files, 10, &checkpoints, SEED) {
+        e.row([point.swaps.to_string(), f(100.0 * point.hit_rate, 2)]);
+    }
+    e.comment(&format!("full randomization = {full} attempts (0.5 * N * ln N)"));
+    e.finish();
+}
+
+/// Fig. 22: per-client query load (LRU, 5 neighbours), with and without
+/// the top uploaders.
+pub fn fig22(w: &Workload) {
+    let mut e = Emitter::new("fig22");
+    e.comment("Fig. 22: query load per client by rank (LRU, list size 5)");
+    e.comment("removed_pct\tclient_rank\tmessages\t(summary rows follow data)");
+    let (caches, n_files) = static_caches(w);
+    for (q, sweep) in
+        experiment::uploader_removal_grid(&caches, n_files, &[0.0, 0.05, 0.10, 0.15], &[5], SEED)
+    {
+        let result = &sweep[0].result;
+        let loads = result.load_by_rank();
+        // Log-sample the rank axis, as the paper's log-log plot does.
+        let mut rank = 1usize;
+        while rank <= loads.len() {
+            e.row([
+                f(100.0 * q, 0),
+                rank.to_string(),
+                loads[rank - 1].to_string(),
+            ]);
+            rank = (rank as f64 * 1.5).ceil() as usize;
+        }
+        e.comment(&format!(
+            "removed {:.0}%: {} requests, mean {:.0} msgs/client, max {}",
+            100.0 * q,
+            result.requests,
+            result.mean_load(),
+            result.max_load()
+        ));
+        e.blank();
+    }
+    e.finish();
+}
+
+/// Fig. 23: two-hop search, with and without the top uploaders.
+pub fn fig23(w: &Workload) {
+    let mut e = Emitter::new("fig23");
+    e.comment("Fig. 23: one-hop vs two-hop semantic search (LRU)");
+    e.comment("series\tlist_size\thit_rate_pct");
+    let (caches, n_files) = static_caches(w);
+    let one_hop =
+        experiment::sweep_list_sizes(&caches, n_files, PolicyKind::Lru, SIZES, false, SEED);
+    for point in one_hop {
+        e.row([
+            "one_hop".to_string(),
+            point.list_size.to_string(),
+            f(100.0 * point.result.hit_rate(), 2),
+        ]);
+    }
+    e.blank();
+    let two_hop =
+        experiment::sweep_list_sizes(&caches, n_files, PolicyKind::Lru, SIZES, true, SEED);
+    for point in two_hop {
+        e.row([
+            "two_hop".to_string(),
+            point.list_size.to_string(),
+            f(100.0 * point.result.hit_rate(), 2),
+        ]);
+    }
+    e.blank();
+    for q in [0.05, 0.15] {
+        let (reduced, _) = edonkey_semsearch::filters::remove_top_uploaders(&caches, q);
+        for &size in &[5usize, 20, 100] {
+            let result =
+                simulate(&reduced, n_files, &SimConfig::lru(size).with_two_hop().with_seed(SEED));
+            e.row([
+                format!("two_hop_minus_top{:.0}pct", 100.0 * q),
+                size.to_string(),
+                f(100.0 * result.hit_rate(), 2),
+            ]);
+        }
+        e.blank();
+    }
+    e.finish();
+}

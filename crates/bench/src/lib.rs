@@ -1,0 +1,192 @@
+//! `edonkey-bench`: shared harness for the figure/table regeneration
+//! binaries and the criterion benchmarks.
+//!
+//! Every binary regenerates one table or figure of the paper (see
+//! DESIGN.md §5). They share this harness: a scale selector, a cached
+//! standard workload (population → crawl/observe → pipeline stages), and
+//! a TSV emitter that writes both to stdout and to `EXPERIMENTS-data/`.
+
+pub mod ablations;
+pub mod figures_cluster;
+pub mod figures_measure;
+pub mod figures_search;
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use edonkey_trace::model::Trace;
+use edonkey_trace::pipeline::{extrapolate, filter, ExtrapolateConfig};
+use edonkey_workload::{generate_trace, Population, WorkloadConfig};
+
+/// Workload scale for regeneration runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-scale smoke runs (CI, examples).
+    Test,
+    /// The default: every shape emerges, minutes-scale.
+    Small,
+    /// Larger runs closer to the paper's statistics.
+    Repro,
+    /// Full paper scale (hours).
+    Paper,
+}
+
+impl Scale {
+    /// Reads the scale from `--scale <s>` argv or `EDONKEY_SCALE`,
+    /// defaulting to [`Scale::Small`].
+    pub fn from_env() -> Scale {
+        let mut args = std::env::args().skip(1);
+        let mut scale = std::env::var("EDONKEY_SCALE").ok();
+        while let Some(arg) = args.next() {
+            if arg == "--scale" {
+                scale = args.next();
+            }
+        }
+        match scale.as_deref() {
+            Some("test") => Scale::Test,
+            Some("small") | None => Scale::Small,
+            Some("repro") => Scale::Repro,
+            Some("paper") => Scale::Paper,
+            Some(other) => panic!("unknown scale {other:?} (test|small|repro|paper)"),
+        }
+    }
+
+    /// The workload configuration for this scale.
+    pub fn config(self, seed: u64) -> WorkloadConfig {
+        match self {
+            Scale::Test => {
+                let mut c = WorkloadConfig::test_scale(seed);
+                c.days = 20;
+                c
+            }
+            Scale::Small => WorkloadConfig {
+                peers: 8_000,
+                files: 160_000,
+                topics: 1_600,
+                ..WorkloadConfig::test_scale(seed)
+            },
+            Scale::Repro => WorkloadConfig::repro_scale(seed),
+            Scale::Paper => WorkloadConfig::paper_scale(seed),
+        }
+    }
+}
+
+/// The standard workload every figure binary starts from.
+pub struct Workload {
+    /// The generating population (ground truth).
+    pub population: Population,
+    /// The observed ("full") trace.
+    pub full: Trace,
+    /// The filtered trace (static analyses).
+    pub filtered: Trace,
+    /// The extrapolated trace (dynamic analyses).
+    pub extrapolated: Trace,
+}
+
+/// The workspace-wide default seed for regeneration runs.
+pub const SEED: u64 = 20060418; // EuroSys'06 opening day.
+
+impl Workload {
+    /// Generates the standard workload at `scale`.
+    pub fn generate(scale: Scale) -> Workload {
+        eprintln!("[bench] generating workload at {scale:?} scale…");
+        let config = scale.config(SEED);
+        let (population, full) = generate_trace(config);
+        eprintln!(
+            "[bench] trace: {} peers, {} files, {} days",
+            full.peers.len(),
+            full.files.len(),
+            full.days.len()
+        );
+        let filtered = filter(&full).trace;
+        let extrapolated = extrapolate(&filtered, ExtrapolateConfig::default()).trace;
+        eprintln!(
+            "[bench] filtered: {} peers; extrapolated: {} peers",
+            filtered.peers.len(),
+            extrapolated.peers.len()
+        );
+        Workload { population, full, filtered, extrapolated }
+    }
+}
+
+/// A table/figure emitter: tab-separated, stdout plus
+/// `EXPERIMENTS-data/<name>.tsv`.
+pub struct Emitter {
+    name: String,
+    buffer: String,
+}
+
+impl Emitter {
+    /// Starts an emitter for an experiment (e.g. `"fig05"`).
+    pub fn new(name: &str) -> Emitter {
+        Emitter { name: name.to_string(), buffer: String::new() }
+    }
+
+    /// Emits a comment line (prefixed `#`).
+    pub fn comment(&mut self, text: &str) {
+        for line in text.lines() {
+            writeln!(self.buffer, "# {line}").expect("string write");
+        }
+    }
+
+    /// Emits one row of tab-separated cells.
+    pub fn row<S: AsRef<str>>(&mut self, cells: impl IntoIterator<Item = S>) {
+        let joined: Vec<String> =
+            cells.into_iter().map(|c| c.as_ref().to_string()).collect();
+        writeln!(self.buffer, "{}", joined.join("\t")).expect("string write");
+    }
+
+    /// Emits a blank separator line.
+    pub fn blank(&mut self) {
+        self.buffer.push('\n');
+    }
+
+    /// Prints the experiment and writes `EXPERIMENTS-data/<name>.tsv`.
+    ///
+    /// Returns the output path.
+    pub fn finish(self) -> PathBuf {
+        print!("{}", self.buffer);
+        let dir = PathBuf::from(
+            std::env::var("EDONKEY_DATA_DIR").unwrap_or_else(|_| "EXPERIMENTS-data".into()),
+        );
+        std::fs::create_dir_all(&dir).expect("create data dir");
+        let path = dir.join(format!("{}.tsv", self.name));
+        std::fs::write(&path, &self.buffer).expect("write experiment data");
+        eprintln!("[bench] wrote {}", path.display());
+        path
+    }
+}
+
+/// Formats a float with fixed precision (TSV cell helper).
+pub fn f(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_produce_valid_configs() {
+        for scale in [Scale::Test, Scale::Small, Scale::Repro, Scale::Paper] {
+            assert_eq!(scale.config(1).validate(), Ok(()), "{scale:?}");
+        }
+    }
+
+    #[test]
+    fn emitter_formats_tsv() {
+        let mut e = Emitter::new("selftest");
+        e.comment("two lines\nof comment");
+        e.row(["a", "b"]);
+        e.row([f(1.5, 2), f(2.0, 0)]);
+        assert_eq!(e.buffer, "# two lines\n# of comment\na\tb\n1.50\t2\n");
+    }
+
+    #[test]
+    fn tiny_workload_generates() {
+        let w = Workload::generate(Scale::Test);
+        assert!(w.filtered.peers.len() <= w.full.peers.len());
+        assert!(w.extrapolated.peers.len() <= w.filtered.peers.len());
+        assert!(!w.population.files.is_empty());
+    }
+}

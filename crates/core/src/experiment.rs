@@ -1,0 +1,302 @@
+//! Experiment harnesses: list-size sweeps, removal grids, the
+//! randomization sweep of Fig. 21 — with a parallel runner for the
+//! embarrassingly parallel sweeps.
+
+use edonkey_trace::model::FileRef;
+use edonkey_trace::randomize::Shuffler;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::filters::{remove_top_files, remove_top_uploaders};
+use crate::neighbours::PolicyKind;
+use crate::sim::{simulate, SimConfig, SimResult};
+
+/// One sweep point: a list size and its simulation result.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// Neighbour-list length.
+    pub list_size: usize,
+    /// Full simulation result.
+    pub result: SimResult,
+}
+
+/// The paper's canonical sweep sizes (x-axes of Figs. 18–20, 23).
+pub const PAPER_LIST_SIZES: [usize; 8] = [5, 10, 20, 40, 60, 100, 150, 200];
+
+/// Runs one policy across several list sizes, in parallel (one thread
+/// per point, capped by the machine).
+pub fn sweep_list_sizes(
+    caches: &[Vec<FileRef>],
+    n_files: usize,
+    policy: PolicyKind,
+    list_sizes: &[usize],
+    two_hop: bool,
+    seed: u64,
+) -> Vec<SweepPoint> {
+    parallel_map(list_sizes, |&list_size| {
+        let config = SimConfig {
+            list_size,
+            policy,
+            two_hop,
+            seed,
+        };
+        SweepPoint { list_size, result: simulate(caches, n_files, &config) }
+    })
+}
+
+/// Fig. 18: LRU vs History vs Random across list sizes.
+pub fn policy_comparison(
+    caches: &[Vec<FileRef>],
+    n_files: usize,
+    list_sizes: &[usize],
+    seed: u64,
+) -> Vec<(PolicyKind, Vec<SweepPoint>)> {
+    [PolicyKind::Lru, PolicyKind::History, PolicyKind::Random]
+        .into_iter()
+        .map(|p| (p, sweep_list_sizes(caches, n_files, p, list_sizes, false, seed)))
+        .collect()
+}
+
+/// Fig. 19 / Fig. 22: LRU sweeps after removing top uploaders.
+///
+/// Returns `(fraction_removed, sweep)` per requested fraction (0.0 =
+/// baseline).
+pub fn uploader_removal_grid(
+    caches: &[Vec<FileRef>],
+    n_files: usize,
+    fractions: &[f64],
+    list_sizes: &[usize],
+    seed: u64,
+) -> Vec<(f64, Vec<SweepPoint>)> {
+    fractions
+        .iter()
+        .map(|&q| {
+            let (reduced, _) = remove_top_uploaders(caches, q);
+            (q, sweep_list_sizes(&reduced, n_files, PolicyKind::Lru, list_sizes, false, seed))
+        })
+        .collect()
+}
+
+/// Fig. 20: LRU sweeps after removing top popular files.
+pub fn file_removal_grid(
+    caches: &[Vec<FileRef>],
+    n_files: usize,
+    fractions: &[f64],
+    list_sizes: &[usize],
+    seed: u64,
+) -> Vec<(f64, Vec<SweepPoint>)> {
+    fractions
+        .iter()
+        .map(|&q| {
+            let (reduced, _) = remove_top_files(caches, n_files, q);
+            (q, sweep_list_sizes(&reduced, n_files, PolicyKind::Lru, list_sizes, false, seed))
+        })
+        .collect()
+}
+
+/// Table 3: the combined removal grid — uploader fraction × file
+/// fraction, LRU, a few list sizes.
+pub fn combined_removal_table(
+    caches: &[Vec<FileRef>],
+    n_files: usize,
+    grid: &[(f64, f64)],
+    list_sizes: &[usize],
+    seed: u64,
+) -> Vec<((f64, f64), Vec<SweepPoint>)> {
+    grid.iter()
+        .map(|&(uploaders, files)| {
+            let (reduced, _) = remove_top_uploaders(caches, uploaders);
+            let (reduced, _) = remove_top_files(&reduced, n_files, files);
+            (
+                (uploaders, files),
+                sweep_list_sizes(&reduced, n_files, PolicyKind::Lru, list_sizes, false, seed),
+            )
+        })
+        .collect()
+}
+
+/// One checkpoint of the Fig. 21 randomization sweep.
+#[derive(Clone, Debug)]
+pub struct RandomizationPoint {
+    /// Swap *attempts* applied so far.
+    pub swaps: u64,
+    /// Hit rate at this degree of randomization.
+    pub hit_rate: f64,
+}
+
+/// Fig. 21: progressively randomizes the caches and measures the LRU
+/// hit rate at each checkpoint.
+///
+/// `checkpoints` are cumulative swap-attempt counts (must be
+/// non-decreasing); point 0 is the untouched trace when `checkpoints`
+/// starts at 0.
+pub fn randomization_sweep(
+    caches: &[Vec<FileRef>],
+    n_files: usize,
+    list_size: usize,
+    checkpoints: &[u64],
+    seed: u64,
+) -> Vec<RandomizationPoint> {
+    assert!(
+        checkpoints.windows(2).all(|w| w[0] <= w[1]),
+        "checkpoints must be non-decreasing"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut shuffler = Shuffler::new(caches.to_vec());
+    let mut applied = 0u64;
+    // Shuffle sequentially, collecting the cache set at each checkpoint,
+    // then simulate the checkpoints in parallel.
+    let mut snapshots: Vec<(u64, Vec<Vec<FileRef>>)> = Vec::with_capacity(checkpoints.len());
+    for &target in checkpoints {
+        shuffler.run(target - applied, &mut rng);
+        applied = target;
+        let mut caches = shuffler.caches().to_vec();
+        for cache in &mut caches {
+            cache.sort_unstable();
+        }
+        snapshots.push((target, caches));
+    }
+    parallel_map(&snapshots, |(swaps, caches)| {
+        let result = simulate(caches, n_files, &SimConfig::lru(list_size).with_seed(seed));
+        RandomizationPoint { swaps: *swaps, hit_rate: result.hit_rate() }
+    })
+}
+
+/// Maps `items` in parallel with scoped threads, preserving order.
+///
+/// The sweeps here are CPU-bound and independent; a simple chunked
+/// fan-out over `available_parallelism` threads is all that is needed.
+pub fn parallel_map<T: Sync, R: Send>(
+    items: &[T],
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(items.len().max(1));
+    let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results_slots: Vec<std::sync::Mutex<&mut Option<R>>> =
+        results.iter_mut().map(std::sync::Mutex::new).collect();
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                **results_slots[i].lock().expect("no poisoning: f panics abort the scope") =
+                    Some(r);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    drop(results_slots);
+    results.into_iter().map(|r| r.expect("every slot filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(i: u32) -> FileRef {
+        FileRef(i)
+    }
+
+    /// Clustered communities plus a few generous super-peers.
+    fn workload() -> (Vec<Vec<FileRef>>, usize) {
+        let mut caches = Vec::new();
+        for c in 0..12u32 {
+            for _ in 0..5 {
+                caches.push((0..12).map(|k| f(c * 12 + k)).collect());
+            }
+        }
+        // Super-peers holding a bit of everything.
+        for start in [0u32, 48] {
+            caches.push((start..start + 60).map(f).collect());
+        }
+        (caches, 12 * 12 + 60)
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = parallel_map(&items, |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        assert!(parallel_map(&[] as &[usize], |&x| x).is_empty());
+    }
+
+    #[test]
+    fn sweep_monotonicity_in_list_size() {
+        let (caches, n) = workload();
+        let sweep = sweep_list_sizes(&caches, n, PolicyKind::Lru, &[2, 8, 32], false, 1);
+        assert_eq!(sweep.len(), 3);
+        assert!(
+            sweep[2].result.hit_rate() >= sweep[0].result.hit_rate() - 0.02,
+            "bigger lists should not hurt: {:?}",
+            sweep.iter().map(|p| p.result.hit_rate()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn policy_comparison_orders_policies() {
+        let (caches, n) = workload();
+        let cmp = policy_comparison(&caches, n, &[8], 1);
+        let rate = |k: PolicyKind| {
+            cmp.iter().find(|(p, _)| *p == k).unwrap().1[0].result.hit_rate()
+        };
+        assert!(rate(PolicyKind::Lru) > rate(PolicyKind::Random));
+        assert!(rate(PolicyKind::History) > rate(PolicyKind::Random));
+    }
+
+    #[test]
+    fn uploader_removal_reduces_requests_and_flattens_load() {
+        let (caches, n) = workload();
+        let grid = uploader_removal_grid(&caches, n, &[0.0, 0.15], &[5], 1);
+        let baseline = &grid[0].1[0].result;
+        let reduced = &grid[1].1[0].result;
+        assert!(reduced.requests < baseline.requests);
+        assert!(reduced.max_load() <= baseline.max_load());
+    }
+
+    #[test]
+    fn file_removal_raises_hit_rate_here() {
+        // With super-peers and popular files removed, the tight
+        // communities dominate: hit rate should not collapse.
+        let (caches, n) = workload();
+        let grid = file_removal_grid(&caches, n, &[0.0, 0.15], &[5], 1);
+        let baseline = grid[0].1[0].result.hit_rate();
+        let reduced = grid[1].1[0].result.hit_rate();
+        assert!(reduced > baseline * 0.8, "baseline {baseline}, reduced {reduced}");
+    }
+
+    #[test]
+    fn combined_table_runs_all_cells() {
+        let (caches, n) = workload();
+        let table =
+            combined_removal_table(&caches, n, &[(0.05, 0.05), (0.15, 0.15)], &[5, 10], 1);
+        assert_eq!(table.len(), 2);
+        assert_eq!(table[0].1.len(), 2);
+    }
+
+    #[test]
+    fn randomization_decays_hit_rate() {
+        let (caches, n) = workload();
+        let replicas: u64 = caches.iter().map(|c| c.len() as u64).sum();
+        let full = edonkey_trace::randomize::recommended_iterations(replicas as usize);
+        let sweep = randomization_sweep(&caches, n, 8, &[0, full / 4, full, full * 3], 2);
+        assert_eq!(sweep.len(), 4);
+        assert_eq!(sweep[0].swaps, 0);
+        let initial = sweep[0].hit_rate;
+        let final_rate = sweep[3].hit_rate;
+        assert!(
+            final_rate < initial - 0.1,
+            "randomization must destroy most clustering: {initial} → {final_rate}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn decreasing_checkpoints_rejected() {
+        let (caches, n) = workload();
+        let _ = randomization_sweep(&caches, n, 5, &[10, 5], 1);
+    }
+}

@@ -1,0 +1,56 @@
+//! `edonkey-semsearch`: the paper's primary contribution — server-less
+//! file search through *semantic neighbours*, evaluated by trace-driven
+//! simulation (Section 5).
+//!
+//! The idea: peers that uploaded files to you in the past are likely to
+//! hold what you search for next (that is exactly the clustering
+//! correlation of Fig. 13), so each peer keeps a short list of recent
+//! uploaders and queries them before falling back to a server. The
+//! simulator replays a trace's caches as a request stream, maintains
+//! per-peer neighbour lists under the [`neighbours::PolicyKind`]
+//! policies, and reports hit rates and per-peer query load.
+//!
+//! Modules:
+//! * [`neighbours`] — LRU, History (frequency) and Random list policies;
+//! * [`sim`] — the Section 5.1 request-replay simulator (one- and
+//!   two-hop);
+//! * [`filters`] — top-uploader and popular-file removal (Figs. 19/20);
+//! * [`experiment`] — sweeps, removal grids and the Fig. 21
+//!   randomization sweep, with a parallel runner;
+//! * [`overlay`] — the paper's announced next step: a *live* semantic
+//!   overlay maintained across days of cache churn;
+//! * [`gossip`] — the epidemic alternative (related work [31]): views
+//!   converged proactively by cache-overlap gossip.
+//!
+//! # Examples
+//!
+//! ```
+//! use edonkey_semsearch::{SimConfig, simulate};
+//! use edonkey_trace::model::FileRef;
+//!
+//! // Two mirrored peers: after the first exchange the second request
+//! // hits the semantic neighbour.
+//! let caches = vec![
+//!     vec![FileRef(0), FileRef(1)],
+//!     vec![FileRef(0), FileRef(1)],
+//! ];
+//! let result = simulate(&caches, 2, &SimConfig::lru(5));
+//! assert!(result.hits() >= 1);
+//! ```
+
+pub mod experiment;
+pub mod filters;
+pub mod gossip;
+pub mod neighbours;
+pub mod overlay;
+pub mod sim;
+
+pub use experiment::{
+    policy_comparison, randomization_sweep, sweep_list_sizes, RandomizationPoint, SweepPoint,
+    PAPER_LIST_SIZES,
+};
+pub use filters::{remove_top_files, remove_top_uploaders};
+pub use neighbours::{AnyPolicy, History, Lru, NeighbourPolicy, PolicyKind, RandomList, RareLru};
+pub use gossip::{build_overlay, overlay_hit_rate, GossipConfig, SemanticOverlay};
+pub use overlay::{simulate_overlay, OverlayConfig, OverlayDayStats};
+pub use sim::{simulate, SimConfig, SimResult};

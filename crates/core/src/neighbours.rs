@@ -1,0 +1,576 @@
+//! Semantic-neighbour list policies: LRU, History and Random.
+//!
+//! Each peer maintains a short list of *semantic neighbours* — peers that
+//! uploaded files to it — and queries them first on every search
+//! (Section 5.2):
+//!
+//! * **LRU**: the most recent uploader moves to the head; the tail is
+//!   evicted at capacity. One parameter: the list length.
+//! * **History** (frequency-based, [Voulgaris et al.]): counts successful
+//!   uploads per peer and keeps the highest counters.
+//! * **Random**: the benchmark — a list of uniformly random peers.
+//!
+//! All policies expose the same trait so the simulator is generic; they
+//! also maintain a membership set so "is this sharer one of my
+//! neighbours?" is O(1) during simulation.
+
+use std::collections::{HashMap, HashSet};
+
+use rand::Rng;
+
+/// A peer index in the simulation (dense, like `edonkey_trace::PeerId`).
+pub type Peer = u32;
+
+/// The interface every neighbour-list policy implements.
+pub trait NeighbourPolicy {
+    /// Records a successful upload received *from* `uploader`.
+    fn record_upload(&mut self, uploader: Peer);
+
+    /// Records an upload along with the uploaded file's current source
+    /// count. Popularity-aware policies use it to skip popular-file
+    /// uploads; the default ignores the hint.
+    fn record_upload_with_popularity(&mut self, uploader: Peer, _sources: u32) {
+        self.record_upload(uploader);
+    }
+
+    /// The current neighbour list, highest-priority first.
+    fn neighbours(&self) -> &[Peer];
+
+    /// O(1) membership test.
+    fn contains(&self, peer: Peer) -> bool;
+
+    /// The configured maximum list length.
+    fn capacity(&self) -> usize;
+}
+
+/// Least-recently-used neighbour list.
+///
+/// # Examples
+///
+/// ```
+/// use edonkey_semsearch::neighbours::{Lru, NeighbourPolicy};
+///
+/// let mut list = Lru::new(2);
+/// list.record_upload(7);
+/// list.record_upload(8);
+/// list.record_upload(7); // moves 7 back to the head
+/// assert_eq!(list.neighbours(), &[7, 8]);
+/// list.record_upload(9); // evicts 8, the least recently used
+/// assert_eq!(list.neighbours(), &[9, 7]);
+/// assert!(!list.contains(8));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Lru {
+    /// Head = most recently used. Small lists: a Vec beats pointer
+    /// structures for every capacity the paper uses (≤ 200).
+    list: Vec<Peer>,
+    members: HashSet<Peer>,
+    capacity: usize,
+}
+
+impl Lru {
+    /// Creates an empty list with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "neighbour list capacity must be positive");
+        Lru { list: Vec::with_capacity(capacity), members: HashSet::new(), capacity }
+    }
+}
+
+impl NeighbourPolicy for Lru {
+    fn record_upload(&mut self, uploader: Peer) {
+        if let Some(pos) = self.list.iter().position(|&p| p == uploader) {
+            self.list.remove(pos);
+        } else {
+            self.members.insert(uploader);
+            if self.list.len() == self.capacity {
+                let evicted = self.list.pop().expect("list is at capacity > 0");
+                self.members.remove(&evicted);
+            }
+        }
+        self.list.insert(0, uploader);
+    }
+
+    fn neighbours(&self) -> &[Peer] {
+        &self.list
+    }
+
+    fn contains(&self, peer: Peer) -> bool {
+        self.members.contains(&peer)
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// Frequency-based ("History") neighbour list: keeps the peers with the
+/// most successful uploads.
+///
+/// Ties are broken by recency (the newer uploader wins), which keeps the
+/// early simulation from ossifying on arbitrary first-comers.
+///
+/// # Examples
+///
+/// ```
+/// use edonkey_semsearch::neighbours::{History, NeighbourPolicy};
+///
+/// let mut list = History::new(2);
+/// list.record_upload(1);
+/// list.record_upload(2);
+/// list.record_upload(2);
+/// list.record_upload(3); // count 1: ties with peer 1, newer wins
+/// assert_eq!(list.neighbours(), &[2, 3]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct History {
+    /// Upload counters for every peer ever seen (the "history").
+    counts: HashMap<Peer, u64>,
+    /// Logical clock for recency tie-breaks.
+    clock: u64,
+    last_seen: HashMap<Peer, u64>,
+    /// Current top-`capacity` list, sorted by (count, recency) desc.
+    list: Vec<Peer>,
+    members: HashSet<Peer>,
+    capacity: usize,
+}
+
+impl History {
+    /// Creates an empty list with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "neighbour list capacity must be positive");
+        History {
+            counts: HashMap::new(),
+            clock: 0,
+            last_seen: HashMap::new(),
+            list: Vec::with_capacity(capacity),
+            members: HashSet::new(),
+            capacity,
+        }
+    }
+
+    fn key(&self, peer: Peer) -> (u64, u64) {
+        (
+            self.counts.get(&peer).copied().unwrap_or(0),
+            self.last_seen.get(&peer).copied().unwrap_or(0),
+        )
+    }
+}
+
+impl NeighbourPolicy for History {
+    fn record_upload(&mut self, uploader: Peer) {
+        self.clock += 1;
+        *self.counts.entry(uploader).or_insert(0) += 1;
+        self.last_seen.insert(uploader, self.clock);
+        if self.members.contains(&uploader) {
+            // Re-sort its position upward.
+            let pos = self.list.iter().position(|&p| p == uploader).expect("member");
+            self.list.remove(pos);
+        } else if self.list.len() == self.capacity {
+            // Replace the tail only if the newcomer now outranks it.
+            let tail = *self.list.last().expect("at capacity > 0");
+            if self.key(uploader) <= self.key(tail) {
+                return;
+            }
+            self.list.pop();
+            self.members.remove(&tail);
+            self.members.insert(uploader);
+        } else {
+            self.members.insert(uploader);
+        }
+        let key = self.key(uploader);
+        let pos = self
+            .list
+            .iter()
+            .position(|&p| self.key(p) < key)
+            .unwrap_or(self.list.len());
+        self.list.insert(pos, uploader);
+    }
+
+    fn neighbours(&self) -> &[Peer] {
+        &self.list
+    }
+
+    fn contains(&self, peer: Peer) -> bool {
+        self.members.contains(&peer)
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// The random benchmark: a fixed list of uniformly chosen peers.
+///
+/// `record_upload` is a no-op — the whole point of the benchmark is that
+/// the list carries no semantic information.
+#[derive(Clone, Debug)]
+pub struct RandomList {
+    list: Vec<Peer>,
+    members: HashSet<Peer>,
+    capacity: usize,
+}
+
+impl RandomList {
+    /// Draws a fixed list of up to `capacity` distinct peers from
+    /// `candidates` (e.g. all sharers), excluding `owner`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, owner: Peer, candidates: &[Peer], rng: &mut impl Rng) -> Self {
+        assert!(capacity > 0, "neighbour list capacity must be positive");
+        let mut members = HashSet::new();
+        let mut list = Vec::with_capacity(capacity);
+        // Rejection sampling; candidate pools are far larger than lists
+        // in every experiment, so this terminates fast. Bounded anyway.
+        let mut guard = 0usize;
+        while list.len() < capacity.min(candidates.len().saturating_sub(1))
+            && guard < 100 * capacity + 1000
+        {
+            guard += 1;
+            let pick = candidates[rng.gen_range(0..candidates.len())];
+            if pick != owner && members.insert(pick) {
+                list.push(pick);
+            }
+        }
+        RandomList { list, members, capacity }
+    }
+}
+
+impl NeighbourPolicy for RandomList {
+    fn record_upload(&mut self, _uploader: Peer) {}
+
+    fn neighbours(&self) -> &[Peer] {
+        &self.list
+    }
+
+    fn contains(&self, peer: Peer) -> bool {
+        self.members.contains(&peer)
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// LRU restricted to *rare-file* uploads — the "popularity" algorithm
+/// the paper points at (Section 5.3.2, citing Voulgaris et al.) for
+/// keeping lists uncontaminated by links to peers that merely served
+/// popular files.
+///
+/// Uploads of files with more than `max_sources` known sources are not
+/// recorded; everything else behaves like [`Lru`].
+///
+/// # Examples
+///
+/// ```
+/// use edonkey_semsearch::neighbours::{NeighbourPolicy, RareLru};
+///
+/// let mut list = RareLru::new(2, 3);
+/// list.record_upload_with_popularity(7, 2); // rare: recorded
+/// list.record_upload_with_popularity(8, 50); // popular: ignored
+/// assert_eq!(list.neighbours(), &[7]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct RareLru {
+    inner: Lru,
+    max_sources: u32,
+}
+
+impl RareLru {
+    /// Creates the policy: capacity plus the rare-file source cutoff.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, max_sources: u32) -> Self {
+        RareLru { inner: Lru::new(capacity), max_sources }
+    }
+}
+
+impl NeighbourPolicy for RareLru {
+    fn record_upload(&mut self, uploader: Peer) {
+        // Without a popularity hint the upload is assumed rare.
+        self.inner.record_upload(uploader);
+    }
+
+    fn record_upload_with_popularity(&mut self, uploader: Peer, sources: u32) {
+        if sources <= self.max_sources {
+            self.inner.record_upload(uploader);
+        }
+    }
+
+    fn neighbours(&self) -> &[Peer] {
+        self.inner.neighbours()
+    }
+
+    fn contains(&self, peer: Peer) -> bool {
+        self.inner.contains(peer)
+    }
+
+    fn capacity(&self) -> usize {
+        self.inner.capacity()
+    }
+}
+
+/// Which policy to instantiate — the simulator's configuration surface.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// Least-recently-used (the paper's main policy).
+    Lru,
+    /// Frequency-based.
+    History,
+    /// Random benchmark.
+    Random,
+    /// LRU that only records rare-file uploads (at most this many
+    /// sources at download time).
+    RareLru {
+        /// Source-count cutoff for "rare".
+        max_sources: u32,
+    },
+}
+
+impl PolicyKind {
+    /// Human-readable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicyKind::Lru => "LRU",
+            PolicyKind::History => "History",
+            PolicyKind::Random => "Random",
+            PolicyKind::RareLru { .. } => "RareLRU",
+        }
+    }
+}
+
+/// A boxed policy instance, one per simulated peer.
+pub enum AnyPolicy {
+    /// LRU instance.
+    Lru(Lru),
+    /// History instance.
+    History(History),
+    /// Random instance.
+    Random(RandomList),
+    /// Rare-file LRU instance.
+    RareLru(RareLru),
+}
+
+impl AnyPolicy {
+    /// Instantiates a policy of the given kind.
+    pub fn new(
+        kind: PolicyKind,
+        capacity: usize,
+        owner: Peer,
+        candidates: &[Peer],
+        rng: &mut impl Rng,
+    ) -> Self {
+        match kind {
+            PolicyKind::Lru => AnyPolicy::Lru(Lru::new(capacity)),
+            PolicyKind::History => AnyPolicy::History(History::new(capacity)),
+            PolicyKind::Random => {
+                AnyPolicy::Random(RandomList::new(capacity, owner, candidates, rng))
+            }
+            PolicyKind::RareLru { max_sources } => {
+                AnyPolicy::RareLru(RareLru::new(capacity, max_sources))
+            }
+        }
+    }
+}
+
+impl NeighbourPolicy for AnyPolicy {
+    fn record_upload(&mut self, uploader: Peer) {
+        match self {
+            AnyPolicy::Lru(p) => p.record_upload(uploader),
+            AnyPolicy::History(p) => p.record_upload(uploader),
+            AnyPolicy::Random(p) => p.record_upload(uploader),
+            AnyPolicy::RareLru(p) => p.record_upload(uploader),
+        }
+    }
+
+    fn record_upload_with_popularity(&mut self, uploader: Peer, sources: u32) {
+        match self {
+            AnyPolicy::Lru(p) => p.record_upload_with_popularity(uploader, sources),
+            AnyPolicy::History(p) => p.record_upload_with_popularity(uploader, sources),
+            AnyPolicy::Random(p) => p.record_upload_with_popularity(uploader, sources),
+            AnyPolicy::RareLru(p) => p.record_upload_with_popularity(uploader, sources),
+        }
+    }
+
+    fn neighbours(&self) -> &[Peer] {
+        match self {
+            AnyPolicy::Lru(p) => p.neighbours(),
+            AnyPolicy::History(p) => p.neighbours(),
+            AnyPolicy::Random(p) => p.neighbours(),
+            AnyPolicy::RareLru(p) => p.neighbours(),
+        }
+    }
+
+    fn contains(&self, peer: Peer) -> bool {
+        match self {
+            AnyPolicy::Lru(p) => p.contains(peer),
+            AnyPolicy::History(p) => p.contains(peer),
+            AnyPolicy::Random(p) => p.contains(peer),
+            AnyPolicy::RareLru(p) => p.contains(peer),
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        match self {
+            AnyPolicy::Lru(p) => p.capacity(),
+            AnyPolicy::History(p) => p.capacity(),
+            AnyPolicy::Random(p) => p.capacity(),
+            AnyPolicy::RareLru(p) => p.capacity(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn check_invariants(p: &impl NeighbourPolicy) {
+        let list = p.neighbours();
+        assert!(list.len() <= p.capacity());
+        let set: HashSet<Peer> = list.iter().copied().collect();
+        assert_eq!(set.len(), list.len(), "list must be duplicate-free");
+        for &n in list {
+            assert!(p.contains(n));
+        }
+    }
+
+    #[test]
+    fn lru_ordering_and_eviction() {
+        let mut lru = Lru::new(3);
+        for p in [1, 2, 3] {
+            lru.record_upload(p);
+        }
+        assert_eq!(lru.neighbours(), &[3, 2, 1]);
+        lru.record_upload(1); // refresh
+        assert_eq!(lru.neighbours(), &[1, 3, 2]);
+        lru.record_upload(4); // evict 2
+        assert_eq!(lru.neighbours(), &[4, 1, 3]);
+        assert!(!lru.contains(2));
+        check_invariants(&lru);
+    }
+
+    #[test]
+    fn lru_repeated_uploader_does_not_grow() {
+        let mut lru = Lru::new(2);
+        for _ in 0..10 {
+            lru.record_upload(5);
+        }
+        assert_eq!(lru.neighbours(), &[5]);
+        check_invariants(&lru);
+    }
+
+    #[test]
+    fn history_prefers_frequent_uploaders() {
+        let mut h = History::new(2);
+        for _ in 0..5 {
+            h.record_upload(1);
+        }
+        for _ in 0..3 {
+            h.record_upload(2);
+        }
+        h.record_upload(3); // count 1 < tail's 3 → not admitted
+        assert_eq!(h.neighbours(), &[1, 2]);
+        for _ in 0..3 {
+            h.record_upload(3); // count reaches 4 > peer 2's 3
+        }
+        assert_eq!(h.neighbours(), &[1, 3]);
+        assert!(!h.contains(2));
+        check_invariants(&h);
+    }
+
+    #[test]
+    fn history_list_is_sorted_by_count() {
+        let mut h = History::new(5);
+        let uploads = [1u32, 2, 2, 3, 3, 3, 4, 1, 2];
+        for u in uploads {
+            h.record_upload(u);
+        }
+        // counts: 1→2, 2→3, 3→3, 4→1; 2 is more recent than 3.
+        assert_eq!(h.neighbours(), &[2, 3, 1, 4]);
+        check_invariants(&h);
+    }
+
+    #[test]
+    fn random_list_fixed_and_distinct() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let candidates: Vec<Peer> = (0..100).collect();
+        let r = RandomList::new(10, 5, &candidates, &mut rng);
+        assert_eq!(r.neighbours().len(), 10);
+        assert!(!r.neighbours().contains(&5), "owner excluded");
+        check_invariants(&r);
+        let before = r.neighbours().to_vec();
+        let mut r = r;
+        r.record_upload(42);
+        assert_eq!(r.neighbours(), &before[..], "random list never adapts");
+    }
+
+    #[test]
+    fn random_list_small_candidate_pool() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let r = RandomList::new(10, 0, &[0, 1, 2], &mut rng);
+        assert_eq!(r.neighbours().len(), 2, "only two non-owner candidates exist");
+    }
+
+    #[test]
+    fn any_policy_dispatch() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let candidates: Vec<Peer> = (0..50).collect();
+        for kind in [PolicyKind::Lru, PolicyKind::History, PolicyKind::Random] {
+            let mut p = AnyPolicy::new(kind, 4, 0, &candidates, &mut rng);
+            p.record_upload(7);
+            p.record_upload(9);
+            check_invariants(&p);
+            assert_eq!(p.capacity(), 4);
+            assert!(!kind.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn rare_lru_filters_popular_uploads() {
+        let mut p = RareLru::new(3, 5);
+        p.record_upload_with_popularity(1, 3);
+        p.record_upload_with_popularity(2, 6); // too popular
+        p.record_upload_with_popularity(3, 5); // boundary: recorded
+        p.record_upload(4); // no hint: treated as rare
+        assert_eq!(p.neighbours(), &[4, 3, 1]);
+        assert!(!p.contains(2));
+        check_invariants(&p);
+    }
+
+    #[test]
+    fn default_hint_ignores_popularity() {
+        let mut lru = Lru::new(2);
+        lru.record_upload_with_popularity(9, 1_000_000);
+        assert_eq!(lru.neighbours(), &[9], "plain LRU records regardless");
+    }
+
+    #[test]
+    fn any_policy_rare_lru_dispatch() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut p =
+            AnyPolicy::new(PolicyKind::RareLru { max_sources: 2 }, 3, 0, &[], &mut rng);
+        p.record_upload_with_popularity(5, 1);
+        p.record_upload_with_popularity(6, 10);
+        assert_eq!(p.neighbours(), &[5]);
+        assert_eq!(PolicyKind::RareLru { max_sources: 2 }.name(), "RareLRU");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = Lru::new(0);
+    }
+}

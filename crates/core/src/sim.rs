@@ -1,0 +1,388 @@
+//! The trace-driven search simulation of Section 5.1.
+//!
+//! The simulator replays a static cache set as a request stream:
+//!
+//! 1. Pick a uniformly random `(peer, pending file)` pair and remove it
+//!    from the peer's pending list.
+//! 2. If nobody currently shares the file, the peer is its *original
+//!    contributor*: the file just enters the peer's (simulated) cache.
+//! 3. Otherwise the peer *requests* the file: it queries its semantic
+//!    neighbours (and, in two-hop mode, their neighbours); a **hit**
+//!    means some queried peer currently shares the file. On a miss the
+//!    peer falls back to the server. Either way it obtains the file,
+//!    starts sharing it, and the uploader is recorded in its neighbour
+//!    list (head of LRU / counter bump for History).
+//!
+//! Load accounting: every request sends one message to each of the
+//! requester's (one-hop) semantic neighbours, which is how the paper's
+//! Fig. 22 counts "messages per client".
+
+use edonkey_trace::model::FileRef;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+use crate::neighbours::{AnyPolicy, NeighbourPolicy, Peer, PolicyKind};
+
+/// Simulation parameters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Neighbour list length (the paper sweeps 5–200).
+    pub list_size: usize,
+    /// Which policy maintains the lists.
+    pub policy: PolicyKind,
+    /// Also query neighbours' neighbours on a one-hop miss (Fig. 23).
+    pub two_hop: bool,
+    /// RNG seed for the request order and uploader picks.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// LRU with the given list size — the paper's default setup.
+    pub fn lru(list_size: usize) -> Self {
+        SimConfig { list_size, policy: PolicyKind::Lru, two_hop: false, seed: 0x5eed }
+    }
+
+    /// Same, with the History policy.
+    pub fn history(list_size: usize) -> Self {
+        SimConfig { policy: PolicyKind::History, ..Self::lru(list_size) }
+    }
+
+    /// Same, with the Random benchmark.
+    pub fn random(list_size: usize) -> Self {
+        SimConfig { policy: PolicyKind::Random, ..Self::lru(list_size) }
+    }
+
+    /// LRU recording only uploads of files with at most `max_sources`
+    /// sources — the rare-file "popularity" policy of Section 5.3.2.
+    pub fn rare_lru(list_size: usize, max_sources: u32) -> Self {
+        SimConfig { policy: PolicyKind::RareLru { max_sources }, ..Self::lru(list_size) }
+    }
+
+    /// Enables two-hop search.
+    pub fn with_two_hop(mut self) -> Self {
+        self.two_hop = true;
+        self
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Simulation outcome.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimResult {
+    /// Requests actually simulated (pairs whose file already had a
+    /// sharer).
+    pub requests: u64,
+    /// Requests answered by a one-hop semantic neighbour.
+    pub one_hop_hits: u64,
+    /// Requests answered only at the second hop (zero unless two-hop).
+    pub two_hop_hits: u64,
+    /// Pairs that seeded the system (no prior sharer).
+    pub contributor_seeds: u64,
+    /// Messages received per peer (Fig. 22's load distribution).
+    pub messages_per_peer: Vec<u64>,
+}
+
+impl SimResult {
+    /// Total hits (one-hop plus two-hop).
+    pub fn hits(&self) -> u64 {
+        self.one_hop_hits + self.two_hop_hits
+    }
+
+    /// Hit rate in `[0,1]`; 0 when no requests were simulated.
+    pub fn hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            return 0.0;
+        }
+        self.hits() as f64 / self.requests as f64
+    }
+
+    /// Mean messages per peer over peers that received any.
+    pub fn mean_load(&self) -> f64 {
+        let busy: Vec<u64> =
+            self.messages_per_peer.iter().copied().filter(|&m| m > 0).collect();
+        if busy.is_empty() {
+            return 0.0;
+        }
+        busy.iter().sum::<u64>() as f64 / busy.len() as f64
+    }
+
+    /// Peak messages on any single peer.
+    pub fn max_load(&self) -> u64 {
+        self.messages_per_peer.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Per-peer load sorted descending — the Fig. 22 curve
+    /// (`messages` vs `client by rank`), zero-load peers omitted.
+    pub fn load_by_rank(&self) -> Vec<u64> {
+        let mut loads: Vec<u64> =
+            self.messages_per_peer.iter().copied().filter(|&m| m > 0).collect();
+        loads.sort_unstable_by(|a, b| b.cmp(a));
+        loads
+    }
+}
+
+/// Runs the Section 5.1 simulation over a static cache set.
+///
+/// `caches[p]` is the potential request set of peer `p` (its cache in
+/// the trace). Peers with empty caches are free-riders: they issue no
+/// requests (the paper's request model has no free-rider requests) and,
+/// holding nothing, never appear in neighbour lists.
+///
+/// # Examples
+///
+/// ```
+/// use edonkey_semsearch::sim::{simulate, SimConfig};
+/// use edonkey_trace::model::FileRef;
+///
+/// // Two peers with identical two-file caches: whoever requests second
+/// // finds the first via the fallback, then hits on the second file.
+/// let caches = vec![
+///     vec![FileRef(0), FileRef(1)],
+///     vec![FileRef(0), FileRef(1)],
+/// ];
+/// let result = simulate(&caches, 2, &SimConfig::lru(5));
+/// assert_eq!(result.requests + result.contributor_seeds, 4);
+/// ```
+pub fn simulate(caches: &[Vec<FileRef>], n_files: usize, config: &SimConfig) -> SimResult {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Sharers (non-free-riders) are the candidate pool for random lists.
+    let sharer_pool: Vec<Peer> = caches
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| !c.is_empty())
+        .map(|(p, _)| p as Peer)
+        .collect();
+
+    // Request stream: a uniformly shuffled multiset of (peer, file).
+    let mut stream: Vec<(u32, FileRef)> = caches
+        .iter()
+        .enumerate()
+        .flat_map(|(p, cache)| cache.iter().map(move |&f| (p as u32, f)))
+        .collect();
+    shuffle(&mut stream, &mut rng);
+
+    // Mutable simulation state.
+    let mut policies: Vec<AnyPolicy> = (0..caches.len())
+        .map(|p| {
+            AnyPolicy::new(config.policy, config.list_size, p as Peer, &sharer_pool, &mut rng)
+        })
+        .collect();
+    // Who currently shares each file (grow-only), and each peer's
+    // current holdings for O(1) "does neighbour n share f" checks.
+    let mut sharers: Vec<Vec<Peer>> = vec![Vec::new(); n_files];
+    let mut holdings: Vec<HashSet<FileRef>> = vec![HashSet::new(); caches.len()];
+
+    let mut result = SimResult {
+        requests: 0,
+        one_hop_hits: 0,
+        two_hop_hits: 0,
+        contributor_seeds: 0,
+        messages_per_peer: vec![0; caches.len()],
+    };
+
+    for (peer, file) in stream {
+        let peer_idx = peer as usize;
+        let file_sharers = &sharers[file.index()];
+        if file_sharers.is_empty() {
+            // Original contributor.
+            result.contributor_seeds += 1;
+            sharers[file.index()].push(peer);
+            holdings[peer_idx].insert(file);
+            continue;
+        }
+        result.requests += 1;
+
+        // Querying loads every one-hop neighbour.
+        for &n in policies[peer_idx].neighbours() {
+            result.messages_per_peer[n as usize] += 1;
+        }
+
+        // One-hop: does any current sharer sit in the neighbour list?
+        // Iterating sharers (popularity-sized) beats iterating the list
+        // for rare files, and is equivalent.
+        let policy = &policies[peer_idx];
+        let mut uploader: Option<Peer> =
+            file_sharers.iter().copied().find(|&s| policy.contains(s));
+        let mut hop = 1;
+
+        // Two-hop: query each neighbour's neighbours.
+        if uploader.is_none() && config.two_hop {
+            'outer: for &n in policies[peer_idx].neighbours() {
+                for &s in file_sharers {
+                    if s != peer && policies[n as usize].contains(s) {
+                        uploader = Some(s);
+                        hop = 2;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+
+        match uploader {
+            Some(_) if hop == 1 => result.one_hop_hits += 1,
+            Some(_) => result.two_hop_hits += 1,
+            None => {
+                // Server fallback: a uniformly random current sharer
+                // uploads the file.
+                let pick = file_sharers[rng.gen_range(0..file_sharers.len())];
+                uploader = Some(pick);
+            }
+        }
+
+        let uploader = uploader.expect("an uploader always exists here");
+        let sources = sharers[file.index()].len() as u32;
+        policies[peer_idx].record_upload_with_popularity(uploader, sources);
+        sharers[file.index()].push(peer);
+        holdings[peer_idx].insert(file);
+    }
+
+    result
+}
+
+/// Fisher–Yates shuffle (kept local: `rand`'s `SliceRandom` would work,
+/// but an explicit implementation keeps the request-order contract
+/// obvious and seed-stable across `rand` versions).
+fn shuffle<T>(items: &mut [T], rng: &mut impl Rng) {
+    for i in (1..items.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(i: u32) -> FileRef {
+        FileRef(i)
+    }
+
+    /// A tight community: 10 peers sharing the same 20 files.
+    fn community(n_peers: u32, n_files: u32) -> Vec<Vec<FileRef>> {
+        (0..n_peers).map(|_| (0..n_files).map(f).collect()).collect()
+    }
+
+    #[test]
+    fn accounting_adds_up() {
+        let caches = community(10, 20);
+        let result = simulate(&caches, 20, &SimConfig::lru(5));
+        assert_eq!(
+            result.requests + result.contributor_seeds,
+            200,
+            "every (peer, file) pair is consumed exactly once"
+        );
+        assert_eq!(result.contributor_seeds, 20, "each file has one contributor");
+        assert!(result.hits() <= result.requests);
+    }
+
+    #[test]
+    fn clustered_caches_give_high_lru_hit_rates() {
+        let caches = community(10, 40);
+        let result = simulate(&caches, 40, &SimConfig::lru(5));
+        // Everyone's neighbours quickly converge on the community.
+        assert!(
+            result.hit_rate() > 0.6,
+            "hit rate {} too low for a perfect community",
+            result.hit_rate()
+        );
+    }
+
+    #[test]
+    fn random_policy_is_much_worse_on_disjoint_communities() {
+        // 20 communities of 5 peers with disjoint file sets.
+        let mut caches = Vec::new();
+        for c in 0..20u32 {
+            for _ in 0..5 {
+                caches.push((0..10).map(|k| f(c * 10 + k)).collect());
+            }
+        }
+        let lru = simulate(&caches, 200, &SimConfig::lru(4));
+        let random = simulate(&caches, 200, &SimConfig::random(4));
+        assert!(
+            lru.hit_rate() > random.hit_rate() + 0.2,
+            "LRU {} vs random {}",
+            lru.hit_rate(),
+            random.hit_rate()
+        );
+    }
+
+    #[test]
+    fn history_also_learns() {
+        let caches = community(10, 40);
+        let result = simulate(&caches, 40, &SimConfig::history(5));
+        assert!(result.hit_rate() > 0.5, "history hit rate {}", result.hit_rate());
+    }
+
+    #[test]
+    fn two_hop_never_hurts() {
+        let mut caches = Vec::new();
+        for c in 0..10u32 {
+            for _ in 0..6 {
+                caches.push((0..8).map(|k| f(c * 8 + k)).collect());
+            }
+        }
+        let one = simulate(&caches, 80, &SimConfig::lru(3));
+        let two = simulate(&caches, 80, &SimConfig::lru(3).with_two_hop());
+        assert!(two.hit_rate() >= one.hit_rate());
+        assert!(two.two_hop_hits > 0, "two-hop must answer something");
+        assert_eq!(one.two_hop_hits, 0);
+    }
+
+    #[test]
+    fn free_riders_issue_nothing_and_receive_nothing() {
+        let mut caches = community(5, 10);
+        caches.push(vec![]); // a free-rider
+        let result = simulate(&caches, 10, &SimConfig::lru(5));
+        assert_eq!(result.messages_per_peer[5], 0);
+        assert_eq!(result.requests + result.contributor_seeds, 50);
+    }
+
+    #[test]
+    fn load_is_counted_per_queried_neighbour() {
+        let caches = community(4, 10);
+        let result = simulate(&caches, 10, &SimConfig::lru(2));
+        let total: u64 = result.messages_per_peer.iter().sum();
+        // Each request queries at most 2 neighbours (less while lists
+        // warm up).
+        assert!(total <= result.requests * 2);
+        assert!(total > 0);
+        assert!(result.max_load() >= result.mean_load() as u64);
+        let ranked = result.load_by_rank();
+        assert!(ranked.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let caches = community(8, 15);
+        let a = simulate(&caches, 15, &SimConfig::lru(5).with_seed(9));
+        let b = simulate(&caches, 15, &SimConfig::lru(5).with_seed(9));
+        assert_eq!(a, b);
+        let c = simulate(&caches, 15, &SimConfig::lru(5).with_seed(10));
+        // Different order, same accounting identity.
+        assert_eq!(c.requests + c.contributor_seeds, 120);
+    }
+
+    #[test]
+    fn empty_input() {
+        let result = simulate(&[], 0, &SimConfig::lru(5));
+        assert_eq!(result.requests, 0);
+        assert_eq!(result.hit_rate(), 0.0);
+        assert_eq!(result.mean_load(), 0.0);
+        assert_eq!(result.max_load(), 0);
+    }
+
+    #[test]
+    fn larger_lists_do_not_reduce_hits() {
+        let caches = community(12, 30);
+        let small = simulate(&caches, 30, &SimConfig::lru(2));
+        let large = simulate(&caches, 30, &SimConfig::lru(11));
+        assert!(large.hit_rate() >= small.hit_rate() - 0.02);
+    }
+}

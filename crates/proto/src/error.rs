@@ -1,0 +1,277 @@
+//! Binary codec primitives and decode errors shared by the wire modules.
+//!
+//! The eDonkey protocol is little-endian throughout, with 16-bit
+//! length-prefixed strings. [`Writer`] and [`Reader`] capture exactly that
+//! dialect so the message and tag codecs stay declarative.
+
+use std::fmt;
+
+/// An error produced while decoding eDonkey wire data.
+///
+/// Decoding malformed or truncated input must fail cleanly — the crawler
+/// talks to arbitrary remote peers, so every length and discriminant is
+/// validated before use.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input ended before a fixed-size field could be read.
+    Truncated {
+        /// Bytes needed to finish the read.
+        needed: usize,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// A tag carried an unknown type discriminant.
+    BadTagType(u8),
+    /// A message carried an unknown opcode.
+    BadOpcode(u8),
+    /// A collection length prefix exceeded the remaining input.
+    BadCount(u32),
+    /// A frame header announced a length beyond the configured maximum.
+    FrameTooLarge(u32),
+    /// A frame used an unknown protocol marker byte.
+    BadProtocolMarker(u8),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated { needed, remaining } => {
+                write!(f, "truncated input: needed {needed} bytes, {remaining} remaining")
+            }
+            DecodeError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            DecodeError::BadTagType(t) => write!(f, "unknown tag type {t:#04x}"),
+            DecodeError::BadOpcode(op) => write!(f, "unknown message opcode {op:#04x}"),
+            DecodeError::BadCount(n) => write!(f, "length prefix {n} exceeds input"),
+            DecodeError::FrameTooLarge(n) => write!(f, "frame length {n} exceeds maximum"),
+            DecodeError::BadProtocolMarker(b) => write!(f, "unknown protocol marker {b:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Little-endian byte sink for encoding messages.
+///
+/// # Examples
+///
+/// ```
+/// use edonkey_proto::error::Writer;
+///
+/// let mut w = Writer::new();
+/// w.u8(1);
+/// w.u32(0xdead_beef);
+/// w.str16("hi");
+/// assert_eq!(w.into_vec(), vec![1, 0xef, 0xbe, 0xad, 0xde, 2, 0, b'h', b'i']);
+/// ```
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+
+    /// Creates a writer with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        Writer { buf: Vec::with_capacity(cap) }
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends raw bytes.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a 16-bit length-prefixed UTF-8 string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the string is longer than 65 535 bytes; protocol strings
+    /// (nicknames, file names, keywords) are far below this bound and a
+    /// longer one indicates a caller bug.
+    pub fn str16(&mut self, s: &str) {
+        let len =
+            u16::try_from(s.len()).expect("protocol strings are shorter than 64 KiB");
+        self.u16(len);
+        self.bytes(s.as_bytes());
+    }
+
+    /// Current encoded length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Little-endian cursor for decoding messages.
+///
+/// # Examples
+///
+/// ```
+/// use edonkey_proto::error::Reader;
+///
+/// let mut r = Reader::new(&[2, 0, b'h', b'i', 7]);
+/// let len = r.u16().unwrap();
+/// assert_eq!(r.string(len as usize).unwrap(), "hi");
+/// assert_eq!(r.u8().unwrap(), 7);
+/// assert!(r.u8().is_err());
+/// ```
+pub struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a cursor at the start of `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Reader { data, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Returns the unconsumed suffix.
+    pub fn rest(&self) -> &'a [u8] {
+        &self.data[self.pos..]
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::Truncated { needed: n, remaining: self.remaining() });
+        }
+        let slice = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("take(2)")))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("take(4)")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("take(8)")))
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        self.take(n)
+    }
+
+    /// Reads `n` bytes as a UTF-8 string.
+    pub fn string(&mut self, n: usize) -> Result<String, DecodeError> {
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::BadUtf8)
+    }
+
+    /// Reads a 16-bit length-prefixed string.
+    pub fn str16(&mut self) -> Result<String, DecodeError> {
+        let len = self.u16()?;
+        self.string(len as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_reader_round_trip() {
+        let mut w = Writer::new();
+        w.u8(0xab);
+        w.u16(0x1234);
+        w.u32(0xdead_beef);
+        w.u64(0x0102_0304_0506_0708);
+        w.str16("nickname");
+        w.bytes(&[1, 2, 3]);
+        let buf = w.into_vec();
+
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 0xab);
+        assert_eq!(r.u16().unwrap(), 0x1234);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), 0x0102_0304_0506_0708);
+        assert_eq!(r.str16().unwrap(), "nickname");
+        assert_eq!(r.bytes(3).unwrap(), &[1, 2, 3]);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_reads_error() {
+        let mut r = Reader::new(&[1, 2]);
+        assert_eq!(
+            r.u32(),
+            Err(DecodeError::Truncated { needed: 4, remaining: 2 })
+        );
+        // A failed read must not consume input.
+        assert_eq!(r.u16().unwrap(), 0x0201);
+    }
+
+    #[test]
+    fn bad_utf8_is_an_error() {
+        let mut r = Reader::new(&[0xff, 0xfe]);
+        assert_eq!(r.string(2), Err(DecodeError::BadUtf8));
+    }
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = DecodeError::Truncated { needed: 4, remaining: 1 };
+        assert!(e.to_string().contains("needed 4"));
+        assert!(DecodeError::BadOpcode(0x99).to_string().contains("0x99"));
+    }
+
+    #[test]
+    fn writer_len_tracks_content() {
+        let mut w = Writer::with_capacity(16);
+        assert!(w.is_empty());
+        w.u32(1);
+        assert_eq!(w.len(), 4);
+        assert!(!w.is_empty());
+    }
+}

@@ -1,0 +1,274 @@
+//! File identifiers and part hashing, following the ed2k scheme.
+//!
+//! eDonkey splits every file into parts of [`PART_SIZE`] bytes (9 500 KB —
+//! the "9.5 MB blocks" of the paper) and computes an MD4 digest per part.
+//! The file identifier is then:
+//!
+//! * the single part digest, when the file fits in one part, or
+//! * the MD4 digest of the concatenation of all part digests otherwise.
+//!
+//! Part digests ("hashset") are exchanged between clients on demand so a
+//! downloader can verify each 9.5 MB part independently and share verified
+//! parts before the download completes — the *partial sharing* the paper
+//! highlights as an eDonkey feature.
+//!
+//! We follow the eMule convention for files whose size is an exact
+//! multiple of [`PART_SIZE`]: such files get a trailing zero-length part
+//! (whose digest is the MD4 of the empty string). This keeps identifiers
+//! consistent across implementations that stream data of a priori unknown
+//! length.
+
+use crate::md4::{Digest, Md4};
+
+/// Size of an eDonkey part: 9 500 KB.
+pub const PART_SIZE: u64 = 9_728_000;
+
+/// Globally unique identifier of a file's *content* (not its name).
+///
+/// Two files with identical bytes share the same `FileId` regardless of
+/// their names — the property the eDonkey network uses to aggregate
+/// sources, and the property the paper relies on when counting replicas.
+pub type FileId = Digest;
+
+/// The per-part MD4 digests of a file, plus the derived [`FileId`].
+///
+/// # Examples
+///
+/// ```
+/// use edonkey_proto::hash::{PartHashes, PART_SIZE};
+///
+/// let small = PartHashes::of_bytes(b"hello");
+/// assert_eq!(small.parts().len(), 1);
+/// // Single-part files use the part hash itself as the file id.
+/// assert_eq!(small.file_id(), small.parts()[0]);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartHashes {
+    parts: Vec<Digest>,
+    file_id: FileId,
+    size: u64,
+}
+
+impl PartHashes {
+    /// Hashes an in-memory byte slice.
+    pub fn of_bytes(data: &[u8]) -> Self {
+        let mut hasher = PartHasher::new();
+        hasher.update(data);
+        hasher.finalize()
+    }
+
+    /// The per-part digests, in file order.
+    pub fn parts(&self) -> &[Digest] {
+        &self.parts
+    }
+
+    /// The derived file identifier.
+    pub fn file_id(&self) -> FileId {
+        self.file_id
+    }
+
+    /// Total file size in bytes.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Number of parts, counting the trailing empty part of exact
+    /// multiples.
+    pub fn part_count(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Verifies a single part's bytes against its recorded digest.
+    ///
+    /// Returns `false` for out-of-range indices. This is the check a
+    /// downloader runs before sharing a freshly fetched part.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use edonkey_proto::hash::PartHashes;
+    /// let h = PartHashes::of_bytes(b"data");
+    /// assert!(h.verify_part(0, b"data"));
+    /// assert!(!h.verify_part(0, b"tampered"));
+    /// assert!(!h.verify_part(7, b"data"));
+    /// ```
+    pub fn verify_part(&self, index: usize, part_bytes: &[u8]) -> bool {
+        match self.parts.get(index) {
+            Some(expect) => Md4::digest(part_bytes) == *expect,
+            None => false,
+        }
+    }
+
+    /// Assembles a `PartHashes` from already-known components — for
+    /// simulations that track hashsets without materializing file bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `file_id` does not match [`Self::file_id_of_parts`] of
+    /// `parts` — an inconsistent hashset must never circulate.
+    pub fn from_raw_parts(parts: Vec<Digest>, file_id: FileId, size: u64) -> Self {
+        assert_eq!(
+            Self::file_id_of_parts(&parts),
+            Some(file_id),
+            "file id must derive from the part digests"
+        );
+        PartHashes { parts, file_id, size }
+    }
+
+    /// Recomputes the file id from a raw list of part digests, as a client
+    /// must do when it receives a hashset from an untrusted peer.
+    ///
+    /// Returns `None` for an empty list (there is no such file).
+    pub fn file_id_of_parts(parts: &[Digest]) -> Option<FileId> {
+        match parts {
+            [] => None,
+            [only] => Some(*only),
+            many => {
+                let mut hasher = Md4::new();
+                for p in many {
+                    hasher.update(p.as_bytes());
+                }
+                Some(hasher.finalize())
+            }
+        }
+    }
+}
+
+/// Incremental part hasher for streaming data of unknown length.
+///
+/// # Examples
+///
+/// ```
+/// use edonkey_proto::hash::{PartHasher, PartHashes};
+///
+/// let mut h = PartHasher::new();
+/// h.update(b"he");
+/// h.update(b"llo");
+/// assert_eq!(h.finalize(), PartHashes::of_bytes(b"hello"));
+/// ```
+pub struct PartHasher {
+    parts: Vec<Digest>,
+    current: Md4,
+    current_len: u64,
+    total: u64,
+}
+
+impl Default for PartHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PartHasher {
+    /// Creates a hasher with no data fed yet.
+    pub fn new() -> Self {
+        PartHasher { parts: Vec::new(), current: Md4::new(), current_len: 0, total: 0 }
+    }
+
+    /// Feeds file bytes, rolling over part boundaries as needed.
+    pub fn update(&mut self, mut data: &[u8]) {
+        while !data.is_empty() {
+            let room = (PART_SIZE - self.current_len) as usize;
+            let take = data.len().min(room);
+            self.current.update(&data[..take]);
+            self.current_len += take as u64;
+            self.total += take as u64;
+            data = &data[take..];
+            if self.current_len == PART_SIZE {
+                let done = std::mem::replace(&mut self.current, Md4::new());
+                self.parts.push(done.finalize());
+                self.current_len = 0;
+            }
+        }
+    }
+
+    /// Closes the final part and derives the file id.
+    ///
+    /// A file of exactly `k * PART_SIZE` bytes ends with an empty final
+    /// part (eMule convention); the empty *file* is likewise represented
+    /// by the single digest of the empty string.
+    pub fn finalize(mut self) -> PartHashes {
+        // The trailing (possibly empty) part always closes here: either the
+        // file is empty, or the last `update` left `current_len < PART_SIZE`,
+        // or it hit the boundary exactly and this empty hasher is the
+        // convention's zero-length final part.
+        self.parts.push(self.current.finalize());
+        let file_id =
+            PartHashes::file_id_of_parts(&self.parts).expect("at least one part exists");
+        PartHashes { parts: self.parts, file_id, size: self.total }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_file() {
+        let h = PartHashes::of_bytes(b"");
+        assert_eq!(h.part_count(), 1);
+        assert_eq!(h.size(), 0);
+        assert_eq!(h.file_id().to_hex(), "31d6cfe0d16ae931b73c59d7e0c089c0");
+    }
+
+    #[test]
+    fn single_part_uses_part_hash() {
+        let h = PartHashes::of_bytes(b"some small file");
+        assert_eq!(h.part_count(), 1);
+        assert_eq!(h.file_id(), h.parts()[0]);
+        assert_eq!(h.file_id(), Md4::digest(b"some small file"));
+    }
+
+    #[test]
+    fn multi_part_id_is_hash_of_hashes() {
+        // 2.5 parts worth of data. Keep it fast with a repeating pattern.
+        let data = vec![0x5au8; (PART_SIZE * 2 + 1234) as usize];
+        let h = PartHashes::of_bytes(&data);
+        assert_eq!(h.part_count(), 3);
+        assert_eq!(h.size(), data.len() as u64);
+        let mut cat = Md4::new();
+        for p in h.parts() {
+            cat.update(p.as_bytes());
+        }
+        assert_eq!(h.file_id(), cat.finalize());
+        // And the helper agrees.
+        assert_eq!(PartHashes::file_id_of_parts(h.parts()), Some(h.file_id()));
+    }
+
+    #[test]
+    fn exact_multiple_gets_empty_tail_part() {
+        let data = vec![1u8; PART_SIZE as usize];
+        let h = PartHashes::of_bytes(&data);
+        assert_eq!(h.part_count(), 2);
+        assert_eq!(h.parts()[1], Md4::digest(b""));
+        assert!(h.verify_part(1, b""));
+    }
+
+    #[test]
+    fn streaming_equals_oneshot_across_boundaries() {
+        let data = vec![0xc3u8; (PART_SIZE + 100) as usize];
+        let oneshot = PartHashes::of_bytes(&data);
+        let mut h = PartHasher::new();
+        // Oddly sized chunks that straddle the part boundary.
+        for chunk in data.chunks(1_000_003) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finalize(), oneshot);
+    }
+
+    #[test]
+    fn verify_part_detects_corruption() {
+        let data = vec![9u8; (PART_SIZE + 5) as usize];
+        let h = PartHashes::of_bytes(&data);
+        assert!(h.verify_part(0, &data[..PART_SIZE as usize]));
+        assert!(h.verify_part(1, &data[PART_SIZE as usize..]));
+        let mut bad = data[..PART_SIZE as usize].to_vec();
+        bad[42] ^= 0xff;
+        assert!(!h.verify_part(0, &bad));
+    }
+
+    #[test]
+    fn file_id_of_parts_empty_is_none() {
+        assert_eq!(PartHashes::file_id_of_parts(&[]), None);
+    }
+}

@@ -1,0 +1,41 @@
+//! `edonkey-proto`: the eDonkey protocol substrate of the EuroSys'06
+//! reproduction.
+//!
+//! The paper's measurement infrastructure is a modified eDonkey client
+//! (MLdonkey) crawling a live network. This crate rebuilds the protocol
+//! pieces that infrastructure depends on:
+//!
+//! * [`md4`] — the MD4 digest (RFC 1320), eDonkey's content hash;
+//! * [`hash`] — 9.5 MB part hashing and ed2k file identifiers;
+//! * [`tags`] — the tag metadata system servers index;
+//! * [`query`] — the search language (keywords, ranges, and/or/not);
+//! * [`wire`] — client↔server and client↔client messages with framing;
+//! * [`error`] — the little-endian codec primitives and decode errors.
+//!
+//! Everything is implemented from scratch; no cryptography or protocol
+//! crates are used.
+//!
+//! # Examples
+//!
+//! ```
+//! use edonkey_proto::hash::PartHashes;
+//! use edonkey_proto::wire::Message;
+//!
+//! // Hash a (tiny) file and ask a peer whether it shares it.
+//! let hashes = PartHashes::of_bytes(b"file body");
+//! let frame = Message::QueryFile { file_id: hashes.file_id() }.to_frame();
+//! let (decoded, _) = Message::from_frame(&frame).unwrap();
+//! assert_eq!(decoded, Message::QueryFile { file_id: hashes.file_id() });
+//! ```
+
+pub mod error;
+pub mod hash;
+pub mod md4;
+pub mod query;
+pub mod tags;
+pub mod wire;
+
+pub use hash::{FileId, PartHashes, PART_SIZE};
+pub use md4::{Digest, Md4};
+pub use query::{FileKind, FileMeta, Query};
+pub use wire::{Message, PublishedFile, UserId, UserRecord};

@@ -1,0 +1,384 @@
+//! The eDonkey tag system: self-describing metadata attached to files and
+//! clients.
+//!
+//! A *tag* is a `(name, value)` pair. Names are either well-known one-byte
+//! identifiers (file name, size, type, …) or free-form strings; values are
+//! strings or 32-bit integers. Servers index published tags and evaluate
+//! meta-data searches against them — the "search based on file meta-data"
+//! feature the paper describes in Section 2.1.
+//!
+//! The binary layout follows the classic eDonkey encoding:
+//!
+//! ```text
+//! tag      := type:u8 name value
+//! type     := 0x02 (string) | 0x03 (u32)
+//! name     := len:u16le bytes...        (len == 1 covers the special ids)
+//! value    := len:u16le bytes...        (string)
+//!           | u32le                     (integer)
+//! ```
+
+use std::fmt;
+
+use crate::error::{DecodeError, Reader, Writer};
+
+/// Well-known one-byte tag identifiers used by eDonkey clients.
+///
+/// The numeric values match the historical protocol so that encoded tags
+/// are recognizable to anyone who has stared at ed2k packet dumps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum SpecialTag {
+    /// File or user name (`0x01`).
+    Name = 0x01,
+    /// File size in bytes (`0x02`).
+    Size = 0x02,
+    /// Media type string: `Audio`, `Video`, … (`0x03`).
+    Type = 0x03,
+    /// Container format: `mp3`, `avi`, … (`0x04`).
+    Format = 0x04,
+    /// Client version (`0x11`).
+    Version = 0x11,
+    /// TCP port (`0x0f`).
+    Port = 0x0f,
+    /// Number of known sources for a published file (`0x15`).
+    Availability = 0x15,
+    /// Audio bitrate in kbit/s (`0xd4`).
+    Bitrate = 0xd4,
+    /// Media length in seconds (`0xd3`).
+    MediaLength = 0xd3,
+}
+
+impl SpecialTag {
+    /// Maps a raw byte back to a special tag, if known.
+    pub fn from_byte(b: u8) -> Option<Self> {
+        Some(match b {
+            0x01 => SpecialTag::Name,
+            0x02 => SpecialTag::Size,
+            0x03 => SpecialTag::Type,
+            0x04 => SpecialTag::Format,
+            0x11 => SpecialTag::Version,
+            0x0f => SpecialTag::Port,
+            0x15 => SpecialTag::Availability,
+            0xd4 => SpecialTag::Bitrate,
+            0xd3 => SpecialTag::MediaLength,
+            _ => return None,
+        })
+    }
+}
+
+/// A tag name: a well-known id or a free-form string.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum TagName {
+    /// A well-known one-byte identifier.
+    Special(SpecialTag),
+    /// An arbitrary string name (used by newer clients for custom fields).
+    Custom(String),
+}
+
+impl fmt::Display for TagName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TagName::Special(s) => write!(f, "{s:?}"),
+            TagName::Custom(s) => f.write_str(s),
+        }
+    }
+}
+
+/// A tag value: string or 32-bit integer.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum TagValue {
+    /// UTF-8 string payload.
+    String(String),
+    /// Little-endian 32-bit integer payload.
+    U32(u32),
+}
+
+impl TagValue {
+    /// Returns the string payload, if this is a string tag.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            TagValue::String(s) => Some(s),
+            TagValue::U32(_) => None,
+        }
+    }
+
+    /// Returns the integer payload, if this is an integer tag.
+    pub fn as_u32(&self) -> Option<u32> {
+        match self {
+            TagValue::U32(v) => Some(*v),
+            TagValue::String(_) => None,
+        }
+    }
+}
+
+/// A complete metadata tag.
+///
+/// # Examples
+///
+/// ```
+/// use edonkey_proto::tags::{Tag, SpecialTag, TagValue};
+///
+/// let tag = Tag::special(SpecialTag::Size, TagValue::U32(9_728_000));
+/// let bytes = tag.encode_to_vec();
+/// let (decoded, rest) = Tag::decode(&bytes).unwrap();
+/// assert_eq!(decoded, tag);
+/// assert!(rest.is_empty());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Tag {
+    /// The tag's name.
+    pub name: TagName,
+    /// The tag's value.
+    pub value: TagValue,
+}
+
+const TAG_TYPE_STRING: u8 = 0x02;
+const TAG_TYPE_U32: u8 = 0x03;
+
+impl Tag {
+    /// Builds a tag with a well-known name.
+    pub fn special(name: SpecialTag, value: TagValue) -> Self {
+        Tag { name: TagName::Special(name), value }
+    }
+
+    /// Builds a tag with a custom string name.
+    pub fn custom(name: impl Into<String>, value: TagValue) -> Self {
+        Tag { name: TagName::Custom(name.into()), value }
+    }
+
+    /// Appends the binary encoding of this tag to `w`.
+    pub fn encode(&self, w: &mut Writer) {
+        match &self.value {
+            TagValue::String(_) => w.u8(TAG_TYPE_STRING),
+            TagValue::U32(_) => w.u8(TAG_TYPE_U32),
+        }
+        match &self.name {
+            TagName::Special(s) => {
+                w.u16(1);
+                w.u8(*s as u8);
+            }
+            TagName::Custom(s) => w.str16(s),
+        }
+        match &self.value {
+            TagValue::String(s) => w.str16(s),
+            TagValue::U32(v) => w.u32(*v),
+        }
+    }
+
+    /// Encodes this tag into a fresh byte vector.
+    pub fn encode_to_vec(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        self.encode(&mut w);
+        w.into_vec()
+    }
+
+    /// Decodes one tag from the front of `data`, returning the tag and the
+    /// remaining bytes.
+    pub fn decode(data: &[u8]) -> Result<(Tag, &[u8]), DecodeError> {
+        let mut r = Reader::new(data);
+        let tag = Tag::read(&mut r)?;
+        Ok((tag, r.rest()))
+    }
+
+    /// Reads one tag from a [`Reader`].
+    pub fn read(r: &mut Reader<'_>) -> Result<Tag, DecodeError> {
+        let ty = r.u8()?;
+        let name_len = r.u16()?;
+        let name = if name_len == 1 {
+            let b = r.u8()?;
+            match SpecialTag::from_byte(b) {
+                Some(s) => TagName::Special(s),
+                // A one-byte custom name: keep it as a string so round-trips
+                // of unknown ids are lossless at the value level.
+                None => TagName::Custom((b as char).to_string()),
+            }
+        } else {
+            TagName::Custom(r.string(name_len as usize)?)
+        };
+        let value = match ty {
+            TAG_TYPE_STRING => {
+                let len = r.u16()?;
+                TagValue::String(r.string(len as usize)?)
+            }
+            TAG_TYPE_U32 => TagValue::U32(r.u32()?),
+            other => return Err(DecodeError::BadTagType(other)),
+        };
+        Ok(Tag { name, value })
+    }
+}
+
+/// A list of tags, as attached to a published file or a user record.
+///
+/// # Examples
+///
+/// ```
+/// use edonkey_proto::tags::{TagList, Tag, SpecialTag, TagValue};
+///
+/// let mut tags = TagList::new();
+/// tags.push(Tag::special(SpecialTag::Name, TagValue::String("track.mp3".into())));
+/// tags.push(Tag::special(SpecialTag::Size, TagValue::U32(4_000_000)));
+/// assert_eq!(tags.get_str(SpecialTag::Name), Some("track.mp3"));
+/// assert_eq!(tags.get_u32(SpecialTag::Size), Some(4_000_000));
+/// assert_eq!(tags.get_u32(SpecialTag::Bitrate), None);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TagList(pub Vec<Tag>);
+
+impl TagList {
+    /// Creates an empty tag list.
+    pub fn new() -> Self {
+        TagList(Vec::new())
+    }
+
+    /// Appends a tag.
+    pub fn push(&mut self, tag: Tag) {
+        self.0.push(tag);
+    }
+
+    /// Looks up the first tag with the given special name.
+    pub fn get(&self, name: SpecialTag) -> Option<&TagValue> {
+        self.0
+            .iter()
+            .find(|t| t.name == TagName::Special(name))
+            .map(|t| &t.value)
+    }
+
+    /// Looks up a string-valued special tag.
+    pub fn get_str(&self, name: SpecialTag) -> Option<&str> {
+        self.get(name).and_then(TagValue::as_str)
+    }
+
+    /// Looks up an integer-valued special tag.
+    pub fn get_u32(&self, name: SpecialTag) -> Option<u32> {
+        self.get(name).and_then(TagValue::as_u32)
+    }
+
+    /// Appends the binary encoding (`count:u32le` then each tag) to `w`.
+    pub fn encode(&self, w: &mut Writer) {
+        w.u32(self.0.len() as u32);
+        for tag in &self.0 {
+            tag.encode(w);
+        }
+    }
+
+    /// Reads a tag list from a [`Reader`].
+    pub fn read(r: &mut Reader<'_>) -> Result<TagList, DecodeError> {
+        let count = r.u32()?;
+        // Each tag takes at least 4 bytes; reject absurd counts before
+        // allocating (a malformed length must not OOM the decoder).
+        if count as usize > r.remaining() {
+            return Err(DecodeError::BadCount(count));
+        }
+        let mut tags = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            tags.push(Tag::read(r)?);
+        }
+        Ok(TagList(tags))
+    }
+}
+
+impl FromIterator<Tag> for TagList {
+    fn from_iter<I: IntoIterator<Item = Tag>>(iter: I) -> Self {
+        TagList(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tags() -> TagList {
+        [
+            Tag::special(SpecialTag::Name, TagValue::String("Some Movie.avi".into())),
+            Tag::special(SpecialTag::Size, TagValue::U32(734_003_200)),
+            Tag::special(SpecialTag::Type, TagValue::String("Video".into())),
+            Tag::special(SpecialTag::Availability, TagValue::U32(12)),
+            Tag::custom("codec", TagValue::String("divx".into())),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn tag_round_trip() {
+        for tag in sample_tags().0 {
+            let bytes = tag.encode_to_vec();
+            let (decoded, rest) = Tag::decode(&bytes).expect("decode");
+            assert!(rest.is_empty());
+            assert_eq!(decoded, tag);
+        }
+    }
+
+    #[test]
+    fn tag_list_round_trip() {
+        let tags = sample_tags();
+        let mut w = Writer::new();
+        tags.encode(&mut w);
+        let bytes = w.into_vec();
+        let mut r = Reader::new(&bytes);
+        let decoded = TagList::read(&mut r).expect("decode");
+        assert_eq!(decoded, tags);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn lookup_accessors() {
+        let tags = sample_tags();
+        assert_eq!(tags.get_str(SpecialTag::Name), Some("Some Movie.avi"));
+        assert_eq!(tags.get_u32(SpecialTag::Size), Some(734_003_200));
+        assert_eq!(tags.get_u32(SpecialTag::Name), None, "type mismatch yields None");
+        assert_eq!(tags.get(SpecialTag::Bitrate), None);
+    }
+
+    #[test]
+    fn unknown_special_byte_survives_as_custom() {
+        // Encode a custom single-character name not in the special table.
+        let tag = Tag::custom("q", TagValue::U32(7));
+        let bytes = tag.encode_to_vec();
+        let (decoded, _) = Tag::decode(&bytes).expect("decode");
+        assert_eq!(decoded.value, TagValue::U32(7));
+        assert_eq!(decoded.name, TagName::Custom("q".into()));
+    }
+
+    #[test]
+    fn truncated_input_is_an_error_not_a_panic() {
+        let tag = Tag::special(SpecialTag::Size, TagValue::U32(1));
+        let bytes = tag.encode_to_vec();
+        for cut in 0..bytes.len() {
+            assert!(Tag::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn bad_tag_type_rejected() {
+        let bytes = [0x7fu8, 1, 0, 0x01, 0, 0, 0, 0];
+        assert!(matches!(Tag::decode(&bytes), Err(DecodeError::BadTagType(0x7f))));
+    }
+
+    #[test]
+    fn absurd_count_rejected() {
+        let mut w = Writer::new();
+        w.u32(u32::MAX);
+        let bytes = w.into_vec();
+        let mut r = Reader::new(&bytes);
+        assert!(TagList::read(&mut r).is_err());
+    }
+
+    #[test]
+    fn special_tag_byte_mapping_is_involutive() {
+        for tag in [
+            SpecialTag::Name,
+            SpecialTag::Size,
+            SpecialTag::Type,
+            SpecialTag::Format,
+            SpecialTag::Version,
+            SpecialTag::Port,
+            SpecialTag::Availability,
+            SpecialTag::Bitrate,
+            SpecialTag::MediaLength,
+        ] {
+            assert_eq!(SpecialTag::from_byte(tag as u8), Some(tag));
+        }
+        assert_eq!(SpecialTag::from_byte(0xee), None);
+    }
+}

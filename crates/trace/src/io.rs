@@ -1,0 +1,319 @@
+//! Trace serialization: JSON (interoperable) and a compact line format
+//! (fast, diff-able, what the anonymized trace release would look like).
+//!
+//! The compact format is line-oriented ASCII:
+//!
+//! ```text
+//! # edonkey-trace v1
+//! F <hex-id> <size> <kind>          one line per file, in FileRef order
+//! P <hex-uid> <ip> <cc> <asn>       one line per peer, in PeerId order
+//! D <day>                           starts a day section
+//! C <peer> <fref> <fref> ...        one cache within the current day
+//! ```
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use edonkey_proto::md4::Digest;
+use edonkey_proto::query::FileKind;
+
+use crate::model::{CountryCode, DaySnapshot, FileInfo, FileRef, PeerId, PeerInfo, Trace};
+
+/// An error loading or saving a trace.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// JSON (de)serialization error.
+    Json(serde_json::Error),
+    /// Compact-format syntax error with line number and message.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The parsed trace violated a structural invariant.
+    Invalid(String),
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "i/o error: {e}"),
+            TraceIoError::Json(e) => write!(f, "json error: {e}"),
+            TraceIoError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            TraceIoError::Invalid(msg) => write!(f, "invalid trace: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {}
+
+impl From<io::Error> for TraceIoError {
+    fn from(e: io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for TraceIoError {
+    fn from(e: serde_json::Error) -> Self {
+        TraceIoError::Json(e)
+    }
+}
+
+/// Saves a trace as JSON.
+pub fn save_json(trace: &Trace, path: &Path) -> Result<(), TraceIoError> {
+    let json = serde_json::to_string(trace)?;
+    fs::write(path, json)?;
+    Ok(())
+}
+
+/// Loads a JSON trace and validates its invariants.
+pub fn load_json(path: &Path) -> Result<Trace, TraceIoError> {
+    let data = fs::read_to_string(path)?;
+    let trace: Trace = serde_json::from_str(&data)?;
+    trace.check_invariants().map_err(TraceIoError::Invalid)?;
+    Ok(trace)
+}
+
+/// Serializes a trace into the compact line format.
+pub fn to_compact(trace: &Trace) -> String {
+    let mut out = String::new();
+    out.push_str("# edonkey-trace v1\n");
+    for f in &trace.files {
+        writeln!(out, "F {} {} {}", f.id.to_hex(), f.size, f.kind).expect("string write");
+    }
+    for p in &trace.peers {
+        writeln!(out, "P {} {} {} {}", p.uid.to_hex(), p.ip, p.country, p.asn)
+            .expect("string write");
+    }
+    for day in &trace.days {
+        writeln!(out, "D {}", day.day).expect("string write");
+        for (peer, cache) in &day.caches {
+            write!(out, "C {}", peer.0).expect("string write");
+            for f in cache {
+                write!(out, " {}", f.0).expect("string write");
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Parses the compact line format.
+pub fn from_compact(text: &str) -> Result<Trace, TraceIoError> {
+    let mut trace = Trace::new();
+    let mut current_day: Option<DaySnapshot> = None;
+    let err = |line: usize, message: &str| TraceIoError::Parse {
+        line,
+        message: message.to_string(),
+    };
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split(' ');
+        let tag = parts.next().expect("split yields at least one item");
+        match tag {
+            "F" => {
+                let hex = parts.next().ok_or_else(|| err(lineno, "missing file id"))?;
+                let id = Digest::from_hex(hex)
+                    .ok_or_else(|| err(lineno, "bad file id hex"))?;
+                let size: u64 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(lineno, "bad size"))?;
+                let kind_str = parts.next().ok_or_else(|| err(lineno, "missing kind"))?;
+                let kind = FileKind::from_str_ci(kind_str)
+                    .ok_or_else(|| err(lineno, "unknown kind"))?;
+                trace.files.push(FileInfo { id, size, kind });
+            }
+            "P" => {
+                let hex = parts.next().ok_or_else(|| err(lineno, "missing uid"))?;
+                let uid =
+                    Digest::from_hex(hex).ok_or_else(|| err(lineno, "bad uid hex"))?;
+                let ip: u32 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(lineno, "bad ip"))?;
+                let cc = parts.next().ok_or_else(|| err(lineno, "missing country"))?;
+                if cc.len() != 2 || !cc.bytes().all(|b| b.is_ascii_alphabetic()) {
+                    return Err(err(lineno, "bad country code"));
+                }
+                let asn: u32 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(lineno, "bad asn"))?;
+                trace.peers.push(PeerInfo { uid, ip, country: CountryCode::new(cc), asn });
+            }
+            "D" => {
+                if let Some(done) = current_day.take() {
+                    trace.days.push(done);
+                }
+                let day: u32 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(lineno, "bad day"))?;
+                current_day = Some(DaySnapshot::new(day));
+            }
+            "C" => {
+                let day = current_day
+                    .as_mut()
+                    .ok_or_else(|| err(lineno, "cache line before any day"))?;
+                let peer: u32 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(lineno, "bad peer id"))?;
+                let mut cache = Vec::new();
+                for item in parts {
+                    let f: u32 =
+                        item.parse().map_err(|_| err(lineno, "bad file ref"))?;
+                    cache.push(FileRef(f));
+                }
+                // `insert` re-sorts and would panic on duplicates; map that
+                // to a parse error instead.
+                if day.cache_of(PeerId(peer)).is_some() {
+                    return Err(err(lineno, "duplicate peer in day"));
+                }
+                day.insert(PeerId(peer), cache);
+            }
+            other => return Err(err(lineno, &format!("unknown record tag {other:?}"))),
+        }
+    }
+    if let Some(done) = current_day.take() {
+        trace.days.push(done);
+    }
+    trace.days.sort_by_key(|d| d.day);
+    trace.check_invariants().map_err(TraceIoError::Invalid)?;
+    Ok(trace)
+}
+
+/// Saves a trace in the compact format.
+pub fn save_compact(trace: &Trace, path: &Path) -> Result<(), TraceIoError> {
+    fs::write(path, to_compact(trace))?;
+    Ok(())
+}
+
+/// Loads a compact-format trace.
+pub fn load_compact(path: &Path) -> Result<Trace, TraceIoError> {
+    from_compact(&fs::read_to_string(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::TraceBuilder;
+    use edonkey_proto::md4::Md4;
+
+    fn sample_trace() -> Trace {
+        let mut b = TraceBuilder::new();
+        let p0 = b.intern_peer(PeerInfo {
+            uid: Md4::digest(b"u0"),
+            ip: 100,
+            country: CountryCode::new("FR"),
+            asn: 3215,
+        });
+        let p1 = b.intern_peer(PeerInfo {
+            uid: Md4::digest(b"u1"),
+            ip: 200,
+            country: CountryCode::new("DE"),
+            asn: 3320,
+        });
+        let f0 = b.intern_file(FileInfo {
+            id: Md4::digest(b"f0"),
+            size: 4_000_000,
+            kind: FileKind::Audio,
+        });
+        let f1 = b.intern_file(FileInfo {
+            id: Md4::digest(b"f1"),
+            size: 700_000_000,
+            kind: FileKind::Video,
+        });
+        b.observe(350, p0, vec![f0, f1]);
+        b.observe(350, p1, vec![]);
+        b.observe(351, p0, vec![f1]);
+        b.finish()
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let trace = sample_trace();
+        let dir = std::env::temp_dir().join("edonkey-trace-test-json");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.json");
+        save_json(&trace, &path).unwrap();
+        let loaded = load_json(&path).unwrap();
+        assert_eq!(loaded, trace);
+    }
+
+    #[test]
+    fn compact_round_trip() {
+        let trace = sample_trace();
+        let text = to_compact(&trace);
+        let loaded = from_compact(&text).unwrap();
+        assert_eq!(loaded, trace);
+    }
+
+    #[test]
+    fn compact_file_round_trip() {
+        let trace = sample_trace();
+        let dir = std::env::temp_dir().join("edonkey-trace-test-compact");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.trace");
+        save_compact(&trace, &path).unwrap();
+        assert_eq!(load_compact(&path).unwrap(), trace);
+    }
+
+    #[test]
+    fn compact_tolerates_comments_and_blank_lines() {
+        let trace = sample_trace();
+        let text = format!("# comment\n\n{}\n# trailing\n", to_compact(&trace));
+        assert_eq!(from_compact(&text).unwrap(), trace);
+    }
+
+    #[test]
+    fn compact_parse_errors_carry_line_numbers() {
+        let bad = "# edonkey-trace v1\nF nothex 12 Audio\n";
+        match from_compact(bad) {
+            Err(TraceIoError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        for bad in [
+            "X what\n",
+            "C 0 1\n",          // cache before day
+            "F aa 1 Audio\n",   // short hex
+            "D notaday\n",
+            "P 31d6cfe0d16ae931b73c59d7e0c089c0 1 F1 3215\n", // bad country
+        ] {
+            assert!(from_compact(bad).is_err(), "input {bad:?}");
+        }
+    }
+
+    #[test]
+    fn compact_rejects_out_of_range_refs() {
+        // A cache referencing file 99 with no files declared.
+        let bad = "P 31d6cfe0d16ae931b73c59d7e0c089c0 1 FR 3215\nD 350\nC 0 99\n";
+        assert!(matches!(from_compact(bad), Err(TraceIoError::Invalid(_))));
+    }
+
+    #[test]
+    fn compact_rejects_duplicate_peer_in_day() {
+        let trace = sample_trace();
+        let mut text = to_compact(&trace);
+        text.push_str("D 360\nC 0 0\nC 0 1\n");
+        assert!(matches!(from_compact(&text), Err(TraceIoError::Parse { .. })));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = TraceIoError::Parse { line: 3, message: "boom".into() };
+        assert!(e.to_string().contains("line 3"));
+    }
+}

@@ -1,0 +1,178 @@
+//! Trace surgery: subsetting and windowing operations.
+//!
+//! The paper's analyses constantly carve the trace: static analyses on
+//! the filtered trace, dynamic ones on days 348–389 only, clustering
+//! panels per country or per popularity band, removal experiments
+//! without the most generous uploaders. These operations make that
+//! carving first-class (and keep every derived object a valid
+//! [`Trace`], so the whole analysis suite applies unchanged).
+
+use std::collections::HashSet;
+
+use crate::model::{CountryCode, DaySnapshot, FileRef, PeerId, Trace};
+use crate::pipeline::{retain_peers, DerivedTrace};
+
+/// Restricts a trace to an inclusive day window.
+///
+/// Peers and files keep their indices (only snapshots are dropped), so
+/// series computed on the window line up with full-trace series.
+///
+/// # Examples
+///
+/// ```
+/// use edonkey_trace::model::Trace;
+/// use edonkey_trace::ops::window_days;
+///
+/// let trace = Trace::new();
+/// let windowed = window_days(&trace, 10, 20);
+/// assert!(windowed.days.is_empty());
+/// ```
+pub fn window_days(trace: &Trace, first: u32, last: u32) -> Trace {
+    let days: Vec<DaySnapshot> = trace
+        .days
+        .iter()
+        .filter(|snap| (first..=last).contains(&snap.day))
+        .cloned()
+        .collect();
+    let windowed = Trace { files: trace.files.clone(), peers: trace.peers.clone(), days };
+    debug_assert_eq!(windowed.check_invariants(), Ok(()));
+    windowed
+}
+
+/// Restricts a trace to the peers of one country (re-indexing peers).
+pub fn restrict_to_country(trace: &Trace, country: CountryCode) -> DerivedTrace {
+    retain_peers(trace, |p| trace.peers[p.index()].country == country)
+}
+
+/// Restricts a trace to the peers of one autonomous system.
+pub fn restrict_to_as(trace: &Trace, asn: u32) -> DerivedTrace {
+    retain_peers(trace, |p| trace.peers[p.index()].asn == asn)
+}
+
+/// Drops a set of files from every cache (indices preserved; the files
+/// simply never appear shared). The removal experiments of Section 5
+/// operate on static caches; this is the trace-level equivalent.
+pub fn drop_files(trace: &Trace, files: &HashSet<FileRef>) -> Trace {
+    let days = trace
+        .days
+        .iter()
+        .map(|snap| DaySnapshot {
+            day: snap.day,
+            caches: snap
+                .caches
+                .iter()
+                .map(|(p, cache)| {
+                    (*p, cache.iter().copied().filter(|f| !files.contains(f)).collect())
+                })
+                .collect(),
+        })
+        .collect();
+    let out = Trace { files: trace.files.clone(), peers: trace.peers.clone(), days };
+    debug_assert_eq!(out.check_invariants(), Ok(()));
+    out
+}
+
+/// Keeps only the peers in `keep` (re-indexing) — the building block for
+/// sampled sub-traces.
+pub fn subset_peers(trace: &Trace, keep: &HashSet<PeerId>) -> DerivedTrace {
+    retain_peers(trace, |p| keep.contains(&p))
+}
+
+/// Splits a trace into per-country sub-traces for the countries with at
+/// least `min_peers` clients, descending by size.
+pub fn split_by_country(trace: &Trace, min_peers: usize) -> Vec<(CountryCode, DerivedTrace)> {
+    let mut countries: Vec<CountryCode> = trace.peers.iter().map(|p| p.country).collect();
+    countries.sort_unstable();
+    countries.dedup();
+    let mut out: Vec<(CountryCode, DerivedTrace)> = countries
+        .into_iter()
+        .map(|cc| (cc, restrict_to_country(trace, cc)))
+        .filter(|(_, d)| d.trace.peers.len() >= min_peers)
+        .collect();
+    out.sort_by_key(|(cc, d)| (std::cmp::Reverse(d.trace.peers.len()), *cc));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{FileInfo, PeerInfo, TraceBuilder};
+    use edonkey_proto::md4::Md4;
+    use edonkey_proto::query::FileKind;
+
+    fn build() -> Trace {
+        let mut b = TraceBuilder::new();
+        let mk = |b: &mut TraceBuilder, i: u8, cc: &str, asn: u32| {
+            b.intern_peer(PeerInfo {
+                uid: Md4::digest(&[i]),
+                ip: i as u32,
+                country: CountryCode::new(cc),
+                asn,
+            })
+        };
+        let fr1 = mk(&mut b, 0, "FR", 3215);
+        let fr2 = mk(&mut b, 1, "FR", 12322);
+        let de = mk(&mut b, 2, "DE", 3320);
+        let f: Vec<FileRef> = (0..3)
+            .map(|i| {
+                b.intern_file(FileInfo {
+                    id: Md4::digest(&[b'f', i]),
+                    size: 1,
+                    kind: FileKind::Audio,
+                })
+            })
+            .collect();
+        b.observe(10, fr1, vec![f[0], f[1]]);
+        b.observe(10, de, vec![f[1]]);
+        b.observe(11, fr2, vec![f[2]]);
+        b.observe(12, fr1, vec![f[0]]);
+        b.finish()
+    }
+
+    #[test]
+    fn windowing_drops_outside_days() {
+        let trace = build();
+        let w = window_days(&trace, 10, 11);
+        assert_eq!(w.days.len(), 2);
+        assert_eq!(w.peers.len(), trace.peers.len(), "peers survive windowing");
+        let empty = window_days(&trace, 50, 60);
+        assert!(empty.days.is_empty());
+    }
+
+    #[test]
+    fn country_restriction_reindexes() {
+        let trace = build();
+        let fr = restrict_to_country(&trace, CountryCode::new("FR"));
+        assert_eq!(fr.trace.peers.len(), 2);
+        assert_eq!(fr.kept, vec![PeerId(0), PeerId(1)]);
+        // DE's day-10 observation is gone; FR's remain.
+        assert_eq!(fr.trace.snapshot(10).unwrap().peer_count(), 1);
+        let de = restrict_to_as(&trace, 3320);
+        assert_eq!(de.trace.peers.len(), 1);
+    }
+
+    #[test]
+    fn dropping_files_empties_caches_only() {
+        let trace = build();
+        let dropped = drop_files(&trace, &[FileRef(0), FileRef(2)].into_iter().collect());
+        assert_eq!(
+            dropped.snapshot(10).unwrap().cache_of(PeerId(0)).unwrap(),
+            &[FileRef(1)]
+        );
+        assert!(dropped.snapshot(11).unwrap().cache_of(PeerId(1)).unwrap().is_empty());
+        assert_eq!(dropped.files.len(), trace.files.len(), "intern table intact");
+    }
+
+    #[test]
+    fn subset_and_split() {
+        let trace = build();
+        let only_p0 = subset_peers(&trace, &[PeerId(0)].into_iter().collect());
+        assert_eq!(only_p0.trace.peers.len(), 1);
+        assert_eq!(only_p0.trace.snapshot_count(), 2);
+        let split = split_by_country(&trace, 1);
+        assert_eq!(split.len(), 2);
+        assert_eq!(split[0].0, CountryCode::new("FR"), "largest first");
+        let split = split_by_country(&trace, 2);
+        assert_eq!(split.len(), 1);
+    }
+}

@@ -1,0 +1,368 @@
+//! The full → filtered → extrapolated trace pipeline of Section 2.3.
+//!
+//! * **Filtering** removes client aliasing: *"Clients sometimes change
+//!   either their IP address (DHCP) or unique identifier by reinstalling
+//!   the software… we removed all clients sharing either the same IP
+//!   address or the same unique identifier (and kept the free riders)."*
+//! * **Extrapolation** keeps clients *"connected at least 5 times over the
+//!   period, with at least 10 days between the first and the last
+//!   connection"* and fills every missed day in between with *"the
+//!   intersection of the files at the previous and at the subsequent
+//!   connection"* — a deliberately pessimistic reconstruction.
+
+use std::collections::HashMap;
+
+use crate::model::{DaySnapshot, FileRef, PeerId, Trace};
+
+/// Knobs for [`extrapolate`], defaulting to the paper's values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExtrapolateConfig {
+    /// Minimum number of successful snapshots per client (paper: 5).
+    pub min_snapshots: usize,
+    /// Minimum span in days between first and last snapshot (paper: 10).
+    pub min_span_days: u32,
+}
+
+impl Default for ExtrapolateConfig {
+    fn default() -> Self {
+        ExtrapolateConfig { min_snapshots: 5, min_span_days: 10 }
+    }
+}
+
+/// Result of a pipeline stage: the derived trace plus the mapping from new
+/// peer ids back to the source trace's ids.
+///
+/// Analyses that compare stages (e.g. Table 1) need to know which original
+/// client each retained client was.
+#[derive(Clone, Debug)]
+pub struct DerivedTrace {
+    /// The derived trace, with peers re-indexed densely.
+    pub trace: Trace,
+    /// `kept[i]` is the source-trace id of the derived trace's peer `i`.
+    pub kept: Vec<PeerId>,
+}
+
+/// Restricts a trace to a subset of its peers, re-indexing them densely
+/// (file refs are preserved, so file-level series stay comparable across
+/// stages).
+pub fn retain_peers(trace: &Trace, keep: impl Fn(PeerId) -> bool) -> DerivedTrace {
+    let mut kept = Vec::new();
+    let mut remap: HashMap<PeerId, PeerId> = HashMap::new();
+    for idx in 0..trace.peers.len() {
+        let old = PeerId(idx as u32);
+        if keep(old) {
+            let new = PeerId(kept.len() as u32);
+            remap.insert(old, new);
+            kept.push(old);
+        }
+    }
+    let peers = kept.iter().map(|p| trace.peers[p.index()].clone()).collect();
+    let mut days = Vec::with_capacity(trace.days.len());
+    for snap in &trace.days {
+        let caches: Vec<(PeerId, Vec<FileRef>)> = snap
+            .caches
+            .iter()
+            .filter_map(|(p, c)| remap.get(p).map(|np| (*np, c.clone())))
+            .collect();
+        // Dense remapping preserves relative order, so `caches` stays
+        // sorted by the new ids.
+        days.push(DaySnapshot { day: snap.day, caches });
+    }
+    let trace = Trace { files: trace.files.clone(), peers, days };
+    debug_assert_eq!(trace.check_invariants(), Ok(()));
+    DerivedTrace { trace, kept }
+}
+
+/// Produces the paper's **filtered trace**: drops every *sharing* client
+/// whose IP or user id collides with another client's, keeping
+/// free-riders.
+///
+/// Rationale: an alias pair would count one human twice and inflate
+/// clustering (a peer trivially "shares interests" with its own alias).
+/// Free-riding aliases carry no files, so they are harmless and the paper
+/// keeps them — and indeed observes that the free-rider *fraction* drops
+/// from 84 % to 70 % after filtering.
+pub fn filter(trace: &Trace) -> DerivedTrace {
+    let static_caches = trace.static_caches();
+    let mut by_ip: HashMap<u32, u32> = HashMap::new();
+    let mut by_uid: HashMap<[u8; 16], u32> = HashMap::new();
+    for peer in &trace.peers {
+        *by_ip.entry(peer.ip).or_insert(0) += 1;
+        *by_uid.entry(peer.uid.0).or_insert(0) += 1;
+    }
+    retain_peers(trace, |p| {
+        let info = &trace.peers[p.index()];
+        let is_free_rider = static_caches[p.index()].is_empty();
+        let aliased = by_ip[&info.ip] > 1 || by_uid[&info.uid.0] > 1;
+        is_free_rider || !aliased
+    })
+}
+
+/// Produces the paper's **extrapolated trace**.
+///
+/// Keeps peers meeting the [`ExtrapolateConfig`] thresholds, then for each
+/// retained peer fills every *missed* day strictly between two
+/// observations with the intersection of the surrounding observed caches.
+/// Days before the first or after the last observation stay absent.
+///
+/// The output trace has one snapshot per day in the full observation
+/// range (even if empty), matching how the paper plots per-day series.
+pub fn extrapolate(trace: &Trace, config: ExtrapolateConfig) -> DerivedTrace {
+    let obs_days = trace.observation_days();
+    let eligible = retain_peers(trace, |p| {
+        let days = &obs_days[p.index()];
+        days.len() >= config.min_snapshots
+            && days.last().copied().unwrap_or(0) - days.first().copied().unwrap_or(0)
+                >= config.min_span_days
+    });
+
+    let (Some(first), Some(last)) = (eligible.trace.first_day(), eligible.trace.last_day())
+    else {
+        return eligible; // No snapshots at all; nothing to extrapolate.
+    };
+
+    // Per-peer observed (day, cache) series, in day order.
+    let mut series: Vec<Vec<(u32, &Vec<FileRef>)>> =
+        vec![Vec::new(); eligible.trace.peers.len()];
+    for snap in &eligible.trace.days {
+        for (peer, cache) in &snap.caches {
+            series[peer.index()].push((snap.day, cache));
+        }
+    }
+
+    let mut days: Vec<DaySnapshot> =
+        (first..=last).map(DaySnapshot::new).collect();
+    for (peer_idx, obs) in series.iter().enumerate() {
+        let peer = PeerId(peer_idx as u32);
+        for pair in obs.windows(2) {
+            let (day_a, cache_a) = pair[0];
+            let (day_b, cache_b) = pair[1];
+            // Pessimistic fill: the intersection of the two surrounding
+            // observations. Both inputs are sorted, so merge-intersect.
+            let inter = sorted_intersection(cache_a, cache_b);
+            for day in day_a + 1..day_b {
+                days[(day - first) as usize].insert(peer, inter.clone());
+            }
+        }
+        for (day, cache) in obs {
+            days[(day - first) as usize].insert(peer, cache.to_vec());
+        }
+    }
+
+    let trace = Trace {
+        files: eligible.trace.files.clone(),
+        peers: eligible.trace.peers.clone(),
+        days,
+    };
+    debug_assert_eq!(trace.check_invariants(), Ok(()));
+    DerivedTrace { trace, kept: eligible.kept }
+}
+
+/// Merge-intersects two sorted, deduplicated slices.
+pub fn sorted_intersection(a: &[FileRef], b: &[FileRef]) -> Vec<FileRef> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Counts elements common to two sorted, deduplicated slices without
+/// allocating.
+pub fn sorted_intersection_len(a: &[FileRef], b: &[FileRef]) -> usize {
+    let mut count = 0;
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{CountryCode, FileInfo, PeerInfo, TraceBuilder};
+    use edonkey_proto::md4::Md4;
+    use edonkey_proto::query::FileKind;
+
+    fn file_info(n: u64) -> FileInfo {
+        FileInfo { id: Md4::digest(&n.to_le_bytes()), size: 1000, kind: FileKind::Audio }
+    }
+
+    fn peer_info(n: u64, ip: u32) -> PeerInfo {
+        PeerInfo {
+            uid: Md4::digest(format!("peer{n}").as_bytes()),
+            ip,
+            country: CountryCode::new("FR"),
+            asn: 3215,
+        }
+    }
+
+    /// Builds a trace where:
+    /// * p0 and p1 share an IP and both share files (both dropped),
+    /// * p2 shares the IP but is a free-rider (kept),
+    /// * p3 is clean and sharing (kept).
+    fn aliased_trace() -> Trace {
+        let mut b = TraceBuilder::new();
+        let p0 = b.intern_peer(peer_info(0, 99));
+        let p1 = b.intern_peer(peer_info(1, 99));
+        let p2 = b.intern_peer(peer_info(2, 99));
+        let p3 = b.intern_peer(peer_info(3, 7));
+        let f = b.intern_file(file_info(1));
+        b.observe(350, p0, vec![f]);
+        b.observe(350, p1, vec![f]);
+        b.observe(350, p2, vec![]);
+        b.observe(350, p3, vec![f]);
+        b.finish()
+    }
+
+    #[test]
+    fn filter_drops_sharing_aliases_keeps_free_riders() {
+        let trace = aliased_trace();
+        let derived = filter(&trace);
+        assert_eq!(derived.kept, vec![PeerId(2), PeerId(3)]);
+        assert_eq!(derived.trace.peers.len(), 2);
+        // The kept sharer's cache survives under its new id.
+        let snap = derived.trace.snapshot(350).unwrap();
+        assert_eq!(snap.cache_of(PeerId(1)).unwrap().len(), 1);
+        assert!(snap.cache_of(PeerId(0)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn filter_detects_uid_aliases_too() {
+        // Same uid observed from two IPs: interning collapses it into one
+        // peer, so simulate by distinct uids but equal IP handled above;
+        // here check a duplicated uid constructed manually.
+        let mut trace = aliased_trace();
+        // Give p3 the same uid as p0 (bypassing the builder).
+        trace.peers[3].uid = trace.peers[0].uid;
+        let derived = filter(&trace);
+        // Now every sharer is aliased; only the free-rider remains.
+        assert_eq!(derived.kept, vec![PeerId(2)]);
+    }
+
+    fn observed(b: &mut TraceBuilder, peer: PeerId, days_caches: &[(u32, Vec<FileRef>)]) {
+        for (day, cache) in days_caches {
+            b.observe(*day, peer, cache.clone());
+        }
+    }
+
+    #[test]
+    fn extrapolate_selects_by_snapshots_and_span() {
+        let mut b = TraceBuilder::new();
+        let f = b.intern_file(file_info(1));
+        // Good peer: 5 snapshots over 12 days.
+        let good = b.intern_peer(peer_info(0, 1));
+        observed(&mut b, good, &[(350, vec![f]), (353, vec![f]), (356, vec![f]), (359, vec![f]), (362, vec![f])]);
+        // Too few snapshots.
+        let few = b.intern_peer(peer_info(1, 2));
+        observed(&mut b, few, &[(350, vec![f]), (362, vec![f])]);
+        // Enough snapshots, span too short.
+        let short = b.intern_peer(peer_info(2, 3));
+        observed(&mut b, short, &[(350, vec![f]), (351, vec![f]), (352, vec![f]), (353, vec![f]), (354, vec![f])]);
+        let trace = b.finish();
+        let derived = extrapolate(&trace, ExtrapolateConfig::default());
+        assert_eq!(derived.kept, vec![good]);
+    }
+
+    #[test]
+    fn extrapolate_fills_gaps_with_intersection() {
+        let mut b = TraceBuilder::new();
+        let f1 = b.intern_file(file_info(1));
+        let f2 = b.intern_file(file_info(2));
+        let f3 = b.intern_file(file_info(3));
+        let p = b.intern_peer(peer_info(0, 1));
+        // Observations at 350 and 353 share {f1}; at 353 and 363 share {f1,f3}.
+        observed(
+            &mut b,
+            p,
+            &[
+                (350, vec![f1, f2]),
+                (353, vec![f1, f3]),
+                (356, vec![f1, f3]),
+                (360, vec![f1, f2, f3]),
+                (363, vec![f1, f3]),
+            ],
+        );
+        let trace = b.finish();
+        let derived = extrapolate(&trace, ExtrapolateConfig::default());
+        let t = &derived.trace;
+        let p = PeerId(0);
+        // Observed days keep their caches.
+        assert_eq!(t.snapshot(350).unwrap().cache_of(p).unwrap(), &[f1, f2]);
+        // Missed days 351–352 get the intersection {f1}.
+        assert_eq!(t.snapshot(351).unwrap().cache_of(p).unwrap(), &[f1]);
+        assert_eq!(t.snapshot(352).unwrap().cache_of(p).unwrap(), &[f1]);
+        // Missed days 357–359 get {f1, f3}.
+        assert_eq!(t.snapshot(358).unwrap().cache_of(p).unwrap(), &[f1, f3]);
+        // Every day in range exists as a snapshot.
+        assert_eq!(t.days.len(), (363 - 350 + 1) as usize);
+    }
+
+    #[test]
+    fn extrapolation_is_pessimistic() {
+        // The filled cache is always a subset of both surrounding
+        // observations.
+        let mut b = TraceBuilder::new();
+        let files: Vec<FileRef> = (0..20).map(|n| b.intern_file(file_info(n))).collect();
+        let p = b.intern_peer(peer_info(0, 1));
+        observed(
+            &mut b,
+            p,
+            &[
+                (350, files[0..10].to_vec()),
+                (355, files[5..15].to_vec()),
+                (361, files[10..20].to_vec()),
+            ],
+        );
+        let trace = b.finish();
+        let derived = extrapolate(
+            &trace,
+            ExtrapolateConfig { min_snapshots: 3, min_span_days: 10 },
+        );
+        for day in 351..355 {
+            let cache = derived.trace.snapshot(day).unwrap().cache_of(PeerId(0)).unwrap();
+            assert_eq!(cache, &files[5..10]);
+        }
+        for day in 356..361 {
+            let cache = derived.trace.snapshot(day).unwrap().cache_of(PeerId(0)).unwrap();
+            assert_eq!(cache, &files[10..15]);
+        }
+    }
+
+    #[test]
+    fn extrapolate_empty_trace_is_empty() {
+        let trace = Trace::new();
+        let derived = extrapolate(&trace, ExtrapolateConfig::default());
+        assert!(derived.trace.peers.is_empty());
+        assert!(derived.trace.days.is_empty());
+    }
+
+    #[test]
+    fn intersection_helpers_agree() {
+        let a = vec![FileRef(1), FileRef(3), FileRef(5), FileRef(9)];
+        let b = vec![FileRef(2), FileRef(3), FileRef(9), FileRef(10)];
+        let inter = sorted_intersection(&a, &b);
+        assert_eq!(inter, vec![FileRef(3), FileRef(9)]);
+        assert_eq!(sorted_intersection_len(&a, &b), 2);
+        assert_eq!(sorted_intersection_len(&a, &[]), 0);
+        assert_eq!(sorted_intersection(&[], &b), Vec::<FileRef>::new());
+    }
+}

@@ -1,0 +1,332 @@
+//! The appendix trace-randomization algorithm.
+//!
+//! Goal (quoting the paper): *"modify a collection of peer cache contents
+//! so that the peer generosity (number of files cached per peer) and the
+//! file popularity (number of replicas per file) are maintained, while any
+//! other structure — in particular, interest-based clustering between
+//! peers — is destroyed."*
+//!
+//! One iteration:
+//! 1. pick a peer `u` with probability `|Cu| / Σ|Cw|`;
+//! 2. pick a file `f` uniformly from `Cu`;
+//! 3. likewise pick `(v, f')`;
+//! 4. swap `f` and `f'` between the two caches — only if `f' ∉ Cu` and
+//!    `f ∉ Cv`.
+//!
+//! Steps 1+2 together are exactly "pick a *replica* uniformly at random",
+//! which is how [`Shuffler`] implements them: a flat replica array gives
+//! O(1) sampling, and per-peer hash sets give O(1) membership tests, so a
+//! full randomization pass is O(N log N) total.
+//!
+//! The paper proves `½·N·ln N` iterations suffice (`N` = total replicas);
+//! [`recommended_iterations`] computes that bound and
+//! [`randomize_caches`] applies it.
+
+use std::collections::HashSet;
+
+use rand::Rng;
+
+use crate::model::FileRef;
+
+/// The paper's sufficient iteration count: `½ · N · ln N` for `N` total
+/// replicas (at least 1 for tiny non-empty traces).
+///
+/// # Examples
+///
+/// ```
+/// use edonkey_trace::randomize::recommended_iterations;
+/// assert_eq!(recommended_iterations(0), 0);
+/// // ½ · 1000 · ln 1000 ≈ 3454.
+/// assert_eq!(recommended_iterations(1000), 3454);
+/// ```
+pub fn recommended_iterations(total_replicas: usize) -> u64 {
+    if total_replicas < 2 {
+        return if total_replicas == 0 { 0 } else { 1 };
+    }
+    let n = total_replicas as f64;
+    (0.5 * n * n.ln()).ceil() as u64
+}
+
+/// Statistics from a randomization run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SwapStats {
+    /// Iterations attempted (steps 1–3 executed).
+    pub attempted: u64,
+    /// Swaps actually performed (membership checks passed).
+    pub performed: u64,
+}
+
+/// Incremental randomizer over a set of peer caches.
+///
+/// Owns the caches while shuffling; [`Shuffler::into_caches`] returns them
+/// (each sorted) when done. Fig. 21 needs *partial* randomization — hit
+/// rate as a function of swap count — which is why this is exposed as a
+/// stateful object rather than a single function.
+pub struct Shuffler {
+    /// Cache contents, indexed by peer. Order within a cache is arbitrary
+    /// while shuffling.
+    caches: Vec<Vec<FileRef>>,
+    /// Membership sets mirroring `caches`.
+    members: Vec<HashSet<FileRef>>,
+    /// Flat index of every replica as `(peer, slot)`.
+    replicas: Vec<(u32, u32)>,
+    stats: SwapStats,
+}
+
+impl Shuffler {
+    /// Builds a shuffler over per-peer caches (entries need not be
+    /// sorted; they must be duplicate-free per peer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cache contains a duplicate entry: replica counts would
+    /// silently change otherwise.
+    pub fn new(caches: Vec<Vec<FileRef>>) -> Self {
+        let mut replicas = Vec::with_capacity(caches.iter().map(Vec::len).sum());
+        let mut members = Vec::with_capacity(caches.len());
+        for (peer, cache) in caches.iter().enumerate() {
+            let set: HashSet<FileRef> = cache.iter().copied().collect();
+            assert_eq!(set.len(), cache.len(), "peer {peer} cache has duplicates");
+            members.push(set);
+            for slot in 0..cache.len() {
+                replicas.push((peer as u32, slot as u32));
+            }
+        }
+        Shuffler { caches, members, replicas, stats: SwapStats::default() }
+    }
+
+    /// Total number of replicas `N`.
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> SwapStats {
+        self.stats
+    }
+
+    /// Runs `iterations` swap attempts.
+    pub fn run(&mut self, iterations: u64, rng: &mut impl Rng) {
+        if self.replicas.len() < 2 {
+            // Nothing can ever swap; still record the attempts.
+            self.stats.attempted += iterations;
+            return;
+        }
+        for _ in 0..iterations {
+            self.step(rng);
+        }
+    }
+
+    /// Runs one swap attempt; returns whether a swap was performed.
+    pub fn step(&mut self, rng: &mut impl Rng) -> bool {
+        self.stats.attempted += 1;
+        if self.replicas.len() < 2 {
+            return false;
+        }
+        // Uniform replica picks implement the size-biased peer picks.
+        let a = rng.gen_range(0..self.replicas.len());
+        let b = rng.gen_range(0..self.replicas.len());
+        let (pu, su) = self.replicas[a];
+        let (pv, sv) = self.replicas[b];
+        if pu == pv {
+            // Swapping within one cache is a no-op (and the membership
+            // guard below would reject it anyway).
+            return false;
+        }
+        let f = self.caches[pu as usize][su as usize];
+        let f2 = self.caches[pv as usize][sv as usize];
+        if self.members[pu as usize].contains(&f2) || self.members[pv as usize].contains(&f)
+        {
+            return false;
+        }
+        self.caches[pu as usize][su as usize] = f2;
+        self.caches[pv as usize][sv as usize] = f;
+        self.members[pu as usize].remove(&f);
+        self.members[pu as usize].insert(f2);
+        self.members[pv as usize].remove(&f2);
+        self.members[pv as usize].insert(f);
+        self.stats.performed += 1;
+        true
+    }
+
+    /// Read-only view of the current caches (unsorted).
+    pub fn caches(&self) -> &[Vec<FileRef>] {
+        &self.caches
+    }
+
+    /// Finishes shuffling, returning the caches sorted per peer.
+    pub fn into_caches(mut self) -> Vec<Vec<FileRef>> {
+        for cache in &mut self.caches {
+            cache.sort_unstable();
+        }
+        self.caches
+    }
+}
+
+/// Fully randomizes a set of caches with the paper's recommended
+/// iteration count, returning the shuffled caches and run statistics.
+///
+/// # Examples
+///
+/// ```
+/// use edonkey_trace::model::FileRef;
+/// use edonkey_trace::randomize::randomize_caches;
+/// use rand::SeedableRng;
+///
+/// let caches = vec![
+///     vec![FileRef(0), FileRef(1)],
+///     vec![FileRef(2)],
+///     vec![FileRef(0), FileRef(3)],
+/// ];
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let (shuffled, stats) = randomize_caches(caches.clone(), &mut rng);
+/// // Generosity is preserved...
+/// assert_eq!(shuffled[0].len(), 2);
+/// assert_eq!(shuffled[1].len(), 1);
+/// assert!(stats.attempted > 0);
+/// ```
+pub fn randomize_caches(
+    caches: Vec<Vec<FileRef>>,
+    rng: &mut impl Rng,
+) -> (Vec<Vec<FileRef>>, SwapStats) {
+    let mut shuffler = Shuffler::new(caches);
+    let iterations = recommended_iterations(shuffler.replica_count());
+    shuffler.run(iterations, rng);
+    let stats = shuffler.stats();
+    (shuffler.into_caches(), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    fn replica_histogram(caches: &[Vec<FileRef>]) -> HashMap<FileRef, usize> {
+        let mut h = HashMap::new();
+        for cache in caches {
+            for &f in cache {
+                *h.entry(f).or_insert(0) += 1;
+            }
+        }
+        h
+    }
+
+    fn test_caches() -> Vec<Vec<FileRef>> {
+        // 20 peers, caches of varying sizes over 30 files, plus free-riders.
+        let mut caches = Vec::new();
+        for p in 0..20u32 {
+            if p % 5 == 4 {
+                caches.push(Vec::new());
+                continue;
+            }
+            let size = 1 + (p % 7) as usize;
+            let cache: Vec<FileRef> =
+                (0..size).map(|k| FileRef(((p as usize * 3 + k * 5) % 30) as u32)).collect();
+            let mut cache = cache;
+            cache.sort_unstable();
+            cache.dedup();
+            caches.push(cache);
+        }
+        caches
+    }
+
+    #[test]
+    fn preserves_generosity_and_popularity() {
+        let caches = test_caches();
+        let sizes: Vec<usize> = caches.iter().map(Vec::len).collect();
+        let popularity = replica_histogram(&caches);
+        let mut rng = StdRng::seed_from_u64(42);
+        let (shuffled, stats) = randomize_caches(caches, &mut rng);
+        assert_eq!(shuffled.iter().map(Vec::len).collect::<Vec<_>>(), sizes);
+        assert_eq!(replica_histogram(&shuffled), popularity);
+        assert!(stats.performed > 0);
+        assert!(stats.performed <= stats.attempted);
+    }
+
+    #[test]
+    fn caches_stay_duplicate_free() {
+        let caches = test_caches();
+        let mut rng = StdRng::seed_from_u64(1);
+        let (shuffled, _) = randomize_caches(caches, &mut rng);
+        for cache in &shuffled {
+            let set: HashSet<FileRef> = cache.iter().copied().collect();
+            assert_eq!(set.len(), cache.len());
+            // into_caches sorts.
+            assert!(cache.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn actually_destroys_structure() {
+        // Two tight communities sharing disjoint file sets; after full
+        // randomization, cross-community replicas must appear.
+        let mut caches = Vec::new();
+        for p in 0..10u32 {
+            let base = if p < 5 { 0 } else { 100 };
+            caches.push((0..10).map(|k| FileRef(base + ((p + k) % 20))).collect());
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let (shuffled, _) = randomize_caches(caches, &mut rng);
+        let mixed = shuffled[..5]
+            .iter()
+            .flatten()
+            .filter(|f| f.0 >= 100)
+            .count();
+        assert!(mixed > 5, "expected cross-community files after shuffling, got {mixed}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut rng1 = StdRng::seed_from_u64(9);
+        let mut rng2 = StdRng::seed_from_u64(9);
+        let (a, _) = randomize_caches(test_caches(), &mut rng1);
+        let (b, _) = randomize_caches(test_caches(), &mut rng2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let (empty, stats) = randomize_caches(vec![], &mut rng);
+        assert!(empty.is_empty());
+        assert_eq!(stats.performed, 0);
+        // One replica total: nothing can swap.
+        let (one, stats) = randomize_caches(vec![vec![FileRef(1)], vec![]], &mut rng);
+        assert_eq!(one, vec![vec![FileRef(1)], vec![]]);
+        assert_eq!(stats.performed, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicates")]
+    fn duplicate_cache_entries_rejected() {
+        let _ = Shuffler::new(vec![vec![FileRef(1), FileRef(1)]]);
+    }
+
+    #[test]
+    fn step_reports_swap_outcome() {
+        let mut shuffler =
+            Shuffler::new(vec![vec![FileRef(0)], vec![FileRef(1)]]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut swapped = false;
+        for _ in 0..50 {
+            swapped |= shuffler.step(&mut rng);
+        }
+        assert!(swapped);
+        let caches = shuffler.into_caches();
+        let all: Vec<FileRef> = caches.into_iter().flatten().collect();
+        let set: HashSet<_> = all.iter().copied().collect();
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn recommended_iterations_monotone() {
+        let mut prev = 0;
+        for n in [0usize, 1, 2, 10, 100, 1000, 10_000] {
+            let it = recommended_iterations(n);
+            assert!(it >= prev);
+            prev = it;
+        }
+    }
+}

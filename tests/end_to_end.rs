@@ -1,0 +1,334 @@
+//! End-to-end integration: population → trace → pipeline → analyses →
+//! search simulation, with the paper's qualitative shape checks
+//! (DESIGN.md §5) asserted as machine-checked bounds.
+//!
+//! Everything runs at test scale with fixed seeds, so these are exact,
+//! reproducible assertions — not flaky statistical hopes.
+
+use edonkey_repro::analysis::{
+    contribution, daily, geo_clustering, geography, popularity, semantic, sizes, stats, view,
+};
+use edonkey_repro::prelude::*;
+use edonkey_repro::semsearch::experiment;
+
+/// One shared workload for the whole file (generation dominates test
+/// time; every check is read-only on it).
+fn workload() -> (Population, Trace) {
+    let mut config = WorkloadConfig::test_scale(20060418);
+    config.peers = 2_000;
+    config.files = 40_000;
+    config.topics = 400;
+    config.days = 20;
+    generate_trace(config)
+}
+
+fn filtered_caches(trace: &Trace) -> (Vec<Vec<FileRef>>, usize) {
+    let filtered = filter(trace).trace;
+    let n = filtered.files.len();
+    (filtered.static_caches(), n)
+}
+
+#[test]
+fn pipeline_stages_shrink_and_stay_valid() {
+    let (_, trace) = workload();
+    assert_eq!(trace.check_invariants(), Ok(()));
+    let filtered = filter(&trace);
+    assert_eq!(filtered.trace.check_invariants(), Ok(()));
+    assert!(filtered.trace.peers.len() <= trace.peers.len());
+    let extrapolated = extrapolate(&filtered.trace, ExtrapolateConfig::default());
+    assert_eq!(extrapolated.trace.check_invariants(), Ok(()));
+    assert!(extrapolated.trace.peers.len() <= filtered.trace.peers.len());
+    assert!(extrapolated.trace.peers.len() > 100, "regular clients must survive");
+}
+
+#[test]
+fn table1_free_riders_dominate() {
+    let (_, trace) = workload();
+    let summary = summarize(&trace);
+    let frac = summary.free_rider_fraction();
+    assert!(
+        (0.6..0.9).contains(&frac),
+        "free-rider fraction {frac} outside the paper's 70–84% ballpark"
+    );
+    assert!(summary.snapshots > summary.clients, "multiple snapshots per client");
+}
+
+#[test]
+fn fig5_popularity_is_zipf_like() {
+    let (_, trace) = workload();
+    let day = trace.days[trace.days.len() / 2].day;
+    let curve = popularity::replication_rank_curve(&trace, day);
+    assert!(curve.len() > 1_000);
+    // Log-log slope of the tail (ranks 10..) must be clearly negative.
+    let points: Vec<(f64, f64)> = curve
+        .iter()
+        .skip(10)
+        .map(|&(r, s)| (r as f64, s as f64))
+        .collect();
+    let (_, slope) = stats::loglog_slope(&points).expect("enough points");
+    assert!(
+        (-2.0..-0.2).contains(&slope),
+        "rank-popularity slope {slope} is not Zipf-like"
+    );
+}
+
+#[test]
+fn fig6_popular_files_are_large() {
+    let (_, trace) = workload();
+    let filtered = filter(&trace).trace;
+    let (small, mid, large) = sizes::size_mix(&filtered);
+    assert!(small > 0.2, "small-file share {small}");
+    assert!(mid > 0.3, "mid-file share {mid}");
+    assert!(large < 0.3, "large-file share {large}");
+    // Among popular files, big files dominate far beyond their share.
+    let big_among_popular = sizes::fraction_larger_than(&filtered, 5, 100 << 20);
+    let big_among_all = sizes::fraction_larger_than(&filtered, 1, 100 << 20);
+    assert!(
+        big_among_popular > 2.0 * big_among_all,
+        "popularity must tilt toward large files: {big_among_popular} vs {big_among_all}"
+    );
+}
+
+#[test]
+fn fig7_generosity_is_concentrated() {
+    let (_, trace) = workload();
+    let filtered = filter(&trace).trace;
+    let top15 = contribution::generosity_concentration(&filtered, 0.15);
+    assert!(
+        (0.5..0.95).contains(&top15),
+        "top-15% share {top15}; paper reports 75%"
+    );
+}
+
+#[test]
+fn fig4_country_mix_matches_plan() {
+    let (_, trace) = workload();
+    let rows = geography::clients_per_country(&trace);
+    assert_eq!(rows[0].0.as_str().len(), 2);
+    // FR and DE must lead with roughly 29/28%.
+    let share_of = |cc: &str| {
+        rows.iter()
+            .find(|(c, _, _)| c.as_str() == cc)
+            .map(|&(_, _, s)| s)
+            .unwrap_or(0.0)
+    };
+    assert!((share_of("FR") - 0.29).abs() < 0.05);
+    assert!((share_of("DE") - 0.28).abs() < 0.05);
+    let top5 = geography::top_as_combined_share(&trace, 5);
+    assert!((0.35..0.75).contains(&top5), "top-5 AS share {top5}; paper: 54%");
+}
+
+#[test]
+fn fig11_rare_files_cluster_geographically() {
+    let (_, trace) = workload();
+    let filtered = filter(&trace).trace;
+    let conc = geo_clustering::home_concentration(
+        &filtered,
+        geo_clustering::Level::Country,
+    );
+    let spans = edonkey_repro::analysis::view::file_spans(&filtered);
+    // Band by popularity rank (the paper's thresholds are absolute, but
+    // "popular" is scale-relative): the 200 most replicated files vs all.
+    let mut by_pop: Vec<(usize, f64)> = spans
+        .iter()
+        .enumerate()
+        .filter(|(i, s)| s.distinct_sources > 0 && conc.percent_at_home[*i].is_some())
+        .map(|(i, s)| (i, s.average_popularity()))
+        .collect();
+    by_pop.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    let fully_home = |files: &[usize]| {
+        let n = files.len().max(1);
+        files
+            .iter()
+            .filter(|&&i| conc.percent_at_home[i].expect("filtered") >= 100.0 - 1e-9)
+            .count() as f64
+            / n as f64
+    };
+    let top: Vec<usize> = by_pop.iter().take(200).map(|&(i, _)| i).collect();
+    let all: Vec<usize> = by_pop.iter().map(|&(i, _)| i).collect();
+    assert!(all.len() > 2_000, "need real support: {}", all.len());
+    let home_top = fully_home(&top);
+    let home_all = fully_home(&all);
+    assert!(
+        home_all > home_top + 0.1,
+        "popular files must be less home-bound: all {home_all} vs top {home_top}"
+    );
+    assert!(home_all > 0.2, "rare files should often be single-country: {home_all}");
+}
+
+#[test]
+fn fig13_correlation_rises_with_common_files() {
+    let (_, trace) = workload();
+    let (caches, n_files) = filtered_caches(&trace);
+    let curve = semantic::clustering_correlation(&caches, n_files, |_| true, Some(400));
+    assert!(curve.len() >= 5);
+    let p1 = curve[0].probability_percent;
+    let p5 = curve
+        .iter()
+        .find(|p| p.common == 5)
+        .map(|p| p.probability_percent)
+        .expect("k=5 present");
+    assert!(
+        p5 > p1,
+        "P(another | 5 common) = {p5} must exceed P(another | 1 common) = {p1}"
+    );
+    assert!(p5 > 50.0, "peers with 5 common files nearly always share more: {p5}");
+}
+
+#[test]
+fn fig14_randomization_destroys_rare_file_clustering() {
+    let (_, trace) = workload();
+    let (caches, n_files) = filtered_caches(&trace);
+    let popularity = view::popularity_of_caches(&caches, n_files);
+    let rare = |fr: FileRef| (3..=5).contains(&popularity[fr.index()]);
+    let before = semantic::clustering_correlation(&caches, n_files, rare, None);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7);
+    let (random_caches, _) = randomize_caches(caches, &mut rng);
+    let rand_popularity = view::popularity_of_caches(&random_caches, n_files);
+    assert_eq!(popularity, rand_popularity, "popularity is preserved exactly");
+    let after = semantic::clustering_correlation(&random_caches, n_files, rare, None);
+    let p = |curve: &[semantic::CorrelationPoint]| {
+        curve.first().map(|p| p.probability_percent).unwrap_or(0.0)
+    };
+    assert!(
+        p(&before) > p(&after) + 10.0,
+        "trace {} vs randomized {}: the gap IS the semantic clustering",
+        p(&before),
+        p(&after)
+    );
+}
+
+#[test]
+fn fig18_policy_ordering_and_magnitudes() {
+    let (_, trace) = workload();
+    let (caches, n_files) = filtered_caches(&trace);
+    let cmp = experiment::policy_comparison(&caches, n_files, &[20], 1);
+    let rate = |k: PolicyKind| {
+        cmp.iter().find(|(p, _)| *p == k).unwrap().1[0].result.hit_rate()
+    };
+    let (lru, history, random) =
+        (rate(PolicyKind::Lru), rate(PolicyKind::History), rate(PolicyKind::Random));
+    assert!(lru > 0.2, "LRU-20 hit rate {lru}; paper: 41%");
+    assert!(history > 0.2, "History-20 hit rate {history}; paper: 47%");
+    assert!(
+        lru > random + 0.1 && history > random + 0.1,
+        "semantic lists must beat random: lru {lru}, history {history}, random {random}"
+    );
+}
+
+#[test]
+fn fig19_uploader_removal_hurts_but_does_not_collapse() {
+    let (_, trace) = workload();
+    let (caches, n_files) = filtered_caches(&trace);
+    let grid =
+        experiment::uploader_removal_grid(&caches, n_files, &[0.0, 0.15], &[20], 1);
+    let baseline = grid[0].1[0].result.hit_rate();
+    let reduced = grid[1].1[0].result.hit_rate();
+    assert!(reduced < baseline, "removing generous uploaders must hurt");
+    assert!(
+        reduced > baseline * 0.5,
+        "…but most of the hit rate must survive: {baseline} → {reduced}"
+    );
+}
+
+#[test]
+fn fig20_popular_file_removal_helps_small_lists_most() {
+    let (_, trace) = workload();
+    let (caches, n_files) = filtered_caches(&trace);
+    let grid = experiment::file_removal_grid(&caches, n_files, &[0.0, 0.05, 0.30], &[5], 1);
+    let baseline = grid[0].1[0].result.clone();
+    let light = grid[1].1[0].result.clone();
+    let heavy = grid[2].1[0].result.clone();
+    // Removing the head leaves mostly rare-file requests…
+    assert!(
+        light.requests < baseline.requests * 9 / 10,
+        "a 5% removal must shed a disproportionate share of requests"
+    );
+    assert!(
+        heavy.requests < baseline.requests * 3 / 4,
+        "a 30% removal must shed most requests"
+    );
+    // …and those hit *at least as well*: the paper's rare-file
+    // clustering result. (At the paper's 11M-file scale the rise holds
+    // through 30% removals; with a tens-of-thousands catalogue the 30%
+    // rank cut reaches into the clustered band itself, so the
+    // machine-checked claim is pinned at 5%.)
+    assert!(
+        light.hit_rate() > baseline.hit_rate() - 0.005,
+        "rare-file requests must hit at least as well: {} → {}",
+        baseline.hit_rate(),
+        light.hit_rate()
+    );
+}
+
+#[test]
+fn fig21_hit_rate_decays_under_randomization() {
+    let (_, trace) = workload();
+    let (caches, n_files) = filtered_caches(&trace);
+    let replicas: usize = caches.iter().map(Vec::len).sum();
+    let full = edonkey_repro::trace::randomize::recommended_iterations(replicas);
+    let sweep = experiment::randomization_sweep(&caches, n_files, 10, &[0, full], 3);
+    assert!(
+        sweep[1].hit_rate < sweep[0].hit_rate * 0.7,
+        "full randomization must destroy most of the hit rate: {} → {}",
+        sweep[0].hit_rate,
+        sweep[1].hit_rate
+    );
+    assert!(sweep[1].hit_rate > 0.0, "generosity+popularity keep a residual");
+}
+
+#[test]
+fn fig22_removing_uploaders_flattens_load() {
+    let (_, trace) = workload();
+    let (caches, n_files) = filtered_caches(&trace);
+    let grid = experiment::uploader_removal_grid(&caches, n_files, &[0.0, 0.10], &[5], 1);
+    let baseline = &grid[0].1[0].result;
+    let reduced = &grid[1].1[0].result;
+    let skew = |r: &SimResult| r.max_load() as f64 / r.mean_load().max(1.0);
+    assert!(
+        skew(reduced) < skew(baseline),
+        "load skew must drop: {} → {}",
+        skew(baseline),
+        skew(reduced)
+    );
+}
+
+#[test]
+fn fig23_two_hop_beats_one_hop_most_at_small_lists() {
+    let (_, trace) = workload();
+    let (caches, n_files) = filtered_caches(&trace);
+    let rates = |size: usize| {
+        let one = simulate(&caches, n_files, &SimConfig::lru(size)).hit_rate();
+        let two = simulate(&caches, n_files, &SimConfig::lru(size).with_two_hop()).hit_rate();
+        (one, two)
+    };
+    let (one_small, two_small) = rates(5);
+    let (one_large, two_large) = rates(100);
+    assert!(two_small - one_small > 0.02, "two-hop must add real hits at size 5");
+    assert!(two_large >= one_large, "two-hop never hurts");
+    // "As the number of semantic neighbours increases, the discrepancy
+    // decreases": with a few hundred sharers the absolute gap plateaus,
+    // so the machine-checked form is the relative gain.
+    let rel_small = (two_small - one_small) / one_small.max(1e-9);
+    let rel_large = (two_large - one_large) / one_large.max(1e-9);
+    assert!(
+        rel_small > rel_large,
+        "relative two-hop gain must shrink with list size: {rel_small} vs {rel_large}"
+    );
+}
+
+#[test]
+fn fig2_new_files_keep_arriving() {
+    let (_, trace) = workload();
+    let discovery = daily::file_discovery_per_day(&trace);
+    let last = discovery.last().unwrap();
+    assert!(
+        last.new_files > 0,
+        "even on the final day the crawler must discover new files"
+    );
+    // At paper scale the rate is ~5/day; it shrinks with the catalogue
+    // (11M files vs our tens of thousands), so assert the mechanism, not
+    // the absolute value.
+    let rate = daily::new_files_per_client(&trace);
+    assert!((0.05..20.0).contains(&rate), "new files per client per day: {rate}");
+}

@@ -1,0 +1,226 @@
+//! Cross-crate property-based tests (proptest): codec round-trips,
+//! randomization invariants, pipeline monotonicity, CDF laws, neighbour
+//! list invariants, and simulation accounting identities hold for *all*
+//! inputs, not just the hand-picked ones.
+
+use std::collections::{HashMap, HashSet};
+
+use edonkey_repro::proto::error::{Reader, Writer};
+use edonkey_repro::proto::md4::{Digest, Md4};
+use edonkey_repro::proto::query::Query;
+use edonkey_repro::proto::tags::{Tag, TagList, TagValue};
+use edonkey_repro::proto::wire::{Message, PublishedFile, SourceAddr};
+use edonkey_repro::semsearch::neighbours::{Lru, NeighbourPolicy};
+use edonkey_repro::semsearch::{simulate, SimConfig};
+use edonkey_repro::trace::model::FileRef;
+use edonkey_repro::trace::pipeline::{sorted_intersection, sorted_intersection_len};
+use edonkey_repro::trace::randomize::Shuffler;
+use proptest::prelude::*;
+
+// --- strategies -------------------------------------------------------
+
+fn arb_digest() -> impl Strategy<Value = Digest> {
+    any::<[u8; 16]>().prop_map(Digest)
+}
+
+fn arb_tag() -> impl Strategy<Value = Tag> {
+    let value = prop_oneof![
+        any::<u32>().prop_map(TagValue::U32),
+        "[a-zA-Z0-9 ._-]{0,40}".prop_map(TagValue::String),
+    ];
+    ("[a-z]{2,12}", value).prop_map(|(name, value)| Tag::custom(name, value))
+}
+
+fn arb_published_file() -> impl Strategy<Value = PublishedFile> {
+    (arb_digest(), any::<u32>(), any::<u16>(), prop::collection::vec(arb_tag(), 0..4))
+        .prop_map(|(file_id, ip, port, tags)| PublishedFile {
+            file_id,
+            ip,
+            port,
+            tags: tags.into_iter().collect(),
+        })
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        (arb_digest(), "[a-z]{1,16}", any::<u16>()).prop_map(|(uid, nick, port)| {
+            Message::Login { uid, nick, port, tags: TagList::new() }
+        }),
+        prop::collection::vec(arb_published_file(), 0..5).prop_map(Message::PublishFiles),
+        "[a-z]{1,10}".prop_map(|p| Message::QueryUsers { pattern: p }),
+        arb_digest().prop_map(|d| Message::QuerySources { file_id: d }),
+        Just(Message::GetServerList),
+        Just(Message::BrowseRequest),
+        Just(Message::BrowseDenied),
+        prop::collection::vec(arb_published_file(), 0..5).prop_map(Message::BrowseResult),
+        (any::<u32>(), any::<u32>())
+            .prop_map(|(users, files)| Message::ServerStatus { users, files }),
+        prop::collection::vec((any::<u32>(), any::<u16>()), 0..6).prop_map(|v| {
+            Message::ServerList(v.into_iter().map(|(ip, port)| SourceAddr { ip, port }).collect())
+        }),
+        (arb_digest(), prop::collection::vec(arb_digest(), 0..5))
+            .prop_map(|(file_id, parts)| Message::Hashset { file_id, parts }),
+    ]
+}
+
+/// Caches: up to 24 peers, each holding distinct refs below 64.
+fn arb_caches() -> impl Strategy<Value = Vec<Vec<FileRef>>> {
+    prop::collection::vec(prop::collection::btree_set(0u32..64, 0..12), 0..24).prop_map(
+        |sets| {
+            sets.into_iter()
+                .map(|s| s.into_iter().map(FileRef).collect())
+                .collect()
+        },
+    )
+}
+
+fn replica_histogram(caches: &[Vec<FileRef>]) -> HashMap<FileRef, usize> {
+    let mut h = HashMap::new();
+    for cache in caches {
+        for &f in cache {
+            *h.entry(f).or_insert(0) += 1;
+        }
+    }
+    h
+}
+
+// --- properties -------------------------------------------------------
+
+proptest! {
+    /// Every wire message survives a frame round-trip byte-exactly.
+    #[test]
+    fn wire_messages_round_trip(msg in arb_message()) {
+        let frame = msg.to_frame();
+        let (decoded, used) = Message::from_frame(&frame).expect("decode own frame");
+        prop_assert_eq!(used, frame.len());
+        prop_assert_eq!(decoded, msg);
+    }
+
+    /// Frame decoding never panics on arbitrary bytes; it either errors
+    /// or consumes a prefix.
+    #[test]
+    fn frame_decoder_is_total(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+        match Message::from_frame(&bytes) {
+            Ok((_, used)) => prop_assert!(used <= bytes.len()),
+            Err(_) => {}
+        }
+    }
+
+    /// Tag lists round-trip through the binary codec.
+    #[test]
+    fn tag_lists_round_trip(tags in prop::collection::vec(arb_tag(), 0..8)) {
+        let list: TagList = tags.into_iter().collect();
+        let mut w = Writer::new();
+        list.encode(&mut w);
+        let bytes = w.into_vec();
+        let mut r = Reader::new(&bytes);
+        prop_assert_eq!(TagList::read(&mut r).expect("decode"), list);
+        prop_assert_eq!(r.remaining(), 0);
+    }
+
+    /// The MD4 digest is invariant under arbitrary chunking.
+    #[test]
+    fn md4_chunking_invariance(
+        data in prop::collection::vec(any::<u8>(), 0..512),
+        cuts in prop::collection::vec(any::<prop::sample::Index>(), 0..6),
+    ) {
+        let expected = Md4::digest(&data);
+        let mut boundaries: Vec<usize> =
+            cuts.iter().map(|ix| ix.index(data.len() + 1)).collect();
+        boundaries.push(0);
+        boundaries.push(data.len());
+        boundaries.sort_unstable();
+        let mut hasher = Md4::new();
+        for pair in boundaries.windows(2) {
+            hasher.update(&data[pair[0]..pair[1]]);
+        }
+        prop_assert_eq!(hasher.finalize(), expected);
+    }
+
+    /// Query text that parses always re-parses from its Display output
+    /// to the same AST.
+    #[test]
+    // Words of length >= 4 cannot collide with the AND/OR/NOT operators
+    // or the size/avail comparison atoms.
+    fn query_display_parse_fixpoint(words in prop::collection::vec("[a-z]{4,8}", 1..5)) {
+        let text = words.join(" AND ");
+        let q = Query::parse(&text).expect("well-formed");
+        let q2 = Query::parse(&q.to_string()).expect("display output re-parses");
+        prop_assert_eq!(q, q2);
+    }
+
+    /// Randomization preserves peer generosity and file popularity
+    /// exactly, and never duplicates a file within a cache.
+    #[test]
+    fn randomization_invariants(caches in arb_caches(), swaps in 0u64..2_000) {
+        let sizes: Vec<usize> = caches.iter().map(Vec::len).collect();
+        let popularity = replica_histogram(&caches);
+        let mut shuffler = Shuffler::new(caches);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(42);
+        shuffler.run(swaps, &mut rng);
+        let result = shuffler.into_caches();
+        prop_assert_eq!(result.iter().map(Vec::len).collect::<Vec<_>>(), sizes);
+        prop_assert_eq!(replica_histogram(&result), popularity);
+        for cache in &result {
+            let set: HashSet<_> = cache.iter().collect();
+            prop_assert_eq!(set.len(), cache.len());
+        }
+    }
+
+    /// Sorted intersection agrees with the set-based definition.
+    #[test]
+    fn intersection_matches_sets(
+        a in prop::collection::btree_set(0u32..64, 0..20),
+        b in prop::collection::btree_set(0u32..64, 0..20),
+    ) {
+        let va: Vec<FileRef> = a.iter().map(|&x| FileRef(x)).collect();
+        let vb: Vec<FileRef> = b.iter().map(|&x| FileRef(x)).collect();
+        let expected: Vec<FileRef> =
+            a.intersection(&b).map(|&x| FileRef(x)).collect();
+        prop_assert_eq!(sorted_intersection(&va, &vb), expected.clone());
+        prop_assert_eq!(sorted_intersection_len(&va, &vb), expected.len());
+    }
+
+    /// LRU neighbour lists never exceed capacity, never hold duplicates,
+    /// and always lead with the latest uploader.
+    #[test]
+    fn lru_invariants(uploads in prop::collection::vec(0u32..12, 1..60), cap in 1usize..8) {
+        let mut lru = Lru::new(cap);
+        for &u in &uploads {
+            lru.record_upload(u);
+            prop_assert!(lru.neighbours().len() <= cap);
+            prop_assert_eq!(lru.neighbours()[0], u, "head is the latest uploader");
+            let set: HashSet<_> = lru.neighbours().iter().collect();
+            prop_assert_eq!(set.len(), lru.neighbours().len());
+        }
+    }
+
+    /// Simulation accounting identity: every (peer, file) pair becomes
+    /// exactly one of {seed, hit, miss}, and loads only land on peers
+    /// that can be neighbours.
+    #[test]
+    fn simulation_accounting(caches in arb_caches(), list_size in 1usize..6) {
+        let n_files = 64;
+        let total: u64 = caches.iter().map(|c| c.len() as u64).sum();
+        let result = simulate(&caches, n_files, &SimConfig::lru(list_size));
+        prop_assert_eq!(result.requests + result.contributor_seeds, total);
+        prop_assert!(result.hits() <= result.requests);
+        for (peer, &load) in result.messages_per_peer.iter().enumerate() {
+            if caches[peer].is_empty() {
+                prop_assert_eq!(load, 0, "free-riders never receive queries");
+            }
+        }
+    }
+
+    /// Hit rates are monotone (within tolerance) in list size — more
+    /// neighbours never lose hits on the same request order.
+    #[test]
+    fn hit_rate_grows_with_list_size(seed in 0u64..20) {
+        let caches: Vec<Vec<FileRef>> = (0..12u32)
+            .map(|p| (0..8).map(|k| FileRef((p / 4) * 8 + k)).collect())
+            .collect();
+        let small = simulate(&caches, 24, &SimConfig::lru(2).with_seed(seed));
+        let large = simulate(&caches, 24, &SimConfig::lru(12).with_seed(seed));
+        prop_assert!(large.hits() + 1 >= small.hits());
+    }
+}
