@@ -45,7 +45,11 @@ pub fn contribution_cdfs(trace: &Trace) -> ContributionCdfs {
     ContributionCdfs {
         files_all: Cdf::from_samples(c.files.iter().map(|&f| f as f64).collect()),
         files_sharers: Cdf::from_samples(
-            c.files.iter().filter(|&&f| f > 0).map(|&f| f as f64).collect(),
+            c.files
+                .iter()
+                .filter(|&&f| f > 0)
+                .map(|&f| f as f64)
+                .collect(),
         ),
         space_all: Cdf::from_samples(c.bytes.iter().map(|&b| gb(b)).collect()),
         space_sharers: Cdf::from_samples(

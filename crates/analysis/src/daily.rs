@@ -56,7 +56,11 @@ pub fn file_discovery_per_day(trace: &Trace) -> Vec<DiscoveryCount> {
                 }
             }
             total += new_files;
-            DiscoveryCount { day: snap.day, new_files, total_files: total }
+            DiscoveryCount {
+                day: snap.day,
+                new_files,
+                total_files: total,
+            }
         })
         .collect()
 }
@@ -142,8 +146,16 @@ mod tests {
         assert_eq!(
             series,
             vec![
-                DailyCount { day: 10, clients: 2, files: 2 },
-                DailyCount { day: 11, clients: 2, files: 3 },
+                DailyCount {
+                    day: 10,
+                    clients: 2,
+                    files: 2
+                },
+                DailyCount {
+                    day: 11,
+                    clients: 2,
+                    files: 3
+                },
             ]
         );
     }
@@ -154,8 +166,16 @@ mod tests {
         assert_eq!(
             series,
             vec![
-                DiscoveryCount { day: 10, new_files: 2, total_files: 2 },
-                DiscoveryCount { day: 11, new_files: 2, total_files: 4 },
+                DiscoveryCount {
+                    day: 10,
+                    new_files: 2,
+                    total_files: 2
+                },
+                DiscoveryCount {
+                    day: 11,
+                    new_files: 2,
+                    total_files: 4
+                },
             ]
         );
     }
@@ -166,8 +186,16 @@ mod tests {
         assert_eq!(
             series,
             vec![
-                CoverageCount { day: 10, files: 2, non_empty_caches: 1 },
-                CoverageCount { day: 11, files: 3, non_empty_caches: 2 },
+                CoverageCount {
+                    day: 10,
+                    files: 2,
+                    non_empty_caches: 1
+                },
+                CoverageCount {
+                    day: 11,
+                    files: 3,
+                    non_empty_caches: 2
+                },
             ]
         );
     }

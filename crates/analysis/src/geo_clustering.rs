@@ -63,11 +63,7 @@ pub fn home_concentration(trace: &Trace, level: Level) -> HomeConcentration {
 ///
 /// Returns `(threshold, Cdf over percent-at-home)` for files whose
 /// average popularity (distinct sources / days seen) is ≥ the threshold.
-pub fn concentration_cdfs(
-    trace: &Trace,
-    level: Level,
-    thresholds: &[f64],
-) -> Vec<(f64, Cdf)> {
+pub fn concentration_cdfs(trace: &Trace, level: Level, thresholds: &[f64]) -> Vec<(f64, Cdf)> {
     let conc = home_concentration(trace, level);
     let spans = file_spans(trace);
     thresholds
@@ -171,7 +167,11 @@ mod tests {
         let trace = build();
         let cdfs = concentration_cdfs(&trace, Level::Country, &[1.0, 3.0]);
         assert_eq!(cdfs[0].1.len(), 2, "both files qualify at threshold 1");
-        assert_eq!(cdfs[1].1.len(), 1, "only f0 (4 sources / 1 day) at threshold 3");
+        assert_eq!(
+            cdfs[1].1.len(),
+            1,
+            "only f0 (4 sources / 1 day) at threshold 3"
+        );
         // CDF of the ≥3 band: the single file is at 75 %.
         assert_eq!(cdfs[1].1.fraction_at_most(74.0), 0.0);
         assert_eq!(cdfs[1].1.fraction_at_most(75.0), 1.0);
@@ -182,7 +182,10 @@ mod tests {
         let trace = build();
         let frac = fully_clustered_fraction(&trace, Level::Country, 1.0);
         assert!((frac - 0.5).abs() < 1e-12, "one of two files is 100% home");
-        assert_eq!(fully_clustered_fraction(&Trace::new(), Level::Country, 1.0), 0.0);
+        assert_eq!(
+            fully_clustered_fraction(&Trace::new(), Level::Country, 1.0),
+            0.0
+        );
     }
 
     #[test]

@@ -62,7 +62,10 @@ pub fn top_autonomous_systems(trace: &Trace, k: usize) -> Vec<AsRow> {
 /// The combined share of the top-`k` ASes — the paper notes the top five
 /// host 54 % of all clients.
 pub fn top_as_combined_share(trace: &Trace, k: usize) -> f64 {
-    top_autonomous_systems(trace, k).iter().map(|r| r.global_share).sum()
+    top_autonomous_systems(trace, k)
+        .iter()
+        .map(|r| r.global_share)
+        .sum()
 }
 
 #[cfg(test)]

@@ -8,10 +8,11 @@
 
 use std::collections::HashMap;
 
+use edonkey_trace::compact::CacheArena;
 use edonkey_trace::model::{PeerId, Trace};
 use edonkey_trace::pipeline::sorted_intersection_len;
 
-use crate::semantic::overlap_counts;
+use crate::semantic::overlap_counts_arena;
 
 /// One tracked group of pairs.
 #[derive(Clone, Debug)]
@@ -45,13 +46,11 @@ pub fn overlap_evolution(
     let Some(first) = trace.days.first() else {
         return Vec::new();
     };
-    // Initial overlaps among first-day caches.
+    // Initial overlaps among first-day caches, packed columnar — no
+    // per-peer clone of the snapshot.
     let n_peers = trace.peers.len();
-    let mut day_caches: Vec<Vec<edonkey_trace::model::FileRef>> = vec![Vec::new(); n_peers];
-    for (peer, cache) in &first.caches {
-        day_caches[peer.index()] = cache.clone();
-    }
-    let counts = overlap_counts(&day_caches, trace.files.len(), |_| true, max_holders);
+    let arena = CacheArena::from_snapshot(first, n_peers, trace.files.len());
+    let counts = overlap_counts_arena(&arena, |_| true, max_holders);
     let mut groups: HashMap<u32, Vec<(u32, u32)>> = HashMap::new();
     let wanted: std::collections::HashSet<u32> = initial_overlaps.iter().copied().collect();
     let mut pairs_sorted: Vec<((u32, u32), u32)> = counts.iter().collect();
@@ -60,7 +59,7 @@ pub fn overlap_evolution(
     for (pair, overlap) in pairs_sorted {
         if wanted.contains(&overlap) {
             let group = groups.entry(overlap).or_default();
-            if max_pairs_per_group.map_or(true, |cap| group.len() < cap) {
+            if max_pairs_per_group.is_none_or(|cap| group.len() < cap) {
                 group.push(pair);
             }
         }
@@ -91,7 +90,9 @@ pub fn overlap_evolution(
                     sorted_intersection_len(caches[a as usize], caches[b as usize]) as u64
                 })
                 .sum();
-            group.series.push((snap.day, total as f64 / pairs.len().max(1) as f64));
+            group
+                .series
+                .push((snap.day, total as f64 / pairs.len().max(1) as f64));
         }
     }
     result
@@ -108,12 +109,8 @@ pub fn largest_initial_overlaps(
     let Some(first) = trace.days.first() else {
         return Vec::new();
     };
-    let n_peers = trace.peers.len();
-    let mut day_caches: Vec<Vec<edonkey_trace::model::FileRef>> = vec![Vec::new(); n_peers];
-    for (peer, cache) in &first.caches {
-        day_caches[peer.index()] = cache.clone();
-    }
-    let counts = overlap_counts(&day_caches, trace.files.len(), |_| true, max_holders);
+    let arena = CacheArena::from_snapshot(first, trace.peers.len(), trace.files.len());
+    let counts = overlap_counts_arena(&arena, |_| true, max_holders);
     let mut all: Vec<(u32, (u32, u32))> = counts.iter().map(|(p, c)| (c, p)).collect();
     all.sort_unstable_by_key(|&(c, p)| (std::cmp::Reverse(c), p));
     all.into_iter()

@@ -125,7 +125,11 @@ pub fn per_as_hit_rates(trace: &Trace, top: usize) -> Vec<(u32, usize, f64)> {
             (
                 asn,
                 clients_per_as.get(&asn).copied().unwrap_or(0),
-                if servable == 0 { 0.0 } else { local as f64 / servable as f64 },
+                if servable == 0 {
+                    0.0
+                } else {
+                    local as f64 / servable as f64
+                },
             )
         })
         .collect();
@@ -169,7 +173,14 @@ pub fn as_hit_rate_by_popularity(trace: &Trace, bands: &[(u32, u32)]) -> Vec<((u
                     }
                 }
             }
-            ((lo, hi), if servable == 0 { 0.0 } else { local as f64 / servable as f64 })
+            (
+                (lo, hi),
+                if servable == 0 {
+                    0.0
+                } else {
+                    local as f64 / servable as f64
+                },
+            )
         })
         .collect()
 }

@@ -27,7 +27,12 @@ pub fn replication_curves(
     points_per_decade: usize,
 ) -> Vec<(u32, Vec<(usize, u64)>)> {
     days.iter()
-        .map(|&d| (d, log_downsample(&replication_rank_curve(trace, d), points_per_decade)))
+        .map(|&d| {
+            (
+                d,
+                log_downsample(&replication_rank_curve(trace, d), points_per_decade),
+            )
+        })
         .collect()
 }
 

@@ -104,7 +104,9 @@ pub fn most_similar(
         .filter(|&(_, s)| s > 0.0)
         .collect();
     scored.sort_by(|x, y| {
-        y.1.partial_cmp(&x.1).expect("similarities are finite").then(x.0.cmp(&y.0))
+        y.1.partial_cmp(&x.1)
+            .expect("similarities are finite")
+            .then(x.0.cmp(&y.0))
     });
     scored.truncate(k);
     scored
@@ -132,15 +134,26 @@ mod tests {
     fn subset_behaviour_differs_by_metric() {
         let big = f(&[0, 1, 2, 3, 4, 5, 6, 7]);
         let small = f(&[0, 1]);
-        assert_eq!(overlap_coefficient(&big, &small), 1.0, "subset maxes overlap coef");
-        assert!(jaccard(&big, &small) < 0.3, "jaccard penalizes the size gap");
+        assert_eq!(
+            overlap_coefficient(&big, &small),
+            1.0,
+            "subset maxes overlap coef"
+        );
+        assert!(
+            jaccard(&big, &small) < 0.3,
+            "jaccard penalizes the size gap"
+        );
     }
 
     #[test]
     fn empty_caches_are_zero() {
         let a = f(&[0]);
-        for m in [Metric::Common, Metric::Jaccard, Metric::Cosine, Metric::OverlapCoefficient]
-        {
+        for m in [
+            Metric::Common,
+            Metric::Jaccard,
+            Metric::Cosine,
+            Metric::OverlapCoefficient,
+        ] {
             assert_eq!(m.eval(&a, &[]), 0.0, "{m:?}");
             assert_eq!(m.eval(&[], &[]), 0.0, "{m:?}");
         }

@@ -44,7 +44,11 @@ pub fn size_mix(trace: &Trace) -> (f64, f64, f64) {
     let n = sizes.len() as f64;
     let mb = 1u64 << 20;
     let small = sizes.iter().filter(|&&s| s < mb).count() as f64 / n;
-    let mid = sizes.iter().filter(|&&s| (mb..10 * mb).contains(&s)).count() as f64 / n;
+    let mid = sizes
+        .iter()
+        .filter(|&&s| (mb..10 * mb).contains(&s))
+        .count() as f64
+        / n;
     (small, mid, 1.0 - small - mid)
 }
 

@@ -41,8 +41,10 @@ pub fn top_files_on_day(trace: &Trace, day: u32, k: usize) -> Vec<FileRef> {
 /// `(day, spread_percent)`.
 pub fn spread_over_time(trace: &Trace, files: &[FileRef]) -> Vec<(FileRef, Vec<(u32, f64)>)> {
     let clients = trace.peers.len().max(1) as f64;
-    let mut result: Vec<(FileRef, Vec<(u32, f64)>)> =
-        files.iter().map(|&f| (f, Vec::with_capacity(trace.days.len()))).collect();
+    let mut result: Vec<(FileRef, Vec<(u32, f64)>)> = files
+        .iter()
+        .map(|&f| (f, Vec::with_capacity(trace.days.len())))
+        .collect();
     for (idx, snap) in trace.days.iter().enumerate() {
         let counts = day_counts(trace, idx);
         for (f, series) in &mut result {
@@ -52,15 +54,17 @@ pub fn spread_over_time(trace: &Trace, files: &[FileRef]) -> Vec<(FileRef, Vec<(
     result
 }
 
+/// Per-day `(day, rank)` series; `None` = zero holders that day.
+pub type RankSeries = Vec<(u32, Option<usize>)>;
+
 /// Figs. 9/10: for each tracked file, its per-day popularity *rank*
 /// (1 = most replicated; ties broken by file index; files with zero
 /// holders that day get rank `None`).
-pub fn rank_over_time(
-    trace: &Trace,
-    files: &[FileRef],
-) -> Vec<(FileRef, Vec<(u32, Option<usize>)>)> {
-    let mut result: Vec<(FileRef, Vec<(u32, Option<usize>)>)> =
-        files.iter().map(|&f| (f, Vec::with_capacity(trace.days.len()))).collect();
+pub fn rank_over_time(trace: &Trace, files: &[FileRef]) -> Vec<(FileRef, RankSeries)> {
+    let mut result: Vec<(FileRef, RankSeries)> = files
+        .iter()
+        .map(|&f| (f, Vec::with_capacity(trace.days.len())))
+        .collect();
     for (idx, snap) in trace.days.iter().enumerate() {
         let counts = day_counts(trace, idx);
         // Rank of file f = 1 + number of files strictly more replicated
@@ -91,7 +95,7 @@ pub fn peak_spread(trace: &Trace) -> Option<(FileRef, u32, u32)> {
     for (idx, snap) in trace.days.iter().enumerate() {
         let counts = day_counts(trace, idx);
         for (file_idx, &c) in counts.iter().enumerate() {
-            if c > 0 && best.map_or(true, |(_, _, bc)| c > bc) {
+            if c > 0 && best.is_none_or(|(_, _, bc)| c > bc) {
                 best = Some((FileRef(file_idx as u32), snap.day, c));
             }
         }

@@ -28,7 +28,10 @@ impl Cdf {
     ///
     /// Panics if any sample is NaN.
     pub fn from_samples(mut samples: Vec<f64>) -> Self {
-        assert!(samples.iter().all(|x| !x.is_nan()), "CDF samples must not be NaN");
+        assert!(
+            samples.iter().all(|x| !x.is_nan()),
+            "CDF samples must not be NaN"
+        );
         samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
         Cdf { sorted: samples }
     }
@@ -65,7 +68,10 @@ impl Cdf {
     /// Evaluates the CDF at each of `points`, yielding `(x, F(x))` pairs —
     /// the exact series a figure plots.
     pub fn series(&self, points: &[f64]) -> Vec<(f64, f64)> {
-        points.iter().map(|&x| (x, self.fraction_at_most(x))).collect()
+        points
+            .iter()
+            .map(|&x| (x, self.fraction_at_most(x)))
+            .collect()
     }
 
     /// Evaluates the CDF at logarithmically spaced points spanning the
@@ -102,7 +108,11 @@ impl Cdf {
 /// ```
 pub fn rank_curve(mut values: Vec<u64>) -> Vec<(usize, u64)> {
     values.sort_unstable_by(|a, b| b.cmp(a));
-    values.into_iter().enumerate().map(|(i, v)| (i + 1, v)).collect()
+    values
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (i + 1, v))
+        .collect()
 }
 
 /// Downsamples a rank curve logarithmically (plots with 10⁷ points are
@@ -237,8 +247,7 @@ mod tests {
 
     #[test]
     fn downsample_keeps_head_and_shape() {
-        let curve: Vec<(usize, u64)> =
-            (1..=10_000).map(|r| (r, (10_000 / r) as u64)).collect();
+        let curve: Vec<(usize, u64)> = (1..=10_000).map(|r| (r, (10_000 / r) as u64)).collect();
         let sampled = log_downsample(&curve, 4);
         assert!(sampled.len() < 30);
         assert_eq!(sampled[0], (1, 10_000));
@@ -247,8 +256,9 @@ mod tests {
 
     #[test]
     fn loglog_slope_recovers_power_law() {
-        let points: Vec<(f64, f64)> =
-            (1..=1000).map(|r| (r as f64, 500.0 * (r as f64).powf(-0.8))).collect();
+        let points: Vec<(f64, f64)> = (1..=1000)
+            .map(|r| (r as f64, 500.0 * (r as f64).powf(-0.8)))
+            .collect();
         let (_, b) = loglog_slope(&points).unwrap();
         assert!((b + 0.8).abs() < 1e-6, "slope {b}");
         assert_eq!(loglog_slope(&[]), None);

@@ -148,8 +148,20 @@ mod tests {
     fn spans_and_average_popularity() {
         let (trace, _) = build();
         let spans = file_spans(&trace);
-        assert_eq!(spans[0], FileSpan { days_seen: 2, distinct_sources: 3 });
-        assert_eq!(spans[1], FileSpan { days_seen: 1, distinct_sources: 1 });
+        assert_eq!(
+            spans[0],
+            FileSpan {
+                days_seen: 2,
+                distinct_sources: 3
+            }
+        );
+        assert_eq!(
+            spans[1],
+            FileSpan {
+                days_seen: 1,
+                distinct_sources: 1
+            }
+        );
         assert!((spans[0].average_popularity() - 1.5).abs() < 1e-12);
         assert_eq!(FileSpan::default().average_popularity(), 0.0);
     }
@@ -157,7 +169,10 @@ mod tests {
     #[test]
     fn top_k_orders_by_count() {
         let values = vec![2, 9, 9, 1];
-        assert_eq!(top_k_files(&values, 3), vec![FileRef(1), FileRef(2), FileRef(0)]);
+        assert_eq!(
+            top_k_files(&values, 3),
+            vec![FileRef(1), FileRef(2), FileRef(0)]
+        );
         assert_eq!(top_k_files(&values, 0), Vec::<FileRef>::new());
         assert_eq!(top_k_files(&values, 99).len(), 4);
     }

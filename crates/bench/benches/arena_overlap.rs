@@ -1,0 +1,40 @@
+//! Criterion bench: columnar arena construction and the overlap
+//! engines (sequential seed path vs parallel arena path) on a small
+//! synthetic population.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use edonkey_analysis::semantic;
+use edonkey_bench::{Scale, Workload};
+use edonkey_trace::compact::CacheArena;
+
+fn arena_and_overlap(c: &mut Criterion) {
+    let w = Workload::generate(Scale::Test);
+    let caches = w.filtered.static_caches();
+    let n_files = w.filtered.files.len();
+    let replicas: usize = caches.iter().map(Vec::len).sum();
+
+    let mut group = c.benchmark_group("arena");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(replicas as u64));
+    group.bench_function("build", |b| {
+        b.iter(|| CacheArena::from_caches(&caches, n_files))
+    });
+    group.finish();
+
+    let arena = CacheArena::from_caches(&caches, n_files);
+    let pairs = semantic::overlap_counts(&caches, n_files, |_| true, Some(200)).pair_count();
+
+    let mut group = c.benchmark_group("overlap");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(pairs as u64));
+    group.bench_function("sequential", |b| {
+        b.iter(|| semantic::overlap_counts(&caches, n_files, |_| true, Some(200)))
+    });
+    group.bench_function("parallel_arena", |b| {
+        b.iter(|| semantic::overlap_counts_arena(&arena, |_| true, Some(200)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, arena_and_overlap);
+criterion_main!(benches);

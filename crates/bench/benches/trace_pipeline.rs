@@ -15,10 +15,17 @@ fn bench_pipeline(c: &mut Criterion) {
     let (_, trace) = generate_trace(config);
     let mut group = c.benchmark_group("pipeline");
     group.sample_size(20);
-    group.bench_function("filter", |b| b.iter(|| filter(std::hint::black_box(&trace))));
+    group.bench_function("filter", |b| {
+        b.iter(|| filter(std::hint::black_box(&trace)))
+    });
     let filtered = filter(&trace).trace;
     group.bench_function("extrapolate", |b| {
-        b.iter(|| extrapolate(std::hint::black_box(&filtered), ExtrapolateConfig::default()))
+        b.iter(|| {
+            extrapolate(
+                std::hint::black_box(&filtered),
+                ExtrapolateConfig::default(),
+            )
+        })
     });
     let caches = filtered.static_caches();
     group.bench_function("randomize_10k_swaps", |b| {

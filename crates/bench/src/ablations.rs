@@ -100,8 +100,11 @@ pub fn ablation_crawler(scale: Scale) {
         let (trace, _) = edonkey_netsim::run_crawl(
             &population,
             edonkey_netsim::NetConfig::default(),
-            edonkey_netsim::CrawlerConfig { outage_days: vec![], ..Default::default() }
-                .budget_for(config.peers, coverage, coverage),
+            edonkey_netsim::CrawlerConfig {
+                outage_days: vec![],
+                ..Default::default()
+            }
+            .budget_for(config.peers, coverage, coverage),
         );
         e.row([
             f(coverage, 2),

@@ -1,0 +1,185 @@
+//! Benchmark-trajectory harness: times the workspace's canonical hot
+//! paths at a fixed seed and writes `BENCH_report.json`, so successive
+//! commits leave a comparable performance record.
+//!
+//! Benches (all deterministic, `SEED`-pinned):
+//!
+//! * `overlap_seq` / `overlap_par` — pairwise overlap counts over the
+//!   filtered static caches, sequential seed path vs the parallel arena
+//!   engine (the report records both and their speedup; the correlation
+//!   curves are checked equal before anything is written);
+//! * `arena_build` — packing the caches into a [`CacheArena`];
+//! * `sim_sweep_lru` / `sim_sweep_history` — list-size sweeps over the
+//!   paper's canonical sizes;
+//! * `randomization_sweep` — the Fig. 21 shuffle-and-simulate loop;
+//! * `trace_pipeline` — filter + extrapolate over the full trace.
+//!
+//! Defaults to `--scale repro` (≈20 k peers); `--scale test|small`
+//! gives a quick smoke run. Output path: `BENCH_report.json` in the
+//! working directory, or `$EDONKEY_BENCH_REPORT`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use edonkey_analysis::semantic;
+use edonkey_bench::{Scale, Workload, SEED};
+use edonkey_semsearch::experiment::{self, PAPER_LIST_SIZES};
+use edonkey_semsearch::neighbours::PolicyKind;
+use edonkey_trace::compact::CacheArena;
+use edonkey_trace::pipeline::{extrapolate, filter, ExtrapolateConfig};
+use edonkey_trace::randomize::recommended_iterations;
+
+/// Holder cap for the overlap benches (matches the Fig. 13 binaries:
+/// blockbusters contribute quadratic work and no clustering signal).
+const HOLDER_CAP: usize = 200;
+
+struct Entry {
+    name: &'static str,
+    wall_ms: f64,
+    /// Work units per second (units named in `config`).
+    throughput: f64,
+    config: String,
+}
+
+fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed().as_secs_f64() * 1e3)
+}
+
+fn main() {
+    // This binary defaults to repro scale (the trajectory baseline);
+    // the shared selector defaults to small, so only honor it when the
+    // user actually picked a scale.
+    let explicit =
+        std::env::args().any(|a| a == "--scale") || std::env::var("EDONKEY_SCALE").is_ok();
+    let scale = if explicit {
+        Scale::from_env()
+    } else {
+        Scale::Repro
+    };
+
+    let w = Workload::generate(scale);
+    let caches = w.filtered.static_caches();
+    let n_files = w.filtered.files.len();
+    let n_peers = caches.len();
+    let replicas: usize = caches.iter().map(Vec::len).sum();
+    eprintln!("[bench_report] {n_peers} peers, {n_files} files, {replicas} replicas");
+
+    let mut entries: Vec<Entry> = Vec::new();
+
+    // Arena build.
+    let (arena, build_ms) = timed(|| CacheArena::from_caches(&caches, n_files));
+    entries.push(Entry {
+        name: "arena_build",
+        wall_ms: build_ms,
+        throughput: replicas as f64 / (build_ms / 1e3),
+        config: format!("replicas/s over {replicas} replicas"),
+    });
+
+    // Overlap: sequential seed path vs parallel arena engine.
+    let (seq, seq_ms) =
+        timed(|| semantic::overlap_counts(&caches, n_files, |_| true, Some(HOLDER_CAP)));
+    let (par, par_ms) =
+        timed(|| semantic::overlap_counts_arena(&arena, |_| true, Some(HOLDER_CAP)));
+    let seq_curve = semantic::correlation_curve(&seq);
+    let par_curve = semantic::correlation_curve(&par);
+    assert_eq!(
+        seq_curve, par_curve,
+        "parallel overlap must reproduce the sequential correlation curve exactly"
+    );
+    eprintln!(
+        "[bench_report] overlap: seq {seq_ms:.1} ms, par {par_ms:.1} ms \
+         ({:.2}x, {} pairs, curves identical)",
+        seq_ms / par_ms,
+        seq.pair_count()
+    );
+    entries.push(Entry {
+        name: "overlap_seq",
+        wall_ms: seq_ms,
+        throughput: seq.pair_count() as f64 / (seq_ms / 1e3),
+        config: format!("pairs/s, holder cap {HOLDER_CAP}, sequential seed path"),
+    });
+    entries.push(Entry {
+        name: "overlap_par",
+        wall_ms: par_ms,
+        throughput: par.pair_count() as f64 / (par_ms / 1e3),
+        config: format!(
+            "pairs/s, holder cap {HOLDER_CAP}, parallel arena engine, speedup {:.2}x, \
+             curve_equal true",
+            seq_ms / par_ms
+        ),
+    });
+
+    // Simulation sweeps at the paper's list sizes.
+    for (name, policy) in [
+        ("sim_sweep_lru", PolicyKind::Lru),
+        ("sim_sweep_history", PolicyKind::History),
+    ] {
+        let (sweep, ms) = timed(|| {
+            experiment::sweep_list_sizes(&caches, n_files, policy, &PAPER_LIST_SIZES, false, SEED)
+        });
+        let requests: u64 = sweep.iter().map(|p| p.result.requests).sum();
+        entries.push(Entry {
+            name,
+            wall_ms: ms,
+            throughput: requests as f64 / (ms / 1e3),
+            config: format!("requests/s over list sizes {PAPER_LIST_SIZES:?}"),
+        });
+    }
+
+    // Randomization sweep (Fig. 21 shape): a few checkpoints up to the
+    // recommended full randomization.
+    let full = recommended_iterations(replicas);
+    let checkpoints = [0, full / 4, full / 2, full];
+    let (_, ms) =
+        timed(|| experiment::randomization_sweep(&caches, n_files, 10, &checkpoints, SEED));
+    entries.push(Entry {
+        name: "randomization_sweep",
+        wall_ms: ms,
+        throughput: full as f64 / (ms / 1e3),
+        config: format!("swap attempts/s, checkpoints {checkpoints:?}, list size 10"),
+    });
+
+    // Trace pipeline.
+    let (_, ms) = timed(|| {
+        let filtered = filter(&w.full);
+        extrapolate(&filtered.trace, ExtrapolateConfig::default())
+    });
+    entries.push(Entry {
+        name: "trace_pipeline",
+        wall_ms: ms,
+        throughput: w.full.snapshot_count() as f64 / (ms / 1e3),
+        config: "snapshots/s through filter + extrapolate".to_string(),
+    });
+
+    let path =
+        std::env::var("EDONKEY_BENCH_REPORT").unwrap_or_else(|_| "BENCH_report.json".to_string());
+    std::fs::write(&path, render_json(&entries, scale, n_peers, n_files))
+        .expect("write bench report");
+    eprintln!("[bench_report] wrote {path}");
+}
+
+/// `{bench_name: {wall_ms, throughput, config}}` plus a `_meta` record.
+fn render_json(entries: &[Entry], scale: Scale, n_peers: usize, n_files: usize) -> String {
+    let mut out = String::from("{\n");
+    write!(
+        out,
+        "  \"_meta\": {{\"seed\": {SEED}, \"scale\": \"{scale:?}\", \
+         \"peers\": {n_peers}, \"files\": {n_files}}}",
+    )
+    .expect("string write");
+    for e in entries {
+        write!(
+            out,
+            ",\n  \"{}\": {{\"wall_ms\": {:.3}, \"throughput\": {:.1}, \"config\": \"{}\"}}",
+            e.name,
+            e.wall_ms,
+            e.throughput,
+            e.config.replace('"', "'")
+        )
+        .expect("string write");
+    }
+    out.push_str("\n}\n");
+    out
+}

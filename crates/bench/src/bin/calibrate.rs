@@ -18,8 +18,11 @@ fn probe(label: &str, config: WorkloadConfig) {
     let top_spread = *popularity.iter().max().unwrap_or(&0) as f64
         / caches.iter().filter(|c| !c.is_empty()).count().max(1) as f64;
     let top15 = {
-        let sizes: Vec<u64> =
-            caches.iter().map(|c| c.len() as u64).filter(|&s| s > 0).collect();
+        let sizes: Vec<u64> = caches
+            .iter()
+            .map(|c| c.len() as u64)
+            .filter(|&s| s > 0)
+            .collect();
         edonkey_analysis::stats::top_share(&sizes, 0.15)
     };
 
@@ -39,7 +42,8 @@ fn probe(label: &str, config: WorkloadConfig) {
             100.0 * left as f64 / replicas as f64
         ));
     }
-    let lru5_nopop = -1.0f64; let _ = lru5_nopop;
+    let lru5_nopop = -1.0f64;
+    let _ = lru5_nopop;
     let full = recommended_iterations(replicas);
     let sweep = experiment::randomization_sweep(&caches, n_files, 10, &[0, full], 3);
 

@@ -14,11 +14,19 @@ fn main() {
     e.comment("mechanism\tview_size\thit_rate_pct");
     for &size in &[5usize, 10, 20] {
         let lru = simulate(&caches, n_files, &SimConfig::lru(size).with_seed(SEED));
-        e.row(["lru".to_string(), size.to_string(), f(100.0 * lru.hit_rate(), 2)]);
+        e.row([
+            "lru".to_string(),
+            size.to_string(),
+            f(100.0 * lru.hit_rate(), 2),
+        ]);
         for cycles in [0u32, 10, 25] {
             let overlay = build_overlay(
                 &caches,
-                &GossipConfig { semantic_view: size, cycles, ..GossipConfig::default() },
+                &GossipConfig {
+                    semantic_view: size,
+                    cycles,
+                    ..GossipConfig::default()
+                },
             );
             let rate = overlay_hit_rate(&caches, n_files, &overlay, SEED);
             e.row([

@@ -24,7 +24,10 @@ fn main() {
             &truth.days,
             truth.start_day,
             population.files.len(),
-            &OverlayConfig { list_size: size, ..OverlayConfig::lru(size) },
+            &OverlayConfig {
+                list_size: size,
+                ..OverlayConfig::lru(size)
+            },
         );
         for s in &stats {
             e.row([

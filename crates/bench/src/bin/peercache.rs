@@ -11,7 +11,10 @@ fn main() {
     let counts = peercache::request_locality(&w.filtered);
     e.comment("scope\thit_rate_pct");
     e.row(["same_as".to_string(), f(100.0 * counts.as_hit_rate(), 2)]);
-    e.row(["same_country".to_string(), f(100.0 * counts.country_hit_rate(), 2)]);
+    e.row([
+        "same_country".to_string(),
+        f(100.0 * counts.country_hit_rate(), 2),
+    ]);
     e.blank();
     e.comment("per-AS: asn\tclients\tas_local_hit_pct");
     for (asn, clients, rate) in peercache::per_as_hit_rates(&w.filtered, 8) {

@@ -3,21 +3,41 @@
 //! `EXPERIMENTS-data/*.tsv`.
 //!
 //! Usage: `cargo run --release -p edonkey-bench --bin reproduce [--scale test|small|repro|paper]`
-use edonkey_bench::{ablations, figures_cluster as fc, figures_measure as fm, figures_search as fs};
+use edonkey_bench::{
+    ablations, figures_cluster as fc, figures_measure as fm, figures_search as fs,
+};
+
+type FigureFn = fn(&edonkey_bench::Workload);
 
 fn main() {
     let scale = edonkey_bench::Scale::from_env();
     let w = edonkey_bench::Workload::generate(scale);
-    let figures: &[(&str, fn(&edonkey_bench::Workload))] = &[
-        ("fig01", fm::fig01), ("fig02", fm::fig02), ("fig03", fm::fig03),
-        ("fig04", fm::fig04), ("table1", fm::table1), ("fig05", fm::fig05),
-        ("fig06", fm::fig06), ("fig07", fm::fig07), ("fig08", fm::fig08),
-        ("fig09", fm::fig09), ("fig10", fm::fig10), ("table2", fm::table2),
-        ("fig11", fc::fig11), ("fig12", fc::fig12), ("fig13", fc::fig13),
-        ("fig14", fc::fig14), ("fig15", fc::fig15), ("fig16", fc::fig16),
+    let figures: &[(&str, FigureFn)] = &[
+        ("fig01", fm::fig01),
+        ("fig02", fm::fig02),
+        ("fig03", fm::fig03),
+        ("fig04", fm::fig04),
+        ("table1", fm::table1),
+        ("fig05", fm::fig05),
+        ("fig06", fm::fig06),
+        ("fig07", fm::fig07),
+        ("fig08", fm::fig08),
+        ("fig09", fm::fig09),
+        ("fig10", fm::fig10),
+        ("table2", fm::table2),
+        ("fig11", fc::fig11),
+        ("fig12", fc::fig12),
+        ("fig13", fc::fig13),
+        ("fig14", fc::fig14),
+        ("fig15", fc::fig15),
+        ("fig16", fc::fig16),
         ("fig17", fc::fig17),
-        ("fig18", fs::fig18), ("fig19", fs::fig19), ("fig20", fs::fig20),
-        ("table3", fs::table3), ("fig21", fs::fig21), ("fig22", fs::fig22),
+        ("fig18", fs::fig18),
+        ("fig19", fs::fig19),
+        ("fig20", fs::fig20),
+        ("table3", fs::table3),
+        ("fig21", fs::fig21),
+        ("fig22", fs::fig22),
         ("fig23", fs::fig23),
     ];
     for (name, run) in figures {

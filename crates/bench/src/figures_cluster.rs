@@ -19,13 +19,16 @@ fn concentration_figure(name: &str, level: geo_clustering::Level, w: &Workload) 
     ));
     e.comment("min_avg_popularity\tpercent_at_home\tcdf");
     let thresholds = [1.0, 5.0, 10.0, 20.0, 50.0, 100.0];
-    for (threshold, cdf) in geo_clustering::concentration_cdfs(&w.filtered, level, &thresholds)
-    {
+    for (threshold, cdf) in geo_clustering::concentration_cdfs(&w.filtered, level, &thresholds) {
         if cdf.is_empty() {
-            e.comment(&format!("threshold {threshold}: no qualifying files at this scale"));
+            e.comment(&format!(
+                "threshold {threshold}: no qualifying files at this scale"
+            ));
             continue;
         }
-        for pct in [0.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 99.99] {
+        for pct in [
+            0.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 99.99,
+        ] {
             e.row([f(threshold, 0), f(pct, 0), f(cdf.fraction_at_most(pct), 4)]);
         }
         e.blank();
@@ -121,15 +124,21 @@ pub fn fig14(w: &Workload) {
     let rand_popularity = view::popularity_of_caches(&randomized, n_files);
     // Randomization preserves popularity, so one vector serves both.
     debug_assert_eq!(popularity, rand_popularity);
-    for (panel, wanted) in
-        [("all", None::<u32>), ("popularity_3", Some(3)), ("popularity_5", Some(5))]
-    {
+    for (panel, wanted) in [
+        ("all", None::<u32>),
+        ("popularity_3", Some(3)),
+        ("popularity_5", Some(5)),
+    ] {
         for (series, cache_set) in [("trace", &caches), ("random", &randomized)] {
             let curve = semantic::clustering_correlation(
                 cache_set,
                 n_files,
-                |fr| wanted.map_or(true, |p| popularity[fr.index()] == p),
-                if wanted.is_none() { Some(HOLDER_CAP) } else { None },
+                |fr| wanted.is_none_or(|p| popularity[fr.index()] == p),
+                if wanted.is_none() {
+                    Some(HOLDER_CAP)
+                } else {
+                    None
+                },
             );
             for point in curve.iter().take(40) {
                 e.row([
@@ -150,8 +159,7 @@ fn overlap_figure(name: &str, caption: &str, w: &Workload, groups: &[u32]) {
     let mut e = Emitter::new(name);
     e.comment(caption);
     e.comment("initial_overlap\tpairs\tday\tmean_overlap");
-    for group in
-        overlap::overlap_evolution(&w.extrapolated, groups, Some(5_000), Some(HOLDER_CAP))
+    for group in overlap::overlap_evolution(&w.extrapolated, groups, Some(5_000), Some(HOLDER_CAP))
     {
         for (day, mean) in &group.series {
             e.row([

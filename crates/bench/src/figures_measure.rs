@@ -10,7 +10,11 @@ pub fn fig01(w: &Workload) {
     e.comment("Fig. 1: evolution of clients and shared files per day");
     e.comment("day\tclients\tdistinct_files");
     for row in daily::clients_and_files_per_day(&w.full) {
-        e.row([row.day.to_string(), row.clients.to_string(), row.files.to_string()]);
+        e.row([
+            row.day.to_string(),
+            row.clients.to_string(),
+            row.files.to_string(),
+        ]);
     }
     e.finish();
 }
@@ -21,10 +25,16 @@ pub fn fig02(w: &Workload) {
     e.comment("Fig. 2: files discovered during the trace (full trace)");
     e.comment("day\tnew_files\ttotal_files");
     for row in daily::file_discovery_per_day(&w.full) {
-        e.row([row.day.to_string(), row.new_files.to_string(), row.total_files.to_string()]);
+        e.row([
+            row.day.to_string(),
+            row.new_files.to_string(),
+            row.total_files.to_string(),
+        ]);
     }
     let rate = daily::new_files_per_client(&w.full);
-    e.comment(&format!("mean new files per client per day: {rate:.2} (paper: ~5)"));
+    e.comment(&format!(
+        "mean new files per client per day: {rate:.2} (paper: ~5)"
+    ));
     e.finish();
 }
 
@@ -149,8 +159,9 @@ pub fn fig08(w: &Workload) {
     e.comment("Fig. 8: file spread (% of clients sharing) for the top-6 files");
     e.comment("file_rank\tday\tspread_percent");
     let top = spread::top_files_overall(&w.filtered, 6);
-    for (idx, (file, series)) in
-        spread::spread_over_time(&w.filtered, &top).into_iter().enumerate()
+    for (idx, (file, series)) in spread::spread_over_time(&w.filtered, &top)
+        .into_iter()
+        .enumerate()
     {
         e.comment(&format!("file #{} = {}", idx + 1, file));
         for (day, pct) in series {
@@ -176,7 +187,9 @@ fn rank_figure(name: &str, caption_day: &str, w: &Workload, day: u32) {
     ));
     e.comment("file_rank\tday\trank (empty = absent that day)");
     let top = spread::top_files_on_day(&w.filtered, day, 5);
-    for (idx, (_, series)) in spread::rank_over_time(&w.filtered, &top).into_iter().enumerate()
+    for (idx, (_, series)) in spread::rank_over_time(&w.filtered, &top)
+        .into_iter()
+        .enumerate()
     {
         for (d, rank) in series {
             e.row([

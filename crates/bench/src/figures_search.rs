@@ -117,12 +117,16 @@ pub fn fig21(w: &Workload) {
     let (caches, n_files) = static_caches(w);
     let replicas: usize = caches.iter().map(Vec::len).sum();
     let full = recommended_iterations(replicas);
-    let checkpoints: Vec<u64> =
-        [0.0, 0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0].iter().map(|&x| (x * full as f64) as u64).collect();
+    let checkpoints: Vec<u64> = [0.0, 0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0]
+        .iter()
+        .map(|&x| (x * full as f64) as u64)
+        .collect();
     for point in experiment::randomization_sweep(&caches, n_files, 10, &checkpoints, SEED) {
         e.row([point.swaps.to_string(), f(100.0 * point.hit_rate, 2)]);
     }
-    e.comment(&format!("full randomization = {full} attempts (0.5 * N * ln N)"));
+    e.comment(&format!(
+        "full randomization = {full} attempts (0.5 * N * ln N)"
+    ));
     e.finish();
 }
 
@@ -189,8 +193,11 @@ pub fn fig23(w: &Workload) {
     for q in [0.05, 0.15] {
         let (reduced, _) = edonkey_semsearch::filters::remove_top_uploaders(&caches, q);
         for &size in &[5usize, 20, 100] {
-            let result =
-                simulate(&reduced, n_files, &SimConfig::lru(size).with_two_hop().with_seed(SEED));
+            let result = simulate(
+                &reduced,
+                n_files,
+                &SimConfig::lru(size).with_two_hop().with_seed(SEED),
+            );
             e.row([
                 format!("two_hop_minus_top{:.0}pct", 100.0 * q),
                 size.to_string(),

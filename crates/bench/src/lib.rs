@@ -105,7 +105,12 @@ impl Workload {
             filtered.peers.len(),
             extrapolated.peers.len()
         );
-        Workload { population, full, filtered, extrapolated }
+        Workload {
+            population,
+            full,
+            filtered,
+            extrapolated,
+        }
     }
 }
 
@@ -119,7 +124,10 @@ pub struct Emitter {
 impl Emitter {
     /// Starts an emitter for an experiment (e.g. `"fig05"`).
     pub fn new(name: &str) -> Emitter {
-        Emitter { name: name.to_string(), buffer: String::new() }
+        Emitter {
+            name: name.to_string(),
+            buffer: String::new(),
+        }
     }
 
     /// Emits a comment line (prefixed `#`).
@@ -131,8 +139,7 @@ impl Emitter {
 
     /// Emits one row of tab-separated cells.
     pub fn row<S: AsRef<str>>(&mut self, cells: impl IntoIterator<Item = S>) {
-        let joined: Vec<String> =
-            cells.into_iter().map(|c| c.as_ref().to_string()).collect();
+        let joined: Vec<String> = cells.into_iter().map(|c| c.as_ref().to_string()).collect();
         writeln!(self.buffer, "{}", joined.join("\t")).expect("string write");
     }
 

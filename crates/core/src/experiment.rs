@@ -2,6 +2,7 @@
 //! randomization sweep of Fig. 21 — with a parallel runner for the
 //! embarrassingly parallel sweeps.
 
+use edonkey_trace::compact::CacheArena;
 use edonkey_trace::model::FileRef;
 use edonkey_trace::randomize::Shuffler;
 use rand::rngs::StdRng;
@@ -9,7 +10,7 @@ use rand::SeedableRng;
 
 use crate::filters::{remove_top_files, remove_top_uploaders};
 use crate::neighbours::PolicyKind;
-use crate::sim::{simulate, SimConfig, SimResult};
+use crate::sim::{simulate_arena_with_scratch, SimConfig, SimResult, SimScratch};
 
 /// One sweep point: a list size and its simulation result.
 #[derive(Clone, Debug)]
@@ -33,14 +34,20 @@ pub fn sweep_list_sizes(
     two_hop: bool,
     seed: u64,
 ) -> Vec<SweepPoint> {
-    parallel_map(list_sizes, |&list_size| {
+    // Pack the caches once; every sweep point reads the same arena and
+    // each worker thread reuses one set of simulation buffers.
+    let arena = CacheArena::from_caches(caches, n_files);
+    parallel_map_init(list_sizes, SimScratch::new, |scratch, &list_size| {
         let config = SimConfig {
             list_size,
             policy,
             two_hop,
             seed,
         };
-        SweepPoint { list_size, result: simulate(caches, n_files, &config) }
+        SweepPoint {
+            list_size,
+            result: simulate_arena_with_scratch(&arena, &config, scratch),
+        }
     })
 }
 
@@ -53,7 +60,12 @@ pub fn policy_comparison(
 ) -> Vec<(PolicyKind, Vec<SweepPoint>)> {
     [PolicyKind::Lru, PolicyKind::History, PolicyKind::Random]
         .into_iter()
-        .map(|p| (p, sweep_list_sizes(caches, n_files, p, list_sizes, false, seed)))
+        .map(|p| {
+            (
+                p,
+                sweep_list_sizes(caches, n_files, p, list_sizes, false, seed),
+            )
+        })
         .collect()
 }
 
@@ -72,7 +84,10 @@ pub fn uploader_removal_grid(
         .iter()
         .map(|&q| {
             let (reduced, _) = remove_top_uploaders(caches, q);
-            (q, sweep_list_sizes(&reduced, n_files, PolicyKind::Lru, list_sizes, false, seed))
+            (
+                q,
+                sweep_list_sizes(&reduced, n_files, PolicyKind::Lru, list_sizes, false, seed),
+            )
         })
         .collect()
 }
@@ -89,7 +104,10 @@ pub fn file_removal_grid(
         .iter()
         .map(|&q| {
             let (reduced, _) = remove_top_files(caches, n_files, q);
-            (q, sweep_list_sizes(&reduced, n_files, PolicyKind::Lru, list_sizes, false, seed))
+            (
+                q,
+                sweep_list_sizes(&reduced, n_files, PolicyKind::Lru, list_sizes, false, seed),
+            )
         })
         .collect()
 }
@@ -156,9 +174,17 @@ pub fn randomization_sweep(
         }
         snapshots.push((target, caches));
     }
-    parallel_map(&snapshots, |(swaps, caches)| {
-        let result = simulate(caches, n_files, &SimConfig::lru(list_size).with_seed(seed));
-        RandomizationPoint { swaps: *swaps, hit_rate: result.hit_rate() }
+    parallel_map_init(&snapshots, SimScratch::new, |scratch, (swaps, caches)| {
+        let arena = CacheArena::from_caches(caches, n_files);
+        let result = simulate_arena_with_scratch(
+            &arena,
+            &SimConfig::lru(list_size).with_seed(seed),
+            scratch,
+        );
+        RandomizationPoint {
+            swaps: *swaps,
+            hit_rate: result.hit_rate(),
+        }
     })
 }
 
@@ -166,31 +192,73 @@ pub fn randomization_sweep(
 ///
 /// The sweeps here are CPU-bound and independent; a simple chunked
 /// fan-out over `available_parallelism` threads is all that is needed.
-pub fn parallel_map<T: Sync, R: Send>(
+pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    parallel_map_init(items, || (), |(), item| f(item))
+}
+
+/// [`parallel_map`] with per-worker state: `init` runs once on each
+/// worker thread and the resulting value is threaded through every call
+/// that worker makes, so scratch allocations (e.g. simulation buffers)
+/// are reused across sweep points instead of rebuilt per item.
+///
+/// Threads are spawned once and pull work off a shared atomic cursor in
+/// small chunks; results carry their item index, so output order always
+/// matches input order regardless of scheduling. A panic in `f` is
+/// re-raised on the caller's thread (after remaining workers drain)
+/// rather than poisoning a lock or deadlocking.
+pub fn parallel_map_init<T: Sync, S, R: Send>(
     items: &[T],
-    f: impl Fn(&T) -> R + Sync,
+    init: impl Fn() -> S + Sync,
+    f: impl Fn(&mut S, &T) -> R + Sync,
 ) -> Vec<R> {
-    let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(items.len().max(1));
-    let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism()
+        .map_or(4, |n| n.get())
+        .min(items.len());
+    // Chunked claiming keeps cursor contention negligible for large item
+    // counts while still load-balancing uneven per-item cost.
+    let chunk = (items.len() / (threads * 8)).max(1);
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let results_slots: Vec<std::sync::Mutex<&mut Option<R>>> =
-        results.iter_mut().map(std::sync::Mutex::new).collect();
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let r = f(&items[i]);
-                **results_slots[i].lock().expect("no poisoning: f panics abort the scope") =
-                    Some(r);
-            });
-        }
-    })
-    .expect("worker thread panicked");
-    drop(results_slots);
-    results.into_iter().map(|r| r.expect("every slot filled")).collect()
+    let partials: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut state = init();
+                    let mut out = Vec::new();
+                    loop {
+                        let start = next.fetch_add(chunk, std::sync::atomic::Ordering::Relaxed);
+                        if start >= items.len() {
+                            break;
+                        }
+                        let end = (start + chunk).min(items.len());
+                        for (i, item) in items[start..end].iter().enumerate() {
+                            out.push((start + i, f(&mut state, item)));
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                // Re-raise the worker's panic payload; the enclosing scope
+                // still joins the remaining workers on unwind.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for (i, r) in partials.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|r| r.expect("cursor covers every index"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -225,6 +293,38 @@ mod tests {
     }
 
     #[test]
+    fn parallel_map_init_reuses_worker_state() {
+        let items: Vec<usize> = (0..64).collect();
+        let out = parallel_map_init(&items, Vec::new, |scratch: &mut Vec<usize>, &x| {
+            scratch.push(x);
+            // State persists across calls on the same worker, so the
+            // scratch length grows monotonically per thread.
+            (x, scratch.len())
+        });
+        assert_eq!(out.len(), 64);
+        for (i, (x, seen)) in out.iter().enumerate() {
+            assert_eq!(*x, i);
+            assert!(*seen >= 1);
+        }
+    }
+
+    #[test]
+    fn parallel_map_propagates_worker_panics() {
+        let items: Vec<usize> = (0..64).collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            parallel_map(&items, |&x| {
+                if x == 13 {
+                    panic!("boom at {x}");
+                }
+                x
+            })
+        }));
+        // Must re-raise the worker's panic (not deadlock on a poisoned
+        // slot, not swallow it into a partial result).
+        assert!(result.is_err(), "worker panic must propagate to the caller");
+    }
+
+    #[test]
     fn sweep_monotonicity_in_list_size() {
         let (caches, n) = workload();
         let sweep = sweep_list_sizes(&caches, n, PolicyKind::Lru, &[2, 8, 32], false, 1);
@@ -232,7 +332,10 @@ mod tests {
         assert!(
             sweep[2].result.hit_rate() >= sweep[0].result.hit_rate() - 0.02,
             "bigger lists should not hurt: {:?}",
-            sweep.iter().map(|p| p.result.hit_rate()).collect::<Vec<_>>()
+            sweep
+                .iter()
+                .map(|p| p.result.hit_rate())
+                .collect::<Vec<_>>()
         );
     }
 
@@ -241,7 +344,9 @@ mod tests {
         let (caches, n) = workload();
         let cmp = policy_comparison(&caches, n, &[8], 1);
         let rate = |k: PolicyKind| {
-            cmp.iter().find(|(p, _)| *p == k).unwrap().1[0].result.hit_rate()
+            cmp.iter().find(|(p, _)| *p == k).unwrap().1[0]
+                .result
+                .hit_rate()
         };
         assert!(rate(PolicyKind::Lru) > rate(PolicyKind::Random));
         assert!(rate(PolicyKind::History) > rate(PolicyKind::Random));
@@ -265,14 +370,16 @@ mod tests {
         let grid = file_removal_grid(&caches, n, &[0.0, 0.15], &[5], 1);
         let baseline = grid[0].1[0].result.hit_rate();
         let reduced = grid[1].1[0].result.hit_rate();
-        assert!(reduced > baseline * 0.8, "baseline {baseline}, reduced {reduced}");
+        assert!(
+            reduced > baseline * 0.8,
+            "baseline {baseline}, reduced {reduced}"
+        );
     }
 
     #[test]
     fn combined_table_runs_all_cells() {
         let (caches, n) = workload();
-        let table =
-            combined_removal_table(&caches, n, &[(0.05, 0.05), (0.15, 0.15)], &[5, 10], 1);
+        let table = combined_removal_table(&caches, n, &[(0.05, 0.05), (0.15, 0.15)], &[5, 10], 1);
         assert_eq!(table.len(), 2);
         assert_eq!(table[0].1.len(), 2);
     }

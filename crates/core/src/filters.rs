@@ -12,10 +12,7 @@ use edonkey_trace::model::FileRef;
 /// issue no requests.
 ///
 /// Ties at the cut boundary are broken by peer index for determinism.
-pub fn remove_top_uploaders(
-    caches: &[Vec<FileRef>],
-    fraction: f64,
-) -> (Vec<Vec<FileRef>>, usize) {
+pub fn remove_top_uploaders(caches: &[Vec<FileRef>], fraction: f64) -> (Vec<Vec<FileRef>>, usize) {
     assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
     let mut sharers: Vec<(usize, usize)> = caches
         .iter()
@@ -51,10 +48,15 @@ pub fn remove_top_files(
             counts[f.index()] += 1;
         }
     }
-    let mut ranked: Vec<u32> = (0..n_files as u32).filter(|&i| counts[i as usize] > 0).collect();
+    let mut ranked: Vec<u32> = (0..n_files as u32)
+        .filter(|&i| counts[i as usize] > 0)
+        .collect();
     ranked.sort_unstable_by_key(|&i| (std::cmp::Reverse(counts[i as usize]), i));
     let k = (ranked.len() as f64 * fraction).round() as usize;
-    let removed: Vec<FileRef> = ranked[..k.min(ranked.len())].iter().map(|&i| FileRef(i)).collect();
+    let removed: Vec<FileRef> = ranked[..k.min(ranked.len())]
+        .iter()
+        .map(|&i| FileRef(i))
+        .collect();
     let mut dead = vec![false; n_files];
     for f in &removed {
         dead[f.index()] = true;

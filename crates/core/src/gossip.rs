@@ -37,7 +37,12 @@ pub struct GossipConfig {
 
 impl Default for GossipConfig {
     fn default() -> Self {
-        GossipConfig { semantic_view: 20, random_view: 15, cycles: 25, seed: 0x905_51b }
+        GossipConfig {
+            semantic_view: 20,
+            random_view: 15,
+            cycles: 25,
+            seed: 0x905_51b,
+        }
     }
 }
 
@@ -58,7 +63,10 @@ pub fn build_overlay(caches: &[Vec<FileRef>], config: &GossipConfig) -> Semantic
     let n = caches.len();
     let mut rng = StdRng::seed_from_u64(config.seed);
     if n == 0 {
-        return SemanticOverlay { views: Vec::new(), cycles: 0 };
+        return SemanticOverlay {
+            views: Vec::new(),
+            cycles: 0,
+        };
     }
 
     // Bootstrap random views uniformly (in a deployment this is the
@@ -67,8 +75,7 @@ pub fn build_overlay(caches: &[Vec<FileRef>], config: &GossipConfig) -> Semantic
         .map(|p| {
             let mut view = Vec::with_capacity(config.random_view);
             let mut guard = 0;
-            while view.len() < config.random_view.min(n.saturating_sub(1)) && guard < 10_000
-            {
+            while view.len() < config.random_view.min(n.saturating_sub(1)) && guard < 10_000 {
                 guard += 1;
                 let pick = rng.gen_range(0..n) as Peer;
                 if pick as usize != p && !view.contains(&pick) {
@@ -81,16 +88,13 @@ pub fn build_overlay(caches: &[Vec<FileRef>], config: &GossipConfig) -> Semantic
 
     let mut semantic_views: Vec<Vec<Peer>> = vec![Vec::new(); n];
 
-    let overlap = |a: usize, b: usize| -> usize {
-        sorted_intersection_len(&caches[a], &caches[b])
-    };
+    let overlap = |a: usize, b: usize| -> usize { sorted_intersection_len(&caches[a], &caches[b]) };
 
     for cycle in 0..config.cycles {
         for p in 0..n {
             // --- bottom tier: shuffle the random view (CYCLON-style) ---
             if !random_views[p].is_empty() {
-                let partner =
-                    random_views[p][rng.gen_range(0..random_views[p].len())] as usize;
+                let partner = random_views[p][rng.gen_range(0..random_views[p].len())] as usize;
                 // Exchange a random half of each view.
                 let take_p: Vec<Peer> = sample_half(&random_views[p], &mut rng);
                 let take_q: Vec<Peer> = sample_half(&random_views[partner], &mut rng);
@@ -129,7 +133,10 @@ pub fn build_overlay(caches: &[Vec<FileRef>], config: &GossipConfig) -> Semantic
         let _ = cycle;
     }
 
-    SemanticOverlay { views: semantic_views, cycles: config.cycles }
+    SemanticOverlay {
+        views: semantic_views,
+        cycles: config.cycles,
+    }
 }
 
 /// Takes up to half of a view, uniformly, without replacement.
@@ -267,14 +274,20 @@ mod tests {
         // Random baseline: one gossip cycle only, before clustering bites.
         let cold = build_overlay(
             &caches,
-            &GossipConfig { cycles: 0, ..GossipConfig::default() },
+            &GossipConfig {
+                cycles: 0,
+                ..GossipConfig::default()
+            },
         );
         let cold_rate = overlay_hit_rate(&caches, n_files, &cold, 7);
         assert!(
             gossip_rate > cold_rate + 0.2,
             "converged {gossip_rate} vs cold {cold_rate}"
         );
-        assert!(gossip_rate > 0.6, "communities are near-duplicates: {gossip_rate}");
+        assert!(
+            gossip_rate > 0.6,
+            "communities are near-duplicates: {gossip_rate}"
+        );
     }
 
     #[test]
@@ -283,11 +296,17 @@ mod tests {
         let n_files = 8 * 20;
         let short = build_overlay(
             &caches,
-            &GossipConfig { cycles: 3, ..GossipConfig::default() },
+            &GossipConfig {
+                cycles: 3,
+                ..GossipConfig::default()
+            },
         );
         let long = build_overlay(
             &caches,
-            &GossipConfig { cycles: 40, ..GossipConfig::default() },
+            &GossipConfig {
+                cycles: 40,
+                ..GossipConfig::default()
+            },
         );
         let short_rate = overlay_hit_rate(&caches, n_files, &short, 3);
         let long_rate = overlay_hit_rate(&caches, n_files, &long, 3);

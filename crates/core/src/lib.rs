@@ -50,7 +50,7 @@ pub use experiment::{
     PAPER_LIST_SIZES,
 };
 pub use filters::{remove_top_files, remove_top_uploaders};
-pub use neighbours::{AnyPolicy, History, Lru, NeighbourPolicy, PolicyKind, RandomList, RareLru};
 pub use gossip::{build_overlay, overlay_hit_rate, GossipConfig, SemanticOverlay};
+pub use neighbours::{AnyPolicy, History, Lru, NeighbourPolicy, PolicyKind, RandomList, RareLru};
 pub use overlay::{simulate_overlay, OverlayConfig, OverlayDayStats};
 pub use sim::{simulate, SimConfig, SimResult};

@@ -76,7 +76,11 @@ impl Lru {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "neighbour list capacity must be positive");
-        Lru { list: Vec::with_capacity(capacity), members: HashSet::new(), capacity }
+        Lru {
+            list: Vec::with_capacity(capacity),
+            members: HashSet::new(),
+            capacity,
+        }
     }
 }
 
@@ -171,7 +175,11 @@ impl NeighbourPolicy for History {
         self.last_seen.insert(uploader, self.clock);
         if self.members.contains(&uploader) {
             // Re-sort its position upward.
-            let pos = self.list.iter().position(|&p| p == uploader).expect("member");
+            let pos = self
+                .list
+                .iter()
+                .position(|&p| p == uploader)
+                .expect("member");
             self.list.remove(pos);
         } else if self.list.len() == self.capacity {
             // Replace the tail only if the newcomer now outranks it.
@@ -241,7 +249,11 @@ impl RandomList {
                 list.push(pick);
             }
         }
-        RandomList { list, members, capacity }
+        RandomList {
+            list,
+            members,
+            capacity,
+        }
     }
 }
 
@@ -292,7 +304,10 @@ impl RareLru {
     ///
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize, max_sources: u32) -> Self {
-        RareLru { inner: Lru::new(capacity), max_sources }
+        RareLru {
+            inner: Lru::new(capacity),
+            max_sources,
+        }
     }
 }
 
@@ -521,7 +536,11 @@ mod tests {
     fn random_list_small_candidate_pool() {
         let mut rng = StdRng::seed_from_u64(2);
         let r = RandomList::new(10, 0, &[0, 1, 2], &mut rng);
-        assert_eq!(r.neighbours().len(), 2, "only two non-owner candidates exist");
+        assert_eq!(
+            r.neighbours().len(),
+            2,
+            "only two non-owner candidates exist"
+        );
     }
 
     #[test]
@@ -560,8 +579,7 @@ mod tests {
     #[test]
     fn any_policy_rare_lru_dispatch() {
         let mut rng = StdRng::seed_from_u64(4);
-        let mut p =
-            AnyPolicy::new(PolicyKind::RareLru { max_sources: 2 }, 3, 0, &[], &mut rng);
+        let mut p = AnyPolicy::new(PolicyKind::RareLru { max_sources: 2 }, 3, 0, &[], &mut rng);
         p.record_upload_with_popularity(5, 1);
         p.record_upload_with_popularity(6, 10);
         assert_eq!(p.neighbours(), &[5]);

@@ -36,7 +36,11 @@ pub struct OverlayConfig {
 impl OverlayConfig {
     /// LRU with the given list size.
     pub fn lru(list_size: usize) -> Self {
-        OverlayConfig { list_size, policy: PolicyKind::Lru, seed: 0x07e5_1a7  }
+        OverlayConfig {
+            list_size,
+            policy: PolicyKind::Lru,
+            seed: 0x007e_51a7,
+        }
     }
 }
 
@@ -103,12 +107,22 @@ pub fn simulate_overlay(
         .collect();
     let mut policies: Vec<AnyPolicy> = (0..n_peers)
         .map(|p| {
-            AnyPolicy::new(config.policy, config.list_size, p as Peer, &sharer_pool, &mut rng)
+            AnyPolicy::new(
+                config.policy,
+                config.list_size,
+                p as Peer,
+                &sharer_pool,
+                &mut rng,
+            )
         })
         .collect();
 
     let mut stats = Vec::with_capacity(days.len());
-    stats.push(OverlayDayStats { day: start_day, requests: 0, hits: 0 });
+    stats.push(OverlayDayStats {
+        day: start_day,
+        requests: 0,
+        hits: 0,
+    });
 
     // Yesterday's state: per-peer membership sets and per-file holders.
     let mut membership: Vec<HashSet<FileRef>> =
@@ -121,8 +135,11 @@ pub fn simulate_overlay(
     }
 
     for (offset, today) in days.iter().enumerate().skip(1) {
-        let mut day_stats =
-            OverlayDayStats { day: start_day + offset as u32, requests: 0, hits: 0 };
+        let mut day_stats = OverlayDayStats {
+            day: start_day + offset as u32,
+            requests: 0,
+            hits: 0,
+        };
         // The day's acquisitions, shuffled across peers so no peer gets
         // systematic first-mover advantage.
         let mut acquisitions: Vec<(Peer, FileRef)> = Vec::new();
@@ -207,8 +224,7 @@ mod tests {
                     // file.
                     let base = community * pool;
                     let lo = d as u32 + peer;
-                    let cache: Vec<FileRef> =
-                        (lo..lo + 6).map(|k| f(base + (k % pool))).collect();
+                    let cache: Vec<FileRef> = (lo..lo + 6).map(|k| f(base + (k % pool))).collect();
                     let mut cache = cache;
                     cache.sort_unstable_by_key(|fr| fr.0);
                     cache.dedup();
@@ -250,8 +266,12 @@ mod tests {
         assert!(simulate_overlay(&[], 0, 10, &OverlayConfig::lru(3)).is_empty());
         // A static world generates no requests after day 0.
         let day: Vec<Vec<FileRef>> = vec![vec![f(0)], vec![f(1)]];
-        let stats =
-            simulate_overlay(&[day.clone(), day.clone(), day], 0, 2, &OverlayConfig::lru(3));
+        let stats = simulate_overlay(
+            &[day.clone(), day.clone(), day],
+            0,
+            2,
+            &OverlayConfig::lru(3),
+        );
         assert!(stats.iter().all(|s| s.requests == 0));
         assert_eq!(steady_state_hit_rate(&stats, 0), 0.0);
     }

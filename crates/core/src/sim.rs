@@ -17,6 +17,7 @@
 //! requester's (one-hop) semantic neighbours, which is how the paper's
 //! Fig. 22 counts "messages per client".
 
+use edonkey_trace::compact::CacheArena;
 use edonkey_trace::model::FileRef;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -40,23 +41,37 @@ pub struct SimConfig {
 impl SimConfig {
     /// LRU with the given list size — the paper's default setup.
     pub fn lru(list_size: usize) -> Self {
-        SimConfig { list_size, policy: PolicyKind::Lru, two_hop: false, seed: 0x5eed }
+        SimConfig {
+            list_size,
+            policy: PolicyKind::Lru,
+            two_hop: false,
+            seed: 0x5eed,
+        }
     }
 
     /// Same, with the History policy.
     pub fn history(list_size: usize) -> Self {
-        SimConfig { policy: PolicyKind::History, ..Self::lru(list_size) }
+        SimConfig {
+            policy: PolicyKind::History,
+            ..Self::lru(list_size)
+        }
     }
 
     /// Same, with the Random benchmark.
     pub fn random(list_size: usize) -> Self {
-        SimConfig { policy: PolicyKind::Random, ..Self::lru(list_size) }
+        SimConfig {
+            policy: PolicyKind::Random,
+            ..Self::lru(list_size)
+        }
     }
 
     /// LRU recording only uploads of files with at most `max_sources`
     /// sources — the rare-file "popularity" policy of Section 5.3.2.
     pub fn rare_lru(list_size: usize, max_sources: u32) -> Self {
-        SimConfig { policy: PolicyKind::RareLru { max_sources }, ..Self::lru(list_size) }
+        SimConfig {
+            policy: PolicyKind::RareLru { max_sources },
+            ..Self::lru(list_size)
+        }
     }
 
     /// Enables two-hop search.
@@ -104,12 +119,17 @@ impl SimResult {
 
     /// Mean messages per peer over peers that received any.
     pub fn mean_load(&self) -> f64 {
-        let busy: Vec<u64> =
-            self.messages_per_peer.iter().copied().filter(|&m| m > 0).collect();
-        if busy.is_empty() {
-            return 0.0;
+        // Single fold, no intermediate allocation.
+        let (sum, busy) = self
+            .messages_per_peer
+            .iter()
+            .filter(|&&m| m > 0)
+            .fold((0u64, 0u64), |(s, n), &m| (s + m, n + 1));
+        if busy == 0 {
+            0.0
+        } else {
+            sum as f64 / busy as f64
         }
-        busy.iter().sum::<u64>() as f64 / busy.len() as f64
     }
 
     /// Peak messages on any single peer.
@@ -120,8 +140,12 @@ impl SimResult {
     /// Per-peer load sorted descending — the Fig. 22 curve
     /// (`messages` vs `client by rank`), zero-load peers omitted.
     pub fn load_by_rank(&self) -> Vec<u64> {
-        let mut loads: Vec<u64> =
-            self.messages_per_peer.iter().copied().filter(|&m| m > 0).collect();
+        let mut loads: Vec<u64> = self
+            .messages_per_peer
+            .iter()
+            .copied()
+            .filter(|&m| m > 0)
+            .collect();
         loads.sort_unstable_by(|a, b| b.cmp(a));
         loads
     }
@@ -150,6 +174,186 @@ impl SimResult {
 /// assert_eq!(result.requests + result.contributor_seeds, 4);
 /// ```
 pub fn simulate(caches: &[Vec<FileRef>], n_files: usize, config: &SimConfig) -> SimResult {
+    let arena = CacheArena::from_caches(caches, n_files);
+    simulate_arena(&arena, config)
+}
+
+/// Arena-backed [`simulate`] with fresh scratch buffers.
+pub fn simulate_arena(arena: &CacheArena, config: &SimConfig) -> SimResult {
+    simulate_arena_with_scratch(arena, config, &mut SimScratch::new())
+}
+
+/// Reusable simulation buffers.
+///
+/// One `simulate` run needs a request stream, a per-file sharer table
+/// and a per-peer membership mark; across a sweep those allocations
+/// dwarf the useful work for small traces. A `SimScratch` carried from
+/// run to run (e.g. one per worker thread via
+/// [`crate::experiment::parallel_map_init`]) reuses them: vectors are
+/// cleared, not freed, and the mark array is invalidated by bumping a
+/// generation counter instead of being rewritten.
+#[derive(Debug, Default)]
+pub struct SimScratch {
+    stream: Vec<(u32, FileRef)>,
+    sharers: Vec<Vec<Peer>>,
+    /// `mark[p] == generation` ⇔ peer `p` is a neighbour of the current
+    /// requester. Stale entries are invalidated by the generation bump —
+    /// never by clearing the array.
+    mark: Vec<u64>,
+    generation: u64,
+}
+
+impl SimScratch {
+    /// Creates empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// The arena-backed simulation core.
+///
+/// Behaviourally identical to the original `Vec<Vec<FileRef>>` +
+/// per-peer `HashSet` implementation (kept as [`simulate_reference`]):
+/// the request stream, every policy update and every RNG draw happen in
+/// the same order, so results are bit-identical for a given seed. What
+/// changed is the data layout:
+///
+/// * the stream is filled from contiguous arena rows instead of chasing
+///   per-peer heap allocations;
+/// * the "is this sharer one of my neighbours?" test is a generation-
+///   stamped mark-array probe, stamped for free during the (already
+///   mandatory) message-accounting walk over the requester's neighbour
+///   list, instead of a `HashSet` lookup per candidate sharer;
+/// * all large buffers live in `scratch` and are reused across runs.
+pub fn simulate_arena_with_scratch(
+    arena: &CacheArena,
+    config: &SimConfig,
+    scratch: &mut SimScratch,
+) -> SimResult {
+    let n_peers = arena.n_peers();
+    let n_files = arena.n_files();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Sharers (non-free-riders) are the candidate pool for random lists.
+    let sharer_pool: Vec<Peer> = (0..n_peers)
+        .filter(|&p| !arena.cache(p).is_empty())
+        .map(|p| p as Peer)
+        .collect();
+
+    let SimScratch {
+        stream,
+        sharers,
+        mark,
+        generation,
+    } = scratch;
+
+    // Request stream: a uniformly shuffled multiset of (peer, file).
+    stream.clear();
+    stream.reserve(arena.replica_count());
+    for p in 0..n_peers {
+        stream.extend(arena.cache(p).iter().map(|&f| (p as u32, f)));
+    }
+    shuffle(stream, &mut rng);
+
+    // Mutable simulation state.
+    let mut policies: Vec<AnyPolicy> = (0..n_peers)
+        .map(|p| {
+            AnyPolicy::new(
+                config.policy,
+                config.list_size,
+                p as Peer,
+                &sharer_pool,
+                &mut rng,
+            )
+        })
+        .collect();
+    if sharers.len() < n_files {
+        sharers.resize_with(n_files, Vec::new);
+    }
+    for s in &mut sharers[..n_files] {
+        s.clear();
+    }
+    if mark.len() < n_peers {
+        mark.resize(n_peers, 0);
+    }
+
+    let mut result = SimResult {
+        requests: 0,
+        one_hop_hits: 0,
+        two_hop_hits: 0,
+        contributor_seeds: 0,
+        messages_per_peer: vec![0; n_peers],
+    };
+
+    for &(peer, file) in stream.iter() {
+        let peer_idx = peer as usize;
+        if sharers[file.index()].is_empty() {
+            // Original contributor.
+            result.contributor_seeds += 1;
+            sharers[file.index()].push(peer);
+            continue;
+        }
+        result.requests += 1;
+
+        // Querying loads every one-hop neighbour; the same walk stamps
+        // the mark array for the membership probe below.
+        *generation += 1;
+        for &n in policies[peer_idx].neighbours() {
+            result.messages_per_peer[n as usize] += 1;
+            mark[n as usize] = *generation;
+        }
+
+        // One-hop: does any current sharer sit in the neighbour list?
+        // Iterating sharers (popularity-sized) beats iterating the list
+        // for rare files, and is equivalent.
+        let file_sharers = &sharers[file.index()];
+        let mut uploader: Option<Peer> = file_sharers
+            .iter()
+            .copied()
+            .find(|&s| mark[s as usize] == *generation);
+        let mut hop = 1;
+
+        // Two-hop: query each neighbour's neighbours.
+        if uploader.is_none() && config.two_hop {
+            'outer: for &n in policies[peer_idx].neighbours() {
+                for &s in file_sharers {
+                    if s != peer && policies[n as usize].contains(s) {
+                        uploader = Some(s);
+                        hop = 2;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+
+        match uploader {
+            Some(_) if hop == 1 => result.one_hop_hits += 1,
+            Some(_) => result.two_hop_hits += 1,
+            None => {
+                // Server fallback: a uniformly random current sharer
+                // uploads the file.
+                let pick = file_sharers[rng.gen_range(0..file_sharers.len())];
+                uploader = Some(pick);
+            }
+        }
+
+        let uploader = uploader.expect("an uploader always exists here");
+        let sources = sharers[file.index()].len() as u32;
+        policies[peer_idx].record_upload_with_popularity(uploader, sources);
+        sharers[file.index()].push(peer);
+    }
+
+    result
+}
+
+/// The original (pre-arena) implementation, kept verbatim as a
+/// correctness oracle: `deterministic_under_seed`, the property tests
+/// and the benchmark harness all compare the arena path against it.
+pub fn simulate_reference(
+    caches: &[Vec<FileRef>],
+    n_files: usize,
+    config: &SimConfig,
+) -> SimResult {
     let mut rng = StdRng::seed_from_u64(config.seed);
 
     // Sharers (non-free-riders) are the candidate pool for random lists.
@@ -171,7 +375,13 @@ pub fn simulate(caches: &[Vec<FileRef>], n_files: usize, config: &SimConfig) -> 
     // Mutable simulation state.
     let mut policies: Vec<AnyPolicy> = (0..caches.len())
         .map(|p| {
-            AnyPolicy::new(config.policy, config.list_size, p as Peer, &sharer_pool, &mut rng)
+            AnyPolicy::new(
+                config.policy,
+                config.list_size,
+                p as Peer,
+                &sharer_pool,
+                &mut rng,
+            )
         })
         .collect();
     // Who currently shares each file (grow-only), and each peer's
@@ -208,8 +418,7 @@ pub fn simulate(caches: &[Vec<FileRef>], n_files: usize, config: &SimConfig) -> 
         // Iterating sharers (popularity-sized) beats iterating the list
         // for rare files, and is equivalent.
         let policy = &policies[peer_idx];
-        let mut uploader: Option<Peer> =
-            file_sharers.iter().copied().find(|&s| policy.contains(s));
+        let mut uploader: Option<Peer> = file_sharers.iter().copied().find(|&s| policy.contains(s));
         let mut hop = 1;
 
         // Two-hop: query each neighbour's neighbours.
@@ -266,7 +475,9 @@ mod tests {
 
     /// A tight community: 10 peers sharing the same 20 files.
     fn community(n_peers: u32, n_files: u32) -> Vec<Vec<FileRef>> {
-        (0..n_peers).map(|_| (0..n_files).map(f).collect()).collect()
+        (0..n_peers)
+            .map(|_| (0..n_files).map(f).collect())
+            .collect()
     }
 
     #[test]
@@ -278,7 +489,10 @@ mod tests {
             200,
             "every (peer, file) pair is consumed exactly once"
         );
-        assert_eq!(result.contributor_seeds, 20, "each file has one contributor");
+        assert_eq!(
+            result.contributor_seeds, 20,
+            "each file has one contributor"
+        );
         assert!(result.hits() <= result.requests);
     }
 
@@ -317,7 +531,11 @@ mod tests {
     fn history_also_learns() {
         let caches = community(10, 40);
         let result = simulate(&caches, 40, &SimConfig::history(5));
-        assert!(result.hit_rate() > 0.5, "history hit rate {}", result.hit_rate());
+        assert!(
+            result.hit_rate() > 0.5,
+            "history hit rate {}",
+            result.hit_rate()
+        );
     }
 
     #[test]
@@ -367,6 +585,25 @@ mod tests {
         let c = simulate(&caches, 15, &SimConfig::lru(5).with_seed(10));
         // Different order, same accounting identity.
         assert_eq!(c.requests + c.contributor_seeds, 120);
+        // The arena rewrite preserves the RNG call sequence exactly, so
+        // the legacy implementation must agree bit-for-bit — across
+        // policies, hop modes and scratch reuse.
+        let mut scratch = SimScratch::new();
+        let arena = CacheArena::from_caches(&caches, 15);
+        for config in [
+            SimConfig::lru(5).with_seed(9),
+            SimConfig::lru(5).with_seed(10),
+            SimConfig::history(4).with_seed(9),
+            SimConfig::random(3).with_seed(9),
+            SimConfig::rare_lru(5, 3).with_seed(9),
+            SimConfig::lru(3).with_seed(9).with_two_hop(),
+        ] {
+            let legacy = simulate_reference(&caches, 15, &config);
+            let fresh = simulate(&caches, 15, &config);
+            let reused = simulate_arena_with_scratch(&arena, &config, &mut scratch);
+            assert_eq!(legacy, fresh, "config {config:?}");
+            assert_eq!(legacy, reused, "config {config:?} (reused scratch)");
+        }
     }
 
     #[test]

@@ -126,7 +126,10 @@ impl Client {
                     .any(|&f| population.files[f.index()].info.id == *file_id);
                 shared.then(|| {
                     // Every verified part is available in our model.
-                    Message::FileStatus { file_id: *file_id, parts: vec![0xff] }
+                    Message::FileStatus {
+                        file_id: *file_id,
+                        parts: vec![0xff],
+                    }
                 })
             }
             _ => None,
@@ -201,7 +204,11 @@ mod tests {
     fn hello_and_query_file() {
         let population = pop();
         let client = Client::new(&population, 3, false, true, 0.9);
-        let hello = Message::Hello { uid: Digest([9; 16]), nick: "crawler".into(), port: 1 };
+        let hello = Message::Hello {
+            uid: Digest([9; 16]),
+            nick: "crawler".into(),
+            port: 1,
+        };
         match client.handle(&hello, &[], &population) {
             Some(Message::HelloReply { uid, nick }) => {
                 assert_eq!(uid, client.uid);

@@ -73,10 +73,8 @@ impl CrawlerConfig {
     /// fractions of `peers` can be browsed per day — convenient when the
     /// population size varies.
     pub fn budget_for(mut self, peers: usize, coverage_start: f64, coverage_end: f64) -> Self {
-        self.budget_start =
-            (peers as f64 * coverage_start * self.seconds_per_browse as f64) as u64;
-        self.budget_end =
-            (peers as f64 * coverage_end * self.seconds_per_browse as f64) as u64;
+        self.budget_start = (peers as f64 * coverage_start * self.seconds_per_browse as f64) as u64;
+        self.budget_end = (peers as f64 * coverage_end * self.seconds_per_browse as f64) as u64;
         self
     }
 }
@@ -144,7 +142,10 @@ impl Crawler {
 
     /// Runs one crawl day against the network.
     pub fn crawl_day(&mut self, net: &mut Network<'_>, day_offset: u32, total_days: u32) {
-        let mut stats = CrawlDayStats { day_offset, ..Default::default() };
+        let mut stats = CrawlDayStats {
+            day_offset,
+            ..Default::default()
+        };
         if self.config.outage_days.contains(&day_offset) {
             stats.known_users = self.known.len();
             self.stats.push(stats);
@@ -179,19 +180,20 @@ impl Crawler {
         let mut stale: Vec<Digest> = Vec::new();
         while let Some((_, uid)) = queue.pop_until(budget) {
             stats.attempts += 1;
-            let Some(user) = self.known.get(&uid) else { continue };
+            let Some(user) = self.known.get(&uid) else {
+                continue;
+            };
             let client_idx = user.client_idx;
             // Reinstalls invalidate the address-book entry.
             if net.clients[client_idx].uid != uid {
                 stale.push(uid);
                 continue;
             }
-            match net.deliver_to_idx(client_idx, &Message::BrowseRequest) {
-                Some(Message::BrowseResult(files)) => {
-                    stats.browsed += 1;
-                    self.record(net, client_idx, &files);
-                }
-                Some(Message::BrowseDenied) | Some(_) | None => {}
+            if let Some(Message::BrowseResult(files)) =
+                net.deliver_to_idx(client_idx, &Message::BrowseRequest)
+            {
+                stats.browsed += 1;
+                self.record(net, client_idx, &files);
             }
         }
         for uid in stale {
@@ -220,9 +222,12 @@ impl Crawler {
             // already known in this simulation).
             let _ = server.handle(session, &Message::GetServerList);
             for pattern in &patterns {
-                let Some(Message::FoundUsers(users)) =
-                    server.handle(session, &Message::QueryUsers { pattern: pattern.clone() })
-                else {
+                let Some(Message::FoundUsers(users)) = server.handle(
+                    session,
+                    &Message::QueryUsers {
+                        pattern: pattern.clone(),
+                    },
+                ) else {
                     break; // Server without query-users: skip its sweep.
                 };
                 // Firewalled users are unreachable: filtered out.
@@ -242,7 +247,12 @@ impl Crawler {
     }
 
     /// Records a successful browse as a trace observation.
-    fn record(&mut self, net: &Network<'_>, client_idx: usize, files: &[edonkey_proto::wire::PublishedFile]) {
+    fn record(
+        &mut self,
+        net: &Network<'_>,
+        client_idx: usize,
+        files: &[edonkey_proto::wire::PublishedFile],
+    ) {
         let client = &net.clients[client_idx];
         let peer_info = &net.population.peers[client.peer_idx].info;
         let peer = self.builder.intern_peer(PeerInfo {
@@ -349,12 +359,19 @@ mod tests {
         let (trace, stats) = run_crawl(
             &population,
             NetConfig::default(),
-            CrawlerConfig { outage_days: vec![], ..Default::default() }
-                .budget_for(200, 1.2, 1.2),
+            CrawlerConfig {
+                outage_days: vec![],
+                ..Default::default()
+            }
+            .budget_for(200, 1.2, 1.2),
         );
         assert_eq!(trace.check_invariants(), Ok(()));
         assert_eq!(stats.len(), 5);
-        assert!(trace.peers.len() > 50, "crawler found {} peers", trace.peers.len());
+        assert!(
+            trace.peers.len() > 50,
+            "crawler found {} peers",
+            trace.peers.len()
+        );
         assert!(trace.days.len() >= 4);
         // Firewalled clients never appear: every observed peer is
         // reachable. (~25% of population is firewalled.)
@@ -367,12 +384,18 @@ mod tests {
         let (trace, stats) = run_crawl(
             &population,
             NetConfig::default(),
-            CrawlerConfig { outage_days: vec![1], ..Default::default() }
-                .budget_for(200, 1.2, 1.2),
+            CrawlerConfig {
+                outage_days: vec![1],
+                ..Default::default()
+            }
+            .budget_for(200, 1.2, 1.2),
         );
         assert_eq!(stats[1].attempts, 0);
         let day1 = population.config.start_day + 1;
-        assert!(trace.snapshot(day1).is_none(), "no snapshot on the outage day");
+        assert!(
+            trace.snapshot(day1).is_none(),
+            "no snapshot on the outage day"
+        );
     }
 
     #[test]
@@ -381,8 +404,11 @@ mod tests {
         let (_, stats) = run_crawl(
             &population,
             NetConfig::default(),
-            CrawlerConfig { outage_days: vec![], ..Default::default() }
-                .budget_for(200, 1.5, 0.2),
+            CrawlerConfig {
+                outage_days: vec![],
+                ..Default::default()
+            }
+            .budget_for(200, 1.5, 0.2),
         );
         let first = stats[1].browsed; // day 0 has a cold address book
         let last = stats.last().unwrap().browsed;
@@ -395,13 +421,18 @@ mod tests {
     #[test]
     fn browse_denial_and_firewalls_hide_clients() {
         let population = pop(3);
-        let mut net_config = NetConfig::default();
-        net_config.browse_disabled_prob = 1.0; // nobody answers browses
+        let net_config = NetConfig {
+            browse_disabled_prob: 1.0, // nobody answers browses
+            ..Default::default()
+        };
         let (trace, stats) = run_crawl(
             &population,
             net_config,
-            CrawlerConfig { outage_days: vec![], ..Default::default() }
-                .budget_for(200, 1.2, 1.2),
+            CrawlerConfig {
+                outage_days: vec![],
+                ..Default::default()
+            }
+            .budget_for(200, 1.2, 1.2),
         );
         assert_eq!(trace.peers.len(), 0, "all browses denied");
         assert!(stats.iter().all(|s| s.browsed == 0));

@@ -50,7 +50,12 @@ pub struct Source {
 impl Source {
     /// Creates a well-behaved source.
     pub fn new(name: impl Into<String>, seconds_per_part: u64) -> Self {
-        Source { name: name.into(), seconds_per_part, corrupt_every: 0, served: 0 }
+        Source {
+            name: name.into(),
+            seconds_per_part,
+            corrupt_every: 0,
+            served: 0,
+        }
     }
 
     /// Makes every `n`-th served part corrupt.
@@ -62,7 +67,7 @@ impl Source {
     /// Whether the next served part is corrupt, advancing the counter.
     fn serve(&mut self) -> bool {
         self.served += 1;
-        self.corrupt_every != 0 && self.served % self.corrupt_every == 0
+        self.corrupt_every != 0 && self.served.is_multiple_of(self.corrupt_every)
     }
 }
 
@@ -165,7 +170,11 @@ impl Download {
     pub fn run(mut self) -> DownloadReport {
         self.dispatch();
         while let Some((_, event)) = self.queue.pop() {
-            let DownloadEvent::PartDone { part, source, corrupt } = event;
+            let DownloadEvent::PartDone {
+                part,
+                source,
+                corrupt,
+            } = event;
             self.report.transfers += 1;
             if corrupt {
                 // Checksum mismatch: discard and ban the offender (a
@@ -181,8 +190,7 @@ impl Download {
             self.dispatch();
         }
         self.report.elapsed = self.queue.now();
-        self.report.complete =
-            self.parts.iter().all(|s| *s == PartState::Verified);
+        self.report.complete = self.parts.iter().all(|s| *s == PartState::Verified);
         self.report
     }
 
@@ -192,9 +200,7 @@ impl Download {
             if self.banned[source_idx] || self.source_busy(source_idx) {
                 continue;
             }
-            let Some(part) =
-                self.parts.iter().position(|s| *s == PartState::Missing)
-            else {
+            let Some(part) = self.parts.iter().position(|s| *s == PartState::Missing) else {
                 return;
             };
             self.parts[part] = PartState::InFlight { source: source_idx };
@@ -202,7 +208,11 @@ impl Download {
             let delay = self.sources[source_idx].seconds_per_part;
             self.queue.schedule_in(
                 delay,
-                DownloadEvent::PartDone { part, source: source_idx, corrupt },
+                DownloadEvent::PartDone {
+                    part,
+                    source: source_idx,
+                    corrupt,
+                },
             );
         }
     }
@@ -235,7 +245,12 @@ pub fn synthetic_hashset(seed: u64, n_parts: usize) -> PartHashes {
     // PART_SIZE-sized parts except a notional 1-byte tail keeps sizes
     // plausible without special-casing the exact-multiple rule.
     let size = (n_parts as u64 - 1) * PART_SIZE + 1;
-    PartHashesParts { parts, file_id, size }.into()
+    PartHashesParts {
+        parts,
+        file_id,
+        size,
+    }
+    .into()
 }
 
 /// Internal constructor bridge (PartHashes' fields are private).
@@ -327,7 +342,11 @@ mod tests {
         download.dispatch();
         for _ in 0..3 {
             let (_, event) = download.queue.pop().expect("event pending");
-            let DownloadEvent::PartDone { part, source, corrupt } = event;
+            let DownloadEvent::PartDone {
+                part,
+                source,
+                corrupt,
+            } = event;
             assert!(!corrupt);
             download.parts[part] = PartState::Verified;
             download.report.per_source[source] += 1;

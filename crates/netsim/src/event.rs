@@ -60,7 +60,11 @@ impl<E> Ord for Entry<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue at time 0.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), seq: 0, now: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+        }
     }
 
     /// The time of the most recently popped event (0 initially).
@@ -75,8 +79,16 @@ impl<E> EventQueue<E> {
     /// Panics if `time` is in the past (before the last popped event) —
     /// a scheduling bug that would silently reorder causality otherwise.
     pub fn schedule(&mut self, time: u64, event: E) {
-        assert!(time >= self.now, "scheduling into the past: {time} < {}", self.now);
-        self.heap.push(Reverse(Entry { time, seq: self.seq, event }));
+        assert!(
+            time >= self.now,
+            "scheduling into the past: {time} < {}",
+            self.now
+        );
+        self.heap.push(Reverse(Entry {
+            time,
+            seq: self.seq,
+            event,
+        }));
         self.seq += 1;
     }
 

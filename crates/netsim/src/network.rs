@@ -98,9 +98,11 @@ impl<'a> Network<'a> {
             .collect();
         let servers: Vec<Server> = (0..config.servers)
             .map(|i| {
-                let addr = SourceAddr { ip: 0xC0A8_0000 + i as u32, port: 4661 };
-                let supports =
-                    (i as f64) < config.query_users_fraction * config.servers as f64;
+                let addr = SourceAddr {
+                    ip: 0xC0A8_0000 + i as u32,
+                    port: 4661,
+                };
+                let supports = (i as f64) < config.query_users_fraction * config.servers as f64;
                 Server::new(addr, supports)
             })
             .collect();
@@ -165,8 +167,7 @@ impl<'a> Network<'a> {
             // Churn events.
             if self.rng.gen_bool(self.config.dhcp_daily_prob) {
                 let asn = self.population.peers[idx].info.asn;
-                self.clients[idx].ip =
-                    self.population.geography.ip_for(asn, self.dhcp_counter);
+                self.clients[idx].ip = self.population.geography.ip_for(asn, self.dhcp_counter);
                 self.dhcp_counter += 1;
             }
             if self.rng.gen_bool(self.config.reinstall_daily_prob) {
@@ -269,9 +270,11 @@ mod tests {
     #[test]
     fn churn_creates_aliases_eventually() {
         let population = pop();
-        let mut config = NetConfig::default();
-        config.dhcp_daily_prob = 0.5;
-        config.reinstall_daily_prob = 0.3;
+        let config = NetConfig {
+            dhcp_daily_prob: 0.5,
+            reinstall_daily_prob: 0.3,
+            ..Default::default()
+        };
         let mut net = Network::new(&population, config);
         let uids_before: Vec<_> = net.clients.iter().map(|c| c.uid).collect();
         let ips_before: Vec<_> = net.clients.iter().map(|c| c.ip).collect();
@@ -312,7 +315,10 @@ mod tests {
         assert!(matches!(reply, Some(Message::BrowseResult(_))));
         // Unknown uid.
         assert_eq!(
-            net.deliver(&edonkey_proto::md4::Digest([0xEE; 16]), &Message::BrowseRequest),
+            net.deliver(
+                &edonkey_proto::md4::Digest([0xEE; 16]),
+                &Message::BrowseRequest
+            ),
             None
         );
         // Offline client.

@@ -52,10 +52,7 @@ pub struct Server {
 fn trigrams(nick: &str) -> Vec<[u8; 3]> {
     let lower = nick.to_ascii_lowercase();
     let bytes = lower.as_bytes();
-    let mut grams: Vec<[u8; 3]> = bytes
-        .windows(3)
-        .map(|w| [w[0], w[1], w[2]])
-        .collect();
+    let mut grams: Vec<[u8; 3]> = bytes.windows(3).map(|w| [w[0], w[1], w[2]]).collect();
     grams.sort_unstable();
     grams.dedup();
     grams
@@ -104,7 +101,10 @@ impl Server {
     /// Returns the reply and the session key the caller must use for
     /// subsequent messages.
     pub fn connect(&mut self, msg: &Message, ip: u32) -> (Message, u32) {
-        let Message::Login { uid, nick, port, .. } = msg else {
+        let Message::Login {
+            uid, nick, port, ..
+        } = msg
+        else {
             panic!("connect expects a Login message, got {msg:?}");
         };
         // High-id clients are addressed by IP; firewalled clients get a
@@ -179,9 +179,7 @@ impl Server {
                 }
                 None
             }
-            Message::Search(query) => {
-                Some(Message::SearchResults(self.search(query)))
-            }
+            Message::Search(query) => Some(Message::SearchResults(self.search(query))),
             Message::QueryUsers { pattern } => {
                 if !self.supports_query_users {
                     // New servers silently drop the query ("a server
@@ -198,11 +196,17 @@ impl Server {
                         entries
                             .iter()
                             .filter(|(_, f)| f.ip != 0)
-                            .map(|(_, f)| SourceAddr { ip: f.ip, port: f.port })
+                            .map(|(_, f)| SourceAddr {
+                                ip: f.ip,
+                                port: f.port,
+                            })
                             .collect()
                     })
                     .unwrap_or_default();
-                Some(Message::FoundSources { file_id: *file_id, sources })
+                Some(Message::FoundSources {
+                    file_id: *file_id,
+                    sources,
+                })
             }
             Message::GetServerList => Some(Message::ServerList(self.server_list.clone())),
             other => panic!("server cannot handle {other:?}"),
@@ -213,7 +217,9 @@ impl Server {
     fn search(&self, query: &Query) -> Vec<PublishedFile> {
         let mut results = Vec::new();
         for sources in self.index.values() {
-            let Some((_, file)) = sources.first() else { continue };
+            let Some((_, file)) = sources.first() else {
+                continue;
+            };
             if query.matches(&meta_of(file, sources.len() as u32)) {
                 results.push(file.clone());
             }
@@ -243,11 +249,7 @@ impl Server {
             };
             self.nick_index
                 .get(&key)
-                .map(|ids| {
-                    ids.iter()
-                        .map(|id| record(&self.sessions[id]))
-                        .collect()
-                })
+                .map(|ids| ids.iter().map(|id| record(&self.sessions[id])).collect())
                 .unwrap_or_default()
         } else {
             self.sessions
@@ -264,7 +266,11 @@ impl Server {
 
 /// Reconstructs searchable metadata from a published file's tags.
 fn meta_of(file: &PublishedFile, availability: u32) -> FileMeta {
-    let name = file.tags.get_str(SpecialTag::Name).unwrap_or("").to_string();
+    let name = file
+        .tags
+        .get_str(SpecialTag::Name)
+        .unwrap_or("")
+        .to_string();
     let size = file
         .tags
         .get_u32(SpecialTag::Size)
@@ -319,7 +325,12 @@ mod tests {
     fn login_assigns_ids() {
         let mut s = Server::new(addr(1), true);
         let (reply, cid) = s.connect(&login(1, "alice"), 0x0a00_0001);
-        assert_eq!(reply, Message::IdChange { client_id: 0x0a00_0001 });
+        assert_eq!(
+            reply,
+            Message::IdChange {
+                client_id: 0x0a00_0001
+            }
+        );
         assert_eq!(cid, 0x0a00_0001);
         // Firewalled client gets a low id.
         let (_, low) = s.connect(&login(2, "bob"), 0);
@@ -341,24 +352,29 @@ mod tests {
         assert_eq!(s.file_count(), 2);
 
         let q = Query::parse("beatles AND type:Audio").unwrap();
-        let Some(Message::SearchResults(results)) = s.handle(cid, &Message::Search(q))
-        else {
+        let Some(Message::SearchResults(results)) = s.handle(cid, &Message::Search(q)) else {
             panic!("expected results");
         };
         assert_eq!(results.len(), 1);
         assert_eq!(results[0].file_id, Digest([1; 16]));
 
-        let Some(Message::FoundSources { sources, .. }) =
-            s.handle(cid, &Message::QuerySources { file_id: Digest([2; 16]) })
-        else {
+        let Some(Message::FoundSources { sources, .. }) = s.handle(
+            cid,
+            &Message::QuerySources {
+                file_id: Digest([2; 16]),
+            },
+        ) else {
             panic!("expected sources");
         };
         assert_eq!(sources, vec![SourceAddr { ip: 77, port: 4662 }]);
 
         // Unknown file: empty source list, not an error.
-        let Some(Message::FoundSources { sources, .. }) =
-            s.handle(cid, &Message::QuerySources { file_id: Digest([9; 16]) })
-        else {
+        let Some(Message::FoundSources { sources, .. }) = s.handle(
+            cid,
+            &Message::QuerySources {
+                file_id: Digest([9; 16]),
+            },
+        ) else {
             panic!("expected sources");
         };
         assert!(sources.is_empty());
@@ -368,10 +384,16 @@ mod tests {
     fn firewalled_sources_are_not_advertised() {
         let mut s = Server::new(addr(1), true);
         let (_, cid) = s.connect(&login(1, "x"), 0);
-        s.handle(cid, &Message::PublishFiles(vec![published(1, "f", 1, "Audio", 0)]));
-        let Some(Message::FoundSources { sources, .. }) =
-            s.handle(cid, &Message::QuerySources { file_id: Digest([1; 16]) })
-        else {
+        s.handle(
+            cid,
+            &Message::PublishFiles(vec![published(1, "f", 1, "Audio", 0)]),
+        );
+        let Some(Message::FoundSources { sources, .. }) = s.handle(
+            cid,
+            &Message::QuerySources {
+                file_id: Digest([1; 16]),
+            },
+        ) else {
             panic!()
         };
         assert!(sources.is_empty(), "low-id sources need a server relay");
@@ -384,15 +406,21 @@ mod tests {
             let nick = format!("aaa{i}");
             let (_, _cid) = s.connect(&login((i % 256) as u8, &nick), 1000 + i);
         }
-        let Some(Message::FoundUsers(users)) =
-            s.handle(1000, &Message::QueryUsers { pattern: "aaa".into() })
-        else {
+        let Some(Message::FoundUsers(users)) = s.handle(
+            1000,
+            &Message::QueryUsers {
+                pattern: "aaa".into(),
+            },
+        ) else {
             panic!()
         };
         assert_eq!(users.len(), Server::MAX_USER_REPLY);
-        let Some(Message::FoundUsers(users)) =
-            s.handle(1000, &Message::QueryUsers { pattern: "aaa7".into() })
-        else {
+        let Some(Message::FoundUsers(users)) = s.handle(
+            1000,
+            &Message::QueryUsers {
+                pattern: "aaa7".into(),
+            },
+        ) else {
             panic!()
         };
         assert_eq!(users.len(), 11, "aaa7, aaa7x, aaa17x…");
@@ -403,14 +431,25 @@ mod tests {
     fn query_users_unsupported_drops() {
         let mut s = Server::new(addr(1), false);
         let (_, cid) = s.connect(&login(1, "alice"), 5);
-        assert_eq!(s.handle(cid, &Message::QueryUsers { pattern: "ali".into() }), None);
+        assert_eq!(
+            s.handle(
+                cid,
+                &Message::QueryUsers {
+                    pattern: "ali".into()
+                }
+            ),
+            None
+        );
     }
 
     #[test]
     fn disconnect_unindexes() {
         let mut s = Server::new(addr(1), true);
         let (_, cid) = s.connect(&login(1, "x"), 5);
-        s.handle(cid, &Message::PublishFiles(vec![published(1, "f", 1, "Audio", 5)]));
+        s.handle(
+            cid,
+            &Message::PublishFiles(vec![published(1, "f", 1, "Audio", 5)]),
+        );
         assert_eq!(s.file_count(), 1);
         s.disconnect(cid);
         assert_eq!(s.user_count(), 0);
@@ -426,8 +465,7 @@ mod tests {
         s.learn_server(addr(2));
         s.learn_server(addr(1)); // self, ignored
         let (_, cid) = s.connect(&login(1, "x"), 5);
-        let Some(Message::ServerList(list)) = s.handle(cid, &Message::GetServerList)
-        else {
+        let Some(Message::ServerList(list)) = s.handle(cid, &Message::GetServerList) else {
             panic!()
         };
         assert_eq!(list, vec![addr(2)]);

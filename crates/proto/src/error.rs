@@ -38,7 +38,10 @@ impl fmt::Display for DecodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DecodeError::Truncated { needed, remaining } => {
-                write!(f, "truncated input: needed {needed} bytes, {remaining} remaining")
+                write!(
+                    f,
+                    "truncated input: needed {needed} bytes, {remaining} remaining"
+                )
             }
             DecodeError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
             DecodeError::BadTagType(t) => write!(f, "unknown tag type {t:#04x}"),
@@ -78,7 +81,9 @@ impl Writer {
 
     /// Creates a writer with `cap` bytes preallocated.
     pub fn with_capacity(cap: usize) -> Self {
-        Writer { buf: Vec::with_capacity(cap) }
+        Writer {
+            buf: Vec::with_capacity(cap),
+        }
     }
 
     /// Appends one byte.
@@ -114,8 +119,7 @@ impl Writer {
     /// (nicknames, file names, keywords) are far below this bound and a
     /// longer one indicates a caller bug.
     pub fn str16(&mut self, s: &str) {
-        let len =
-            u16::try_from(s.len()).expect("protocol strings are shorter than 64 KiB");
+        let len = u16::try_from(s.len()).expect("protocol strings are shorter than 64 KiB");
         self.u16(len);
         self.bytes(s.as_bytes());
     }
@@ -172,7 +176,10 @@ impl<'a> Reader<'a> {
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
         if self.remaining() < n {
-            return Err(DecodeError::Truncated { needed: n, remaining: self.remaining() });
+            return Err(DecodeError::Truncated {
+                needed: n,
+                remaining: self.remaining(),
+            });
         }
         let slice = &self.data[self.pos..self.pos + n];
         self.pos += n;
@@ -186,17 +193,23 @@ impl<'a> Reader<'a> {
 
     /// Reads a little-endian `u16`.
     pub fn u16(&mut self) -> Result<u16, DecodeError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("take(2)")))
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("take(2)"),
+        ))
     }
 
     /// Reads a little-endian `u32`.
     pub fn u32(&mut self) -> Result<u32, DecodeError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("take(4)")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("take(4)"),
+        ))
     }
 
     /// Reads a little-endian `u64`.
     pub fn u64(&mut self) -> Result<u64, DecodeError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("take(8)")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("take(8)"),
+        ))
     }
 
     /// Reads `n` raw bytes.
@@ -247,7 +260,10 @@ mod tests {
         let mut r = Reader::new(&[1, 2]);
         assert_eq!(
             r.u32(),
-            Err(DecodeError::Truncated { needed: 4, remaining: 2 })
+            Err(DecodeError::Truncated {
+                needed: 4,
+                remaining: 2
+            })
         );
         // A failed read must not consume input.
         assert_eq!(r.u16().unwrap(), 0x0201);
@@ -261,7 +277,10 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = DecodeError::Truncated { needed: 4, remaining: 1 };
+        let e = DecodeError::Truncated {
+            needed: 4,
+            remaining: 1,
+        };
         assert!(e.to_string().contains("needed 4"));
         assert!(DecodeError::BadOpcode(0x99).to_string().contains("0x99"));
     }

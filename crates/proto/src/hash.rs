@@ -112,7 +112,11 @@ impl PartHashes {
             Some(file_id),
             "file id must derive from the part digests"
         );
-        PartHashes { parts, file_id, size }
+        PartHashes {
+            parts,
+            file_id,
+            size,
+        }
     }
 
     /// Recomputes the file id from a raw list of part digests, as a client
@@ -162,7 +166,12 @@ impl Default for PartHasher {
 impl PartHasher {
     /// Creates a hasher with no data fed yet.
     pub fn new() -> Self {
-        PartHasher { parts: Vec::new(), current: Md4::new(), current_len: 0, total: 0 }
+        PartHasher {
+            parts: Vec::new(),
+            current: Md4::new(),
+            current_len: 0,
+            total: 0,
+        }
     }
 
     /// Feeds file bytes, rolling over part boundaries as needed.
@@ -175,7 +184,7 @@ impl PartHasher {
             self.total += take as u64;
             data = &data[take..];
             if self.current_len == PART_SIZE {
-                let done = std::mem::replace(&mut self.current, Md4::new());
+                let done = std::mem::take(&mut self.current);
                 self.parts.push(done.finalize());
                 self.current_len = 0;
             }
@@ -193,9 +202,12 @@ impl PartHasher {
         // or it hit the boundary exactly and this empty hasher is the
         // convention's zero-length final part.
         self.parts.push(self.current.finalize());
-        let file_id =
-            PartHashes::file_id_of_parts(&self.parts).expect("at least one part exists");
-        PartHashes { parts: self.parts, file_id, size: self.total }
+        let file_id = PartHashes::file_id_of_parts(&self.parts).expect("at least one part exists");
+        PartHashes {
+            parts: self.parts,
+            file_id,
+            size: self.total,
+        }
     }
 }
 

@@ -79,24 +79,6 @@ impl Digest {
     }
 }
 
-/// Serializes as a 32-character hex string (the ed2k convention), which
-/// keeps JSON traces human-readable.
-#[cfg(feature = "serde")]
-impl serde::Serialize for Digest {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.serialize_str(&self.to_hex())
-    }
-}
-
-#[cfg(feature = "serde")]
-impl<'de> serde::Deserialize<'de> for Digest {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let s = <String as serde::Deserialize>::deserialize(deserializer)?;
-        Digest::from_hex(&s)
-            .ok_or_else(|| serde::de::Error::custom("expected 32 hex digits"))
-    }
-}
-
 impl fmt::Display for Digest {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(&self.to_hex())
@@ -161,7 +143,12 @@ impl Md4 {
 
     /// Creates a fresh hasher.
     pub fn new() -> Self {
-        Md4 { state: Self::INIT, len: 0, buf: [0u8; 64], buf_len: 0 }
+        Md4 {
+            state: Self::INIT,
+            len: 0,
+            buf: [0u8; 64],
+            buf_len: 0,
+        }
     }
 
     /// One-shot digest of `data`.
@@ -303,7 +290,10 @@ mod tests {
             (b"a", "bde52cb31de33e46245e05fbdbd6fb24"),
             (b"abc", "a448017aaf21d8525fc10ae87aa6729d"),
             (b"message digest", "d9130a8164549fe818874806e1c7014b"),
-            (b"abcdefghijklmnopqrstuvwxyz", "d79e1c308aa5bbcdeea8ed63df412da9"),
+            (
+                b"abcdefghijklmnopqrstuvwxyz",
+                "d79e1c308aa5bbcdeea8ed63df412da9",
+            ),
             (
                 b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
                 "043f8582f241db351ce627e153e7f0e4",
@@ -374,6 +364,9 @@ mod tests {
         for _ in 0..1000 {
             hasher.update(&chunk);
         }
-        assert_eq!(hasher.finalize().to_hex(), "bbce80cc6bb65e5c6745e30d4eeca9a4");
+        assert_eq!(
+            hasher.finalize().to_hex(),
+            "bbce80cc6bb65e5c6745e30d4eeca9a4"
+        );
     }
 }

@@ -29,7 +29,6 @@ use crate::error::{DecodeError, Reader, Writer};
 /// megabytes, DivX movies are hundreds of megabytes — Fig. 6 of the
 /// paper), and Fig. 13 singles out *audio* files.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum FileKind {
     /// Music and other audio (typically 1–10 MB MP3s).
     Audio,
@@ -70,7 +69,10 @@ impl FileKind {
 
     /// Parses a tag string, case-insensitively.
     pub fn from_str_ci(s: &str) -> Option<FileKind> {
-        FileKind::ALL.iter().copied().find(|k| k.as_str().eq_ignore_ascii_case(s))
+        FileKind::ALL
+            .iter()
+            .copied()
+            .find(|k| k.as_str().eq_ignore_ascii_case(s))
     }
 }
 
@@ -98,13 +100,21 @@ pub struct FileMeta {
 impl FileMeta {
     /// Builds metadata with no bitrate and zero availability.
     pub fn new(name: impl Into<String>, size: u64, kind: FileKind) -> Self {
-        FileMeta { name: name.into(), size, kind, bitrate: None, availability: 0 }
+        FileMeta {
+            name: name.into(),
+            size,
+            kind,
+            bitrate: None,
+            availability: 0,
+        }
     }
 
     /// Whether `word` occurs in the file name, case-insensitively, as a
     /// substring (eDonkey keyword semantics are substring-per-keyword).
     fn contains_word(&self, word: &str) -> bool {
-        self.name.to_ascii_lowercase().contains(&word.to_ascii_lowercase())
+        self.name
+            .to_ascii_lowercase()
+            .contains(&word.to_ascii_lowercase())
     }
 }
 
@@ -200,9 +210,7 @@ impl Query {
         match self {
             Query::Keyword(w) => meta.contains_word(w),
             Query::KindIs(k) => meta.kind == *k,
-            Query::Greater(field, bound) => {
-                field.value_of(meta).is_some_and(|v| v > *bound)
-            }
+            Query::Greater(field, bound) => field.value_of(meta).is_some_and(|v| v > *bound),
             Query::Less(field, bound) => field.value_of(meta).is_some_and(|v| v < *bound),
             Query::And(a, b) => a.matches(meta) && b.matches(meta),
             Query::Or(a, b) => a.matches(meta) || b.matches(meta),
@@ -548,7 +556,10 @@ mod tests {
         assert!(!small.matches(&divx("b")));
         let hi_fi = Query::Greater(RangeField::Bitrate, 128);
         assert!(hi_fi.matches(&mp3("a")));
-        assert!(!hi_fi.matches(&divx("b")), "missing bitrate never matches a range");
+        assert!(
+            !hi_fi.matches(&divx("b")),
+            "missing bitrate never matches a range"
+        );
         let popular = Query::Greater(RangeField::Availability, 10);
         assert!(popular.matches(&divx("b")));
         assert!(!popular.matches(&mp3("a")));
@@ -577,7 +588,9 @@ mod tests {
         let q = Query::parse("(a OR b) AND c").unwrap();
         assert_eq!(
             q,
-            Query::keyword("a").or(Query::keyword("b")).and(Query::keyword("c"))
+            Query::keyword("a")
+                .or(Query::keyword("b"))
+                .and(Query::keyword("c"))
         );
         let q = Query::parse("NOT a AND b").unwrap();
         assert_eq!(q, Query::keyword("a").not().and(Query::keyword("b")));
@@ -585,7 +598,10 @@ mod tests {
 
     #[test]
     fn parse_atoms() {
-        assert_eq!(Query::parse("type:audio").unwrap(), Query::KindIs(FileKind::Audio));
+        assert_eq!(
+            Query::parse("type:audio").unwrap(),
+            Query::KindIs(FileKind::Audio)
+        );
         assert_eq!(
             Query::parse("size>1000").unwrap(),
             Query::Greater(RangeField::Size, 1000)
@@ -599,29 +615,51 @@ mod tests {
             Query::Greater(RangeField::Availability, 5)
         );
         // Words that merely start with a field name stay keywords.
-        assert_eq!(Query::parse("sizeable").unwrap(), Query::keyword("sizeable"));
+        assert_eq!(
+            Query::parse("sizeable").unwrap(),
+            Query::keyword("sizeable")
+        );
     }
 
     #[test]
     fn parse_errors() {
         assert!(matches!(Query::parse(""), Err(ParseError::UnexpectedEnd)));
-        assert!(matches!(Query::parse("(a"), Err(ParseError::UnbalancedParens)));
-        assert!(matches!(Query::parse("a b"), Err(ParseError::TrailingInput(_))));
-        assert!(matches!(Query::parse("type:music"), Err(ParseError::BadKind(_))));
-        assert!(matches!(Query::parse("size>abc"), Err(ParseError::BadNumber(_))));
-        assert!(matches!(Query::parse("size>>3"), Err(ParseError::BadNumber(_))));
-        assert!(matches!(Query::parse("size=3"), Err(ParseError::BadComparison(_))));
-        assert!(matches!(Query::parse("AND a"), Err(ParseError::UnexpectedToken(0))));
+        assert!(matches!(
+            Query::parse("(a"),
+            Err(ParseError::UnbalancedParens)
+        ));
+        assert!(matches!(
+            Query::parse("a b"),
+            Err(ParseError::TrailingInput(_))
+        ));
+        assert!(matches!(
+            Query::parse("type:music"),
+            Err(ParseError::BadKind(_))
+        ));
+        assert!(matches!(
+            Query::parse("size>abc"),
+            Err(ParseError::BadNumber(_))
+        ));
+        assert!(matches!(
+            Query::parse("size>>3"),
+            Err(ParseError::BadNumber(_))
+        ));
+        assert!(matches!(
+            Query::parse("size=3"),
+            Err(ParseError::BadComparison(_))
+        ));
+        assert!(matches!(
+            Query::parse("AND a"),
+            Err(ParseError::UnexpectedToken(0))
+        ));
     }
 
     #[test]
     fn wire_round_trip() {
         let queries = [
             Query::keyword("beatles"),
-            Query::parse("(madonna OR beatles) AND NOT type:Video AND size>1000000")
-                .unwrap(),
-            Query::Greater(RangeField::Availability, 3)
-                .and(Query::Less(RangeField::Bitrate, 320)),
+            Query::parse("(madonna OR beatles) AND NOT type:Video AND size>1000000").unwrap(),
+            Query::Greater(RangeField::Availability, 3).and(Query::Less(RangeField::Bitrate, 320)),
         ];
         for q in queries {
             let mut w = Writer::new();

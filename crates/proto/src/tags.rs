@@ -138,12 +138,18 @@ const TAG_TYPE_U32: u8 = 0x03;
 impl Tag {
     /// Builds a tag with a well-known name.
     pub fn special(name: SpecialTag, value: TagValue) -> Self {
-        Tag { name: TagName::Special(name), value }
+        Tag {
+            name: TagName::Special(name),
+            value,
+        }
     }
 
     /// Builds a tag with a custom string name.
     pub fn custom(name: impl Into<String>, value: TagValue) -> Self {
-        Tag { name: TagName::Custom(name.into()), value }
+        Tag {
+            name: TagName::Custom(name.into()),
+            value,
+        }
     }
 
     /// Appends the binary encoding of this tag to `w`.
@@ -326,7 +332,11 @@ mod tests {
         let tags = sample_tags();
         assert_eq!(tags.get_str(SpecialTag::Name), Some("Some Movie.avi"));
         assert_eq!(tags.get_u32(SpecialTag::Size), Some(734_003_200));
-        assert_eq!(tags.get_u32(SpecialTag::Name), None, "type mismatch yields None");
+        assert_eq!(
+            tags.get_u32(SpecialTag::Name),
+            None,
+            "type mismatch yields None"
+        );
         assert_eq!(tags.get(SpecialTag::Bitrate), None);
     }
 
@@ -352,7 +362,10 @@ mod tests {
     #[test]
     fn bad_tag_type_rejected() {
         let bytes = [0x7fu8, 1, 0, 0x01, 0, 0, 0, 0];
-        assert!(matches!(Tag::decode(&bytes), Err(DecodeError::BadTagType(0x7f))));
+        assert!(matches!(
+            Tag::decode(&bytes),
+            Err(DecodeError::BadTagType(0x7f))
+        ));
     }
 
     #[test]

@@ -59,7 +59,12 @@ impl PublishedFile {
         let ip = r.u32()?;
         let port = r.u16()?;
         let tags = TagList::read(r)?;
-        Ok(PublishedFile { file_id, ip, port, tags })
+        Ok(PublishedFile {
+            file_id,
+            ip,
+            port,
+            tags,
+        })
     }
 }
 
@@ -94,7 +99,13 @@ impl UserRecord {
         let nick = r.str16()?;
         let ip = r.u32()?;
         let port = r.u16()?;
-        Ok(UserRecord { uid, client_id, nick, ip, port })
+        Ok(UserRecord {
+            uid,
+            client_id,
+            nick,
+            ip,
+            port,
+        })
     }
 }
 
@@ -306,7 +317,10 @@ fn read_sources(r: &mut Reader<'_>) -> Result<Vec<SourceAddr>, DecodeError> {
     }
     let mut out = Vec::with_capacity(count as usize);
     for _ in 0..count {
-        out.push(SourceAddr { ip: r.u32()?, port: r.u16()? });
+        out.push(SourceAddr {
+            ip: r.u32()?,
+            port: r.u16()?,
+        });
     }
     Ok(out)
 }
@@ -343,7 +357,12 @@ impl Message {
     /// Encodes the message payload (opcode excluded) into `w`.
     pub fn encode_payload(&self, w: &mut Writer) {
         match self {
-            Message::Login { uid, nick, port, tags } => {
+            Message::Login {
+                uid,
+                nick,
+                port,
+                tags,
+            } => {
                 w.bytes(uid.as_bytes());
                 w.str16(nick);
                 w.u16(*port);
@@ -416,14 +435,25 @@ impl Message {
                 let nick = r.str16()?;
                 let port = r.u16()?;
                 let tags = TagList::read(&mut r)?;
-                Message::Login { uid, nick, port, tags }
+                Message::Login {
+                    uid,
+                    nick,
+                    port,
+                    tags,
+                }
             }
             OP_PUBLISH => Message::PublishFiles(read_published_files(&mut r)?),
             OP_SEARCH => Message::Search(Query::read(&mut r)?),
-            OP_QUERY_USERS => Message::QueryUsers { pattern: r.str16()? },
-            OP_QUERY_SOURCES => Message::QuerySources { file_id: read_digest(&mut r)? },
+            OP_QUERY_USERS => Message::QueryUsers {
+                pattern: r.str16()?,
+            },
+            OP_QUERY_SOURCES => Message::QuerySources {
+                file_id: read_digest(&mut r)?,
+            },
             OP_GET_SERVER_LIST => Message::GetServerList,
-            OP_ID_CHANGE => Message::IdChange { client_id: r.u32()? },
+            OP_ID_CHANGE => Message::IdChange {
+                client_id: r.u32()?,
+            },
             OP_SEARCH_RESULTS => Message::SearchResults(read_published_files(&mut r)?),
             OP_FOUND_USERS => {
                 let count = r.u32()?;
@@ -442,9 +472,10 @@ impl Message {
                 Message::FoundSources { file_id, sources }
             }
             OP_SERVER_LIST => Message::ServerList(read_sources(&mut r)?),
-            OP_SERVER_STATUS => {
-                Message::ServerStatus { users: r.u32()?, files: r.u32()? }
-            }
+            OP_SERVER_STATUS => Message::ServerStatus {
+                users: r.u32()?,
+                files: r.u32()?,
+            },
             OP_HELLO => {
                 let uid = read_digest(&mut r)?;
                 let nick = r.str16()?;
@@ -459,7 +490,9 @@ impl Message {
             OP_BROWSE_REQUEST => Message::BrowseRequest,
             OP_BROWSE_RESULT => Message::BrowseResult(read_published_files(&mut r)?),
             OP_BROWSE_DENIED => Message::BrowseDenied,
-            OP_QUERY_FILE => Message::QueryFile { file_id: read_digest(&mut r)? },
+            OP_QUERY_FILE => Message::QueryFile {
+                file_id: read_digest(&mut r)?,
+            },
             OP_FILE_STATUS => {
                 let file_id = read_digest(&mut r)?;
                 let len = r.u16()?;
@@ -475,7 +508,9 @@ impl Message {
                 }
                 Message::RequestParts { file_id, ranges }
             }
-            OP_QUERY_HASHSET => Message::QueryHashset { file_id: read_digest(&mut r)? },
+            OP_QUERY_HASHSET => Message::QueryHashset {
+                file_id: read_digest(&mut r)?,
+            },
             OP_HASHSET => {
                 let file_id = read_digest(&mut r)?;
                 let parts = read_digest_list(&mut r)?;
@@ -570,10 +605,16 @@ mod tests {
             },
             Message::PublishFiles(vec![sample_file(2), sample_file(3)]),
             Message::Search(Query::keyword("beatles")),
-            Message::QueryUsers { pattern: "aab".into() },
-            Message::QuerySources { file_id: Digest([9; 16]) },
+            Message::QueryUsers {
+                pattern: "aab".into(),
+            },
+            Message::QuerySources {
+                file_id: Digest([9; 16]),
+            },
             Message::GetServerList,
-            Message::IdChange { client_id: 0x0a00_0001 },
+            Message::IdChange {
+                client_id: 0x0a00_0001,
+            },
             Message::SearchResults(vec![sample_file(4)]),
             Message::FoundUsers(vec![UserRecord {
                 uid: uid(5),
@@ -587,20 +628,40 @@ mod tests {
                 sources: vec![SourceAddr { ip: 1, port: 2 }, SourceAddr { ip: 3, port: 4 }],
             },
             Message::ServerList(vec![SourceAddr { ip: 5, port: 4661 }]),
-            Message::ServerStatus { users: 200_000, files: 11_000_000 },
-            Message::Hello { uid: uid(7), nick: "peer".into(), port: 4662 },
-            Message::HelloReply { uid: uid(8), nick: "other".into() },
+            Message::ServerStatus {
+                users: 200_000,
+                files: 11_000_000,
+            },
+            Message::Hello {
+                uid: uid(7),
+                nick: "peer".into(),
+                port: 4662,
+            },
+            Message::HelloReply {
+                uid: uid(8),
+                nick: "other".into(),
+            },
             Message::BrowseRequest,
             Message::BrowseResult(vec![sample_file(10)]),
             Message::BrowseDenied,
-            Message::QueryFile { file_id: Digest([11; 16]) },
-            Message::FileStatus { file_id: Digest([12; 16]), parts: vec![0b1010_1010, 0x01] },
+            Message::QueryFile {
+                file_id: Digest([11; 16]),
+            },
+            Message::FileStatus {
+                file_id: Digest([12; 16]),
+                parts: vec![0b1010_1010, 0x01],
+            },
             Message::RequestParts {
                 file_id: Digest([13; 16]),
                 ranges: vec![(0, 9_728_000), (9_728_000, 19_456_000)],
             },
-            Message::QueryHashset { file_id: Digest([14; 16]) },
-            Message::Hashset { file_id: Digest([15; 16]), parts: vec![uid(1), uid(2)] },
+            Message::QueryHashset {
+                file_id: Digest([14; 16]),
+            },
+            Message::Hashset {
+                file_id: Digest([15; 16]),
+                parts: vec![uid(1), uid(2)],
+            },
         ]
     }
 
@@ -620,7 +681,11 @@ mod tests {
         let msgs = all_messages();
         let mut seen = std::collections::HashSet::new();
         for m in &msgs {
-            assert!(seen.insert(m.opcode()), "duplicate opcode {:#04x}", m.opcode());
+            assert!(
+                seen.insert(m.opcode()),
+                "duplicate opcode {:#04x}",
+                m.opcode()
+            );
         }
     }
 

@@ -1,0 +1,311 @@
+//! Columnar cache storage: the whole population's caches in one arena.
+//!
+//! The analyses and simulations in this workspace all consume "who
+//! shares what" as `&[Vec<FileRef>]` — one heap allocation per peer,
+//! scattered across the heap, cloned wholesale whenever a day snapshot
+//! is viewed peer-indexed. [`CacheArena`] replaces that with a CSR
+//! (compressed sparse row) layout: every cache concatenated into one
+//! flat sorted `Vec<FileRef>` plus a per-peer offset table. Per-peer
+//! views are cheap slices, membership is a binary search over a
+//! cache-resident range, and the inverted view (which peers hold file
+//! `f`) is a second CSR built once on demand by counting sort.
+//!
+//! ```
+//! use edonkey_trace::compact::CacheArena;
+//! use edonkey_trace::model::FileRef;
+//!
+//! let caches = vec![vec![FileRef(0), FileRef(2)], vec![FileRef(2)]];
+//! let arena = CacheArena::from_caches(&caches, 3);
+//! assert_eq!(arena.cache(0), &[FileRef(0), FileRef(2)]);
+//! assert!(arena.contains(1, FileRef(2)));
+//! assert_eq!(arena.holders(FileRef(2)), &[0, 1]);
+//! ```
+
+use std::sync::OnceLock;
+
+use crate::model::{DaySnapshot, FileRef, Trace};
+
+/// All peer caches in one flat, sorted, columnar allocation.
+///
+/// Rows (peers) are contiguous ranges of `files`; `offsets[p]..offsets[p+1]`
+/// delimits peer `p`'s cache, which is sorted and deduplicated. The
+/// inverted holders index is built lazily, once, behind a [`OnceLock`].
+#[derive(Debug)]
+pub struct CacheArena {
+    /// Concatenated caches; each peer's range is sorted + deduplicated.
+    files: Vec<FileRef>,
+    /// `offsets[p]..offsets[p + 1]` is peer `p`'s range. Length `n_peers + 1`.
+    offsets: Vec<u32>,
+    /// Exclusive upper bound of the file-id space.
+    n_files: usize,
+    /// Inverted index, built on first use.
+    holders: OnceLock<HoldersIndex>,
+}
+
+/// CSR inverted index: for each file, the sorted peers holding it.
+#[derive(Debug)]
+struct HoldersIndex {
+    /// Concatenated holder lists, each sorted ascending by peer id.
+    peers: Vec<u32>,
+    /// `offsets[f]..offsets[f + 1]` is file `f`'s holder range.
+    offsets: Vec<u32>,
+}
+
+impl CacheArena {
+    /// Builds an arena from per-peer caches.
+    ///
+    /// Caches are normalized (sorted, deduplicated) on the way in, so
+    /// arbitrary input is accepted; already-normal input (everything the
+    /// trace model produces) is copied without re-sorting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `FileRef` is `>= n_files`, or if the total replica
+    /// count overflows the `u32` offset table (4 billion replicas is far
+    /// beyond the paper's scale).
+    pub fn from_caches(caches: &[Vec<FileRef>], n_files: usize) -> Self {
+        Self::build(caches.len(), n_files, |p| &caches[p])
+    }
+
+    /// Builds a peer-indexed arena from one day's snapshot: slot `p`
+    /// holds peer `p`'s cache that day, empty when the peer was not
+    /// observed. This replaces the `Vec<Vec<FileRef>>` scatter-clone the
+    /// per-day analyses previously performed.
+    pub fn from_snapshot(snapshot: &DaySnapshot, n_peers: usize, n_files: usize) -> Self {
+        let mut by_peer: Vec<&[FileRef]> = vec![&[]; n_peers];
+        for (peer, cache) in &snapshot.caches {
+            by_peer[peer.index()] = cache;
+        }
+        Self::build(n_peers, n_files, |p| by_peer[p])
+    }
+
+    /// Builds the static (union-over-days) arena for a whole trace —
+    /// the arena equivalent of [`Trace::static_caches`].
+    pub fn from_trace_static(trace: &Trace) -> Self {
+        Self::from_caches(&trace.static_caches(), trace.files.len())
+    }
+
+    fn build<'a>(
+        n_peers: usize,
+        n_files: usize,
+        cache_of: impl Fn(usize) -> &'a [FileRef],
+    ) -> Self {
+        let total: usize = (0..n_peers).map(|p| cache_of(p).len()).sum();
+        assert!(
+            total <= u32::MAX as usize,
+            "replica count overflows u32 offsets"
+        );
+        let mut files = Vec::with_capacity(total);
+        let mut offsets = Vec::with_capacity(n_peers + 1);
+        offsets.push(0u32);
+        let mut scratch: Vec<FileRef> = Vec::new();
+        for p in 0..n_peers {
+            let cache = cache_of(p);
+            let normal = cache.windows(2).all(|w| w[0] < w[1]);
+            let cache: &[FileRef] = if normal {
+                cache
+            } else {
+                scratch.clear();
+                scratch.extend_from_slice(cache);
+                scratch.sort_unstable();
+                scratch.dedup();
+                &scratch
+            };
+            if let Some(last) = cache.last() {
+                assert!(
+                    last.index() < n_files,
+                    "file ref {last} out of range (n_files = {n_files})"
+                );
+            }
+            files.extend_from_slice(cache);
+            offsets.push(files.len() as u32);
+        }
+        CacheArena {
+            files,
+            offsets,
+            n_files,
+            holders: OnceLock::new(),
+        }
+    }
+
+    /// Number of peers (rows).
+    pub fn n_peers(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Exclusive upper bound of the file-id space.
+    pub fn n_files(&self) -> usize {
+        self.n_files
+    }
+
+    /// Total replicas (sum of cache sizes).
+    pub fn replica_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Peer `p`'s cache: a sorted, deduplicated slice.
+    pub fn cache(&self, peer: usize) -> &[FileRef] {
+        let lo = self.offsets[peer] as usize;
+        let hi = self.offsets[peer + 1] as usize;
+        &self.files[lo..hi]
+    }
+
+    /// Whether peer `p` shares `file` — binary search within one row.
+    pub fn contains(&self, peer: usize, file: FileRef) -> bool {
+        self.cache(peer).binary_search(&file).is_ok()
+    }
+
+    /// Iterates all caches in peer order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &[FileRef]> + '_ {
+        (0..self.n_peers()).map(move |p| self.cache(p))
+    }
+
+    /// Peers holding `file`, sorted ascending. Builds the inverted
+    /// index on first call (counting sort, O(replicas + n_files)); all
+    /// later calls are slice lookups.
+    pub fn holders(&self, file: FileRef) -> &[u32] {
+        let index = self.holders_index();
+        let lo = index.offsets[file.index()] as usize;
+        let hi = index.offsets[file.index() + 1] as usize;
+        &index.peers[lo..hi]
+    }
+
+    /// Forces the inverted index to exist. Useful before fanning out
+    /// worker threads so the build happens once up front instead of the
+    /// first worker building it while the rest block on the lock.
+    pub fn ensure_holders(&self) {
+        self.holders_index();
+    }
+
+    fn holders_index(&self) -> &HoldersIndex {
+        self.holders.get_or_init(|| {
+            // Counting sort: histogram of per-file replica counts →
+            // prefix sums → one placement pass in peer order, which
+            // leaves every holder list sorted by construction.
+            let mut offsets = vec![0u32; self.n_files + 1];
+            for f in &self.files {
+                offsets[f.index() + 1] += 1;
+            }
+            for i in 1..offsets.len() {
+                offsets[i] += offsets[i - 1];
+            }
+            let mut cursor = offsets.clone();
+            let mut peers = vec![0u32; self.files.len()];
+            for p in 0..self.n_peers() {
+                for f in self.cache(p) {
+                    let slot = cursor[f.index()];
+                    peers[slot as usize] = p as u32;
+                    cursor[f.index()] += 1;
+                }
+            }
+            HoldersIndex { peers, offsets }
+        })
+    }
+
+    /// Converts back to the legacy per-peer `Vec` representation, for
+    /// callers not yet ported to arena slices.
+    pub fn to_caches(&self) -> Vec<Vec<FileRef>> {
+        self.iter().map(<[FileRef]>::to_vec).collect()
+    }
+}
+
+impl Clone for CacheArena {
+    fn clone(&self) -> Self {
+        // The lazily-built index is cheap to rebuild; don't clone it.
+        CacheArena {
+            files: self.files.clone(),
+            offsets: self.offsets.clone(),
+            n_files: self.n_files,
+            holders: OnceLock::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::PeerId;
+
+    fn f(i: u32) -> FileRef {
+        FileRef(i)
+    }
+
+    #[test]
+    fn round_trips_and_slices() {
+        let caches = vec![vec![f(0), f(2), f(4)], vec![], vec![f(2)], vec![f(1), f(2)]];
+        let arena = CacheArena::from_caches(&caches, 5);
+        assert_eq!(arena.n_peers(), 4);
+        assert_eq!(arena.n_files(), 5);
+        assert_eq!(arena.replica_count(), 6);
+        for (p, cache) in caches.iter().enumerate() {
+            assert_eq!(arena.cache(p), cache.as_slice());
+        }
+        assert_eq!(arena.to_caches(), caches);
+        assert_eq!(arena.iter().len(), 4);
+    }
+
+    #[test]
+    fn normalizes_unsorted_input() {
+        let caches = vec![vec![f(3), f(1), f(3), f(0)]];
+        let arena = CacheArena::from_caches(&caches, 4);
+        assert_eq!(arena.cache(0), &[f(0), f(1), f(3)]);
+    }
+
+    #[test]
+    fn membership() {
+        let caches = vec![vec![f(0), f(2)], vec![f(1)]];
+        let arena = CacheArena::from_caches(&caches, 3);
+        assert!(arena.contains(0, f(0)));
+        assert!(!arena.contains(0, f(1)));
+        assert!(arena.contains(1, f(1)));
+        assert!(!arena.contains(1, f(2)));
+    }
+
+    #[test]
+    fn holders_index_matches_brute_force() {
+        let caches = vec![
+            vec![f(0), f(1), f(2)],
+            vec![f(1)],
+            vec![],
+            vec![f(0), f(2)],
+            vec![f(2)],
+        ];
+        let arena = CacheArena::from_caches(&caches, 4);
+        for file in 0..4u32 {
+            let expected: Vec<u32> = caches
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.contains(&f(file)))
+                .map(|(p, _)| p as u32)
+                .collect();
+            assert_eq!(arena.holders(f(file)), expected.as_slice(), "file {file}");
+        }
+    }
+
+    #[test]
+    fn snapshot_arena_is_peer_indexed() {
+        let mut snap = DaySnapshot::new(7);
+        snap.insert(PeerId(1), vec![f(0), f(1)]);
+        snap.insert(PeerId(3), vec![f(1)]);
+        let arena = CacheArena::from_snapshot(&snap, 5, 2);
+        assert_eq!(arena.n_peers(), 5);
+        assert_eq!(arena.cache(0), &[] as &[FileRef]);
+        assert_eq!(arena.cache(1), &[f(0), f(1)]);
+        assert_eq!(arena.cache(3), &[f(1)]);
+        assert_eq!(arena.holders(f(1)), &[1, 3]);
+    }
+
+    #[test]
+    fn clone_drops_lazy_index() {
+        let arena = CacheArena::from_caches(&[vec![f(0)]], 1);
+        assert_eq!(arena.holders(f(0)), &[0]);
+        let cloned = arena.clone();
+        assert_eq!(cloned.holders(f(0)), &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_refs() {
+        CacheArena::from_caches(&[vec![f(9)]], 3);
+    }
+}

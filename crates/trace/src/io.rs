@@ -26,8 +26,8 @@ use crate::model::{CountryCode, DaySnapshot, FileInfo, FileRef, PeerId, PeerInfo
 pub enum TraceIoError {
     /// Underlying filesystem error.
     Io(io::Error),
-    /// JSON (de)serialization error.
-    Json(serde_json::Error),
+    /// JSON syntax or schema error.
+    Json(String),
     /// Compact-format syntax error with line number and message.
     Parse {
         /// 1-based line number.
@@ -60,25 +60,310 @@ impl From<io::Error> for TraceIoError {
     }
 }
 
-impl From<serde_json::Error> for TraceIoError {
-    fn from(e: serde_json::Error) -> Self {
-        TraceIoError::Json(e)
-    }
-}
-
 /// Saves a trace as JSON.
 pub fn save_json(trace: &Trace, path: &Path) -> Result<(), TraceIoError> {
-    let json = serde_json::to_string(trace)?;
-    fs::write(path, json)?;
+    fs::write(path, to_json(trace))?;
     Ok(())
 }
 
 /// Loads a JSON trace and validates its invariants.
 pub fn load_json(path: &Path) -> Result<Trace, TraceIoError> {
     let data = fs::read_to_string(path)?;
-    let trace: Trace = serde_json::from_str(&data)?;
+    let trace = from_json(&data)?;
     trace.check_invariants().map_err(TraceIoError::Invalid)?;
     Ok(trace)
+}
+
+/// Serializes a trace as JSON (hand-rolled: this workspace carries no
+/// serde dependency — see DESIGN.md's note on vendored/offline deps).
+///
+/// Schema:
+///
+/// ```json
+/// {"files":[{"id":"<hex32>","size":1,"kind":"Audio"}],
+///  "peers":[{"uid":"<hex32>","ip":1,"country":"FR","asn":3215}],
+///  "days":[{"day":350,"caches":[[0,[0,2]]]}]}
+/// ```
+pub fn to_json(trace: &Trace) -> String {
+    let mut out = String::with_capacity(64 * (trace.files.len() + trace.peers.len()));
+    out.push_str("{\"files\":[");
+    for (i, f) in trace.files.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write!(
+            out,
+            "{{\"id\":\"{}\",\"size\":{},\"kind\":\"{}\"}}",
+            f.id.to_hex(),
+            f.size,
+            f.kind
+        )
+        .expect("string write");
+    }
+    out.push_str("],\"peers\":[");
+    for (i, p) in trace.peers.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write!(
+            out,
+            "{{\"uid\":\"{}\",\"ip\":{},\"country\":\"{}\",\"asn\":{}}}",
+            p.uid.to_hex(),
+            p.ip,
+            p.country,
+            p.asn
+        )
+        .expect("string write");
+    }
+    out.push_str("],\"days\":[");
+    for (i, day) in trace.days.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write!(out, "{{\"day\":{},\"caches\":[", day.day).expect("string write");
+        for (j, (peer, cache)) in day.caches.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            write!(out, "[{},[", peer.0).expect("string write");
+            for (k, f) in cache.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                write!(out, "{}", f.0).expect("string write");
+            }
+            out.push_str("]]");
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Parses the JSON trace schema written by [`to_json`].
+///
+/// Whitespace-tolerant; field order within objects is fixed (this is a
+/// private interchange format, not a general JSON reader).
+pub fn from_json(text: &str) -> Result<Trace, TraceIoError> {
+    let mut p = JsonCursor {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let mut trace = Trace::new();
+    p.expect(b'{')?;
+    p.key("files")?;
+    p.expect(b'[')?;
+    if !p.try_consume(b']') {
+        loop {
+            p.expect(b'{')?;
+            p.key("id")?;
+            let id = p.hex_digest()?;
+            p.expect(b',')?;
+            p.key("size")?;
+            let size = p.number()?;
+            p.expect(b',')?;
+            p.key("kind")?;
+            let kind_str = p.string()?;
+            let kind = FileKind::from_str_ci(&kind_str)
+                .ok_or_else(|| p.error(&format!("unknown file kind {kind_str:?}")))?;
+            p.expect(b'}')?;
+            trace.files.push(FileInfo { id, size, kind });
+            if !p.try_consume(b',') {
+                break;
+            }
+        }
+        p.expect(b']')?;
+    }
+    p.expect(b',')?;
+    p.key("peers")?;
+    p.expect(b'[')?;
+    if !p.try_consume(b']') {
+        loop {
+            p.expect(b'{')?;
+            p.key("uid")?;
+            let uid = p.hex_digest()?;
+            p.expect(b',')?;
+            p.key("ip")?;
+            let ip = p.number()? as u32;
+            p.expect(b',')?;
+            p.key("country")?;
+            let cc = p.string()?;
+            if cc.len() != 2 || !cc.bytes().all(|b| b.is_ascii_alphabetic()) {
+                return Err(p.error(&format!("bad country code {cc:?}")));
+            }
+            p.expect(b',')?;
+            p.key("asn")?;
+            let asn = p.number()? as u32;
+            p.expect(b'}')?;
+            trace.peers.push(PeerInfo {
+                uid,
+                ip,
+                country: CountryCode::new(&cc),
+                asn,
+            });
+            if !p.try_consume(b',') {
+                break;
+            }
+        }
+        p.expect(b']')?;
+    }
+    p.expect(b',')?;
+    p.key("days")?;
+    p.expect(b'[')?;
+    if !p.try_consume(b']') {
+        loop {
+            p.expect(b'{')?;
+            p.key("day")?;
+            let day_no = p.number()? as u32;
+            let mut snapshot = DaySnapshot::new(day_no);
+            p.expect(b',')?;
+            p.key("caches")?;
+            p.expect(b'[')?;
+            if !p.try_consume(b']') {
+                loop {
+                    p.expect(b'[')?;
+                    let peer = PeerId(p.number()? as u32);
+                    p.expect(b',')?;
+                    p.expect(b'[')?;
+                    let mut cache = Vec::new();
+                    if !p.try_consume(b']') {
+                        loop {
+                            cache.push(FileRef(p.number()? as u32));
+                            if !p.try_consume(b',') {
+                                break;
+                            }
+                        }
+                        p.expect(b']')?;
+                    }
+                    p.expect(b']')?;
+                    if snapshot.cache_of(peer).is_some() {
+                        return Err(p.error(&format!("duplicate peer {peer} in day {day_no}")));
+                    }
+                    snapshot.insert(peer, cache);
+                    if !p.try_consume(b',') {
+                        break;
+                    }
+                }
+                p.expect(b']')?;
+            }
+            p.expect(b'}')?;
+            trace.days.push(snapshot);
+            if !p.try_consume(b',') {
+                break;
+            }
+        }
+        p.expect(b']')?;
+    }
+    p.expect(b'}')?;
+    p.end()?;
+    trace.check_invariants().map_err(TraceIoError::Invalid)?;
+    Ok(trace)
+}
+
+/// Byte cursor for the fixed-schema JSON reader.
+struct JsonCursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl JsonCursor<'_> {
+    fn error(&self, message: &str) -> TraceIoError {
+        TraceIoError::Json(format!("at byte {}: {}", self.pos, message))
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), TraceIoError> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!(
+                "expected {:?}, found {:?}",
+                c as char,
+                self.bytes.get(self.pos).map(|&b| b as char)
+            )))
+        }
+    }
+
+    fn try_consume(&mut self, c: u8) -> bool {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes `"name":`.
+    fn key(&mut self, name: &str) -> Result<(), TraceIoError> {
+        let found = self.string()?;
+        if found != name {
+            return Err(self.error(&format!("expected key {name:?}, found {found:?}")));
+        }
+        self.expect(b':')
+    }
+
+    /// Consumes a string literal (no escape support: the schema only
+    /// carries hex digests, country codes and kind names).
+    fn string(&mut self) -> Result<String, TraceIoError> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'"' {
+                let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.error("invalid utf-8 in string"))?
+                    .to_string();
+                if s.contains('\\') {
+                    return Err(self.error("escapes are not part of the trace schema"));
+                }
+                self.pos += 1;
+                return Ok(s);
+            }
+            self.pos += 1;
+        }
+        Err(self.error("unterminated string"))
+    }
+
+    fn hex_digest(&mut self) -> Result<Digest, TraceIoError> {
+        let s = self.string()?;
+        Digest::from_hex(&s).ok_or_else(|| self.error(&format!("bad hex digest {s:?}")))
+    }
+
+    /// Consumes a non-negative integer.
+    fn number(&mut self) -> Result<u64, TraceIoError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(self.error("expected a number"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("digits are ascii")
+            .parse()
+            .map_err(|_| self.error("number out of range"))
+    }
+
+    fn end(&mut self) -> Result<(), TraceIoError> {
+        self.skip_ws();
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(self.error("trailing data after trace"))
+        }
+    }
 }
 
 /// Serializes a trace into the compact line format.
@@ -124,21 +409,19 @@ pub fn from_compact(text: &str) -> Result<Trace, TraceIoError> {
         match tag {
             "F" => {
                 let hex = parts.next().ok_or_else(|| err(lineno, "missing file id"))?;
-                let id = Digest::from_hex(hex)
-                    .ok_or_else(|| err(lineno, "bad file id hex"))?;
+                let id = Digest::from_hex(hex).ok_or_else(|| err(lineno, "bad file id hex"))?;
                 let size: u64 = parts
                     .next()
                     .and_then(|s| s.parse().ok())
                     .ok_or_else(|| err(lineno, "bad size"))?;
                 let kind_str = parts.next().ok_or_else(|| err(lineno, "missing kind"))?;
-                let kind = FileKind::from_str_ci(kind_str)
-                    .ok_or_else(|| err(lineno, "unknown kind"))?;
+                let kind =
+                    FileKind::from_str_ci(kind_str).ok_or_else(|| err(lineno, "unknown kind"))?;
                 trace.files.push(FileInfo { id, size, kind });
             }
             "P" => {
                 let hex = parts.next().ok_or_else(|| err(lineno, "missing uid"))?;
-                let uid =
-                    Digest::from_hex(hex).ok_or_else(|| err(lineno, "bad uid hex"))?;
+                let uid = Digest::from_hex(hex).ok_or_else(|| err(lineno, "bad uid hex"))?;
                 let ip: u32 = parts
                     .next()
                     .and_then(|s| s.parse().ok())
@@ -151,7 +434,12 @@ pub fn from_compact(text: &str) -> Result<Trace, TraceIoError> {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .ok_or_else(|| err(lineno, "bad asn"))?;
-                trace.peers.push(PeerInfo { uid, ip, country: CountryCode::new(cc), asn });
+                trace.peers.push(PeerInfo {
+                    uid,
+                    ip,
+                    country: CountryCode::new(cc),
+                    asn,
+                });
             }
             "D" => {
                 if let Some(done) = current_day.take() {
@@ -173,8 +461,7 @@ pub fn from_compact(text: &str) -> Result<Trace, TraceIoError> {
                     .ok_or_else(|| err(lineno, "bad peer id"))?;
                 let mut cache = Vec::new();
                 for item in parts {
-                    let f: u32 =
-                        item.parse().map_err(|_| err(lineno, "bad file ref"))?;
+                    let f: u32 = item.parse().map_err(|_| err(lineno, "bad file ref"))?;
                     cache.push(FileRef(f));
                 }
                 // `insert` re-sorts and would panic on duplicates; map that
@@ -287,8 +574,8 @@ mod tests {
         }
         for bad in [
             "X what\n",
-            "C 0 1\n",          // cache before day
-            "F aa 1 Audio\n",   // short hex
+            "C 0 1\n",        // cache before day
+            "F aa 1 Audio\n", // short hex
             "D notaday\n",
             "P 31d6cfe0d16ae931b73c59d7e0c089c0 1 F1 3215\n", // bad country
         ] {
@@ -308,12 +595,18 @@ mod tests {
         let trace = sample_trace();
         let mut text = to_compact(&trace);
         text.push_str("D 360\nC 0 0\nC 0 1\n");
-        assert!(matches!(from_compact(&text), Err(TraceIoError::Parse { .. })));
+        assert!(matches!(
+            from_compact(&text),
+            Err(TraceIoError::Parse { .. })
+        ));
     }
 
     #[test]
     fn error_display() {
-        let e = TraceIoError::Parse { line: 3, message: "boom".into() };
+        let e = TraceIoError::Parse {
+            line: 3,
+            message: "boom".into(),
+        };
         assert!(e.to_string().contains("line 3"));
     }
 }

@@ -34,12 +34,14 @@
 //! assert_eq!(filtered.trace.peers.len(), 1);
 //! ```
 
+pub mod compact;
 pub mod io;
 pub mod model;
 pub mod ops;
 pub mod pipeline;
 pub mod randomize;
 
+pub use compact::CacheArena;
 pub use model::{
     CountryCode, DaySnapshot, FileInfo, FileRef, PeerId, PeerInfo, Trace, TraceBuilder,
 };

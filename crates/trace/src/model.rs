@@ -12,12 +12,8 @@ use std::fmt;
 
 use edonkey_proto::md4::Digest;
 use edonkey_proto::query::FileKind;
-use serde::{Deserialize, Serialize};
-
 /// Dense index of a peer within a trace.
-#[derive(
-    Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PeerId(pub u32);
 
 impl PeerId {
@@ -34,9 +30,7 @@ impl fmt::Display for PeerId {
 }
 
 /// Dense index of a file within a trace.
-#[derive(
-    Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FileRef(pub u32);
 
 impl FileRef {
@@ -53,7 +47,7 @@ impl fmt::Display for FileRef {
 }
 
 /// An ISO-3166-ish two-letter country code.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CountryCode(pub [u8; 2]);
 
 impl CountryCode {
@@ -69,10 +63,7 @@ impl CountryCode {
             bytes.len() == 2 && bytes.iter().all(u8::is_ascii_alphabetic),
             "country code must be two ASCII letters, got {s:?}"
         );
-        CountryCode([
-            bytes[0].to_ascii_uppercase(),
-            bytes[1].to_ascii_uppercase(),
-        ])
+        CountryCode([bytes[0].to_ascii_uppercase(), bytes[1].to_ascii_uppercase()])
     }
 
     /// The code as a string slice.
@@ -95,7 +86,7 @@ impl fmt::Debug for CountryCode {
 }
 
 /// Metadata of one distinct file observed in a trace.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FileInfo {
     /// The ed2k content hash.
     pub id: Digest,
@@ -106,7 +97,7 @@ pub struct FileInfo {
 }
 
 /// Metadata of one distinct client observed in a trace.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PeerInfo {
     /// The user hash (changes when the user reinstalls the client).
     pub uid: Digest,
@@ -123,7 +114,7 @@ pub struct PeerInfo {
 /// Only peers that were successfully browsed that day appear; entries are
 /// sorted by [`PeerId`] and each cache is a sorted, deduplicated list of
 /// [`FileRef`]s.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DaySnapshot {
     /// Absolute day number (the paper plots days ~340–400).
     pub day: u32,
@@ -134,7 +125,10 @@ pub struct DaySnapshot {
 impl DaySnapshot {
     /// Creates an empty snapshot for `day`.
     pub fn new(day: u32) -> Self {
-        DaySnapshot { day, caches: Vec::new() }
+        DaySnapshot {
+            day,
+            caches: Vec::new(),
+        }
     }
 
     /// Adds a peer's cache, normalizing it to sorted/deduplicated form.
@@ -185,7 +179,7 @@ impl DaySnapshot {
 }
 
 /// A complete crawl trace: intern tables plus daily snapshots.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Trace {
     /// Distinct files, indexed by [`FileRef`].
     pub files: Vec<FileInfo>,
@@ -198,7 +192,11 @@ pub struct Trace {
 impl Trace {
     /// Creates an empty trace.
     pub fn new() -> Self {
-        Trace { files: Vec::new(), peers: Vec::new(), days: Vec::new() }
+        Trace {
+            files: Vec::new(),
+            peers: Vec::new(),
+            days: Vec::new(),
+        }
     }
 
     /// First observed day, if any.
@@ -221,7 +219,10 @@ impl Trace {
 
     /// The snapshot for an absolute day number, if the crawler ran then.
     pub fn snapshot(&self, day: u32) -> Option<&DaySnapshot> {
-        self.days.binary_search_by_key(&day, |s| s.day).ok().map(|i| &self.days[i])
+        self.days
+            .binary_search_by_key(&day, |s| s.day)
+            .ok()
+            .map(|i| &self.days[i])
     }
 
     /// Union of every cache each peer was ever observed with — the
@@ -278,7 +279,10 @@ impl Trace {
     pub fn check_invariants(&self) -> Result<(), String> {
         for w in self.days.windows(2) {
             if w[0].day >= w[1].day {
-                return Err(format!("days not strictly sorted: {} {}", w[0].day, w[1].day));
+                return Err(format!(
+                    "days not strictly sorted: {} {}",
+                    w[0].day, w[1].day
+                ));
             }
         }
         for snap in &self.days {
@@ -403,19 +407,28 @@ impl TraceBuilder {
     /// Panics if the same peer is recorded twice on one day (the crawler
     /// de-duplicates per day before recording).
     pub fn observe(&mut self, day: u32, peer: PeerId, cache: Vec<FileRef>) {
-        self.days.entry(day).or_insert_with(|| DaySnapshot::new(day)).insert(peer, cache);
+        self.days
+            .entry(day)
+            .or_insert_with(|| DaySnapshot::new(day))
+            .insert(peer, cache);
     }
 
     /// Whether a peer was already recorded on a given day.
     pub fn observed_on(&self, day: u32, peer: PeerId) -> bool {
-        self.days.get(&day).is_some_and(|s| s.cache_of(peer).is_some())
+        self.days
+            .get(&day)
+            .is_some_and(|s| s.cache_of(peer).is_some())
     }
 
     /// Finalizes the trace, sorting snapshots by day.
     pub fn finish(self) -> Trace {
         let mut days: Vec<DaySnapshot> = self.days.into_values().collect();
         days.sort_by_key(|d| d.day);
-        let trace = Trace { files: self.files, peers: self.peers, days };
+        let trace = Trace {
+            files: self.files,
+            peers: self.peers,
+            days,
+        };
         debug_assert_eq!(trace.check_invariants(), Ok(()));
         trace
     }

@@ -34,7 +34,11 @@ pub fn window_days(trace: &Trace, first: u32, last: u32) -> Trace {
         .filter(|snap| (first..=last).contains(&snap.day))
         .cloned()
         .collect();
-    let windowed = Trace { files: trace.files.clone(), peers: trace.peers.clone(), days };
+    let windowed = Trace {
+        files: trace.files.clone(),
+        peers: trace.peers.clone(),
+        days,
+    };
     debug_assert_eq!(windowed.check_invariants(), Ok(()));
     windowed
 }
@@ -62,12 +66,23 @@ pub fn drop_files(trace: &Trace, files: &HashSet<FileRef>) -> Trace {
                 .caches
                 .iter()
                 .map(|(p, cache)| {
-                    (*p, cache.iter().copied().filter(|f| !files.contains(f)).collect())
+                    (
+                        *p,
+                        cache
+                            .iter()
+                            .copied()
+                            .filter(|f| !files.contains(f))
+                            .collect(),
+                    )
                 })
                 .collect(),
         })
         .collect();
-    let out = Trace { files: trace.files.clone(), peers: trace.peers.clone(), days };
+    let out = Trace {
+        files: trace.files.clone(),
+        peers: trace.peers.clone(),
+        days,
+    };
     debug_assert_eq!(out.check_invariants(), Ok(()));
     out
 }
@@ -159,8 +174,17 @@ mod tests {
             dropped.snapshot(10).unwrap().cache_of(PeerId(0)).unwrap(),
             &[FileRef(1)]
         );
-        assert!(dropped.snapshot(11).unwrap().cache_of(PeerId(1)).unwrap().is_empty());
-        assert_eq!(dropped.files.len(), trace.files.len(), "intern table intact");
+        assert!(dropped
+            .snapshot(11)
+            .unwrap()
+            .cache_of(PeerId(1))
+            .unwrap()
+            .is_empty());
+        assert_eq!(
+            dropped.files.len(),
+            trace.files.len(),
+            "intern table intact"
+        );
     }
 
     #[test]

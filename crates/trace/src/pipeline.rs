@@ -25,7 +25,10 @@ pub struct ExtrapolateConfig {
 
 impl Default for ExtrapolateConfig {
     fn default() -> Self {
-        ExtrapolateConfig { min_snapshots: 5, min_span_days: 10 }
+        ExtrapolateConfig {
+            min_snapshots: 5,
+            min_span_days: 10,
+        }
     }
 }
 
@@ -56,7 +59,10 @@ pub fn retain_peers(trace: &Trace, keep: impl Fn(PeerId) -> bool) -> DerivedTrac
             kept.push(old);
         }
     }
-    let peers = kept.iter().map(|p| trace.peers[p.index()].clone()).collect();
+    let peers = kept
+        .iter()
+        .map(|p| trace.peers[p.index()].clone())
+        .collect();
     let mut days = Vec::with_capacity(trace.days.len());
     for snap in &trace.days {
         let caches: Vec<(PeerId, Vec<FileRef>)> = snap
@@ -66,9 +72,16 @@ pub fn retain_peers(trace: &Trace, keep: impl Fn(PeerId) -> bool) -> DerivedTrac
             .collect();
         // Dense remapping preserves relative order, so `caches` stays
         // sorted by the new ids.
-        days.push(DaySnapshot { day: snap.day, caches });
+        days.push(DaySnapshot {
+            day: snap.day,
+            caches,
+        });
     }
-    let trace = Trace { files: trace.files.clone(), peers, days };
+    let trace = Trace {
+        files: trace.files.clone(),
+        peers,
+        days,
+    };
     debug_assert_eq!(trace.check_invariants(), Ok(()));
     DerivedTrace { trace, kept }
 }
@@ -116,22 +129,19 @@ pub fn extrapolate(trace: &Trace, config: ExtrapolateConfig) -> DerivedTrace {
                 >= config.min_span_days
     });
 
-    let (Some(first), Some(last)) = (eligible.trace.first_day(), eligible.trace.last_day())
-    else {
+    let (Some(first), Some(last)) = (eligible.trace.first_day(), eligible.trace.last_day()) else {
         return eligible; // No snapshots at all; nothing to extrapolate.
     };
 
     // Per-peer observed (day, cache) series, in day order.
-    let mut series: Vec<Vec<(u32, &Vec<FileRef>)>> =
-        vec![Vec::new(); eligible.trace.peers.len()];
+    let mut series: Vec<Vec<(u32, &Vec<FileRef>)>> = vec![Vec::new(); eligible.trace.peers.len()];
     for snap in &eligible.trace.days {
         for (peer, cache) in &snap.caches {
             series[peer.index()].push((snap.day, cache));
         }
     }
 
-    let mut days: Vec<DaySnapshot> =
-        (first..=last).map(DaySnapshot::new).collect();
+    let mut days: Vec<DaySnapshot> = (first..=last).map(DaySnapshot::new).collect();
     for (peer_idx, obs) in series.iter().enumerate() {
         let peer = PeerId(peer_idx as u32);
         for pair in obs.windows(2) {
@@ -155,7 +165,10 @@ pub fn extrapolate(trace: &Trace, config: ExtrapolateConfig) -> DerivedTrace {
         days,
     };
     debug_assert_eq!(trace.check_invariants(), Ok(()));
-    DerivedTrace { trace, kept: eligible.kept }
+    DerivedTrace {
+        trace,
+        kept: eligible.kept,
+    }
 }
 
 /// Merge-intersects two sorted, deduplicated slices.
@@ -203,7 +216,11 @@ mod tests {
     use edonkey_proto::query::FileKind;
 
     fn file_info(n: u64) -> FileInfo {
-        FileInfo { id: Md4::digest(&n.to_le_bytes()), size: 1000, kind: FileKind::Audio }
+        FileInfo {
+            id: Md4::digest(&n.to_le_bytes()),
+            size: 1000,
+            kind: FileKind::Audio,
+        }
     }
 
     fn peer_info(n: u64, ip: u32) -> PeerInfo {
@@ -270,13 +287,33 @@ mod tests {
         let f = b.intern_file(file_info(1));
         // Good peer: 5 snapshots over 12 days.
         let good = b.intern_peer(peer_info(0, 1));
-        observed(&mut b, good, &[(350, vec![f]), (353, vec![f]), (356, vec![f]), (359, vec![f]), (362, vec![f])]);
+        observed(
+            &mut b,
+            good,
+            &[
+                (350, vec![f]),
+                (353, vec![f]),
+                (356, vec![f]),
+                (359, vec![f]),
+                (362, vec![f]),
+            ],
+        );
         // Too few snapshots.
         let few = b.intern_peer(peer_info(1, 2));
         observed(&mut b, few, &[(350, vec![f]), (362, vec![f])]);
         // Enough snapshots, span too short.
         let short = b.intern_peer(peer_info(2, 3));
-        observed(&mut b, short, &[(350, vec![f]), (351, vec![f]), (352, vec![f]), (353, vec![f]), (354, vec![f])]);
+        observed(
+            &mut b,
+            short,
+            &[
+                (350, vec![f]),
+                (351, vec![f]),
+                (352, vec![f]),
+                (353, vec![f]),
+                (354, vec![f]),
+            ],
+        );
         let trace = b.finish();
         let derived = extrapolate(&trace, ExtrapolateConfig::default());
         assert_eq!(derived.kept, vec![good]);
@@ -335,14 +372,27 @@ mod tests {
         let trace = b.finish();
         let derived = extrapolate(
             &trace,
-            ExtrapolateConfig { min_snapshots: 3, min_span_days: 10 },
+            ExtrapolateConfig {
+                min_snapshots: 3,
+                min_span_days: 10,
+            },
         );
         for day in 351..355 {
-            let cache = derived.trace.snapshot(day).unwrap().cache_of(PeerId(0)).unwrap();
+            let cache = derived
+                .trace
+                .snapshot(day)
+                .unwrap()
+                .cache_of(PeerId(0))
+                .unwrap();
             assert_eq!(cache, &files[5..10]);
         }
         for day in 356..361 {
-            let cache = derived.trace.snapshot(day).unwrap().cache_of(PeerId(0)).unwrap();
+            let cache = derived
+                .trace
+                .snapshot(day)
+                .unwrap()
+                .cache_of(PeerId(0))
+                .unwrap();
             assert_eq!(cache, &files[10..15]);
         }
     }

@@ -92,7 +92,12 @@ impl Shuffler {
                 replicas.push((peer as u32, slot as u32));
             }
         }
-        Shuffler { caches, members, replicas, stats: SwapStats::default() }
+        Shuffler {
+            caches,
+            members,
+            replicas,
+            stats: SwapStats::default(),
+        }
     }
 
     /// Total number of replicas `N`.
@@ -135,8 +140,7 @@ impl Shuffler {
         }
         let f = self.caches[pu as usize][su as usize];
         let f2 = self.caches[pv as usize][sv as usize];
-        if self.members[pu as usize].contains(&f2) || self.members[pv as usize].contains(&f)
-        {
+        if self.members[pu as usize].contains(&f2) || self.members[pv as usize].contains(&f) {
             return false;
         }
         self.caches[pu as usize][su as usize] = f2;
@@ -222,8 +226,9 @@ mod tests {
                 continue;
             }
             let size = 1 + (p % 7) as usize;
-            let cache: Vec<FileRef> =
-                (0..size).map(|k| FileRef(((p as usize * 3 + k * 5) % 30) as u32)).collect();
+            let cache: Vec<FileRef> = (0..size)
+                .map(|k| FileRef(((p as usize * 3 + k * 5) % 30) as u32))
+                .collect();
             let mut cache = cache;
             cache.sort_unstable();
             cache.dedup();
@@ -274,7 +279,10 @@ mod tests {
             .flatten()
             .filter(|f| f.0 >= 100)
             .count();
-        assert!(mixed > 5, "expected cross-community files after shuffling, got {mixed}");
+        assert!(
+            mixed > 5,
+            "expected cross-community files after shuffling, got {mixed}"
+        );
     }
 
     #[test]
@@ -306,8 +314,7 @@ mod tests {
 
     #[test]
     fn step_reports_swap_outcome() {
-        let mut shuffler =
-            Shuffler::new(vec![vec![FileRef(0)], vec![FileRef(1)]]);
+        let mut shuffler = Shuffler::new(vec![vec![FileRef(0)], vec![FileRef(1)]]);
         let mut rng = StdRng::seed_from_u64(5);
         let mut swapped = false;
         for _ in 0..50 {

@@ -214,13 +214,23 @@ impl WorkloadConfig {
 
     /// Tiny preset for unit/integration tests: runs in milliseconds.
     pub fn test_scale(seed: u64) -> Self {
-        WorkloadConfig { peers: 800, files: 16_000, topics: 160, ..Self::base(seed) }
+        WorkloadConfig {
+            peers: 800,
+            files: 16_000,
+            topics: 160,
+            ..Self::base(seed)
+        }
     }
 
     /// Default preset for figure regeneration: large enough for every
     /// shape to emerge, small enough for minutes-scale runs.
     pub fn repro_scale(seed: u64) -> Self {
-        WorkloadConfig { peers: 20_000, files: 400_000, topics: 4_000, ..Self::base(seed) }
+        WorkloadConfig {
+            peers: 20_000,
+            files: 400_000,
+            topics: 4_000,
+            ..Self::base(seed)
+        }
     }
 
     /// Full paper scale (320 k filtered clients, millions of files). For
@@ -281,7 +291,7 @@ impl WorkloadConfig {
         if self.daily_replacements < 0.0 {
             return Err("daily_replacements must be non-negative".into());
         }
-        if !(self.file_attractiveness_cap > 0.0) {
+        if self.file_attractiveness_cap.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err("file_attractiveness_cap must be positive".into());
         }
         Ok(())
@@ -305,8 +315,10 @@ mod tests {
 
     #[test]
     fn kind_frequencies_sum_to_one() {
-        let total: f64 =
-            WorkloadConfig::default_kind_profiles().iter().map(|k| k.frequency).sum();
+        let total: f64 = WorkloadConfig::default_kind_profiles()
+            .iter()
+            .map(|k| k.frequency)
+            .sum();
         assert!((total - 1.0).abs() < 1e-9);
     }
 

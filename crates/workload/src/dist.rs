@@ -70,7 +70,11 @@ impl ZipfMandelbrot {
 
     /// The unnormalized weight of `rank`.
     pub fn weight(&self, rank: usize) -> f64 {
-        let prev = if rank == 0 { 0.0 } else { self.cumulative[rank - 1] };
+        let prev = if rank == 0 {
+            0.0
+        } else {
+            self.cumulative[rank - 1]
+        };
         self.cumulative[rank] - prev
     }
 
@@ -87,7 +91,9 @@ impl ZipfMandelbrot {
     pub fn sample(&self, rng: &mut impl Rng) -> usize {
         let x = rng.gen_range(0.0..self.total());
         // partition_point: first index whose cumulative weight exceeds x.
-        self.cumulative.partition_point(|&c| c <= x).min(self.len() - 1)
+        self.cumulative
+            .partition_point(|&c| c <= x)
+            .min(self.len() - 1)
     }
 }
 
@@ -100,10 +106,14 @@ impl ZipfMandelbrot {
 ///
 /// Panics if `cumulative` is empty or ends at a non-positive total.
 pub fn sample_cumulative(cumulative: &[f64], rng: &mut impl Rng) -> usize {
-    let total = *cumulative.last().expect("cumulative table must be non-empty");
+    let total = *cumulative
+        .last()
+        .expect("cumulative table must be non-empty");
     assert!(total > 0.0, "cumulative table must have positive total");
     let x = rng.gen_range(0.0..total);
-    cumulative.partition_point(|&c| c <= x).min(cumulative.len() - 1)
+    cumulative
+        .partition_point(|&c| c <= x)
+        .min(cumulative.len() - 1)
 }
 
 /// Builds a cumulative table from weights.
@@ -178,7 +188,10 @@ impl Pareto {
 ///
 /// Panics if `lambda` is negative or not finite.
 pub fn poisson(lambda: f64, rng: &mut impl Rng) -> u32 {
-    assert!(lambda >= 0.0 && lambda.is_finite(), "lambda must be non-negative");
+    assert!(
+        lambda >= 0.0 && lambda.is_finite(),
+        "lambda must be non-negative"
+    );
     if lambda == 0.0 {
         return 0;
     }
@@ -263,9 +276,9 @@ mod tests {
         for _ in 0..draws {
             counts[z.sample(&mut rng)] += 1;
         }
-        for r in 0..10 {
+        for (r, &count) in counts.iter().enumerate() {
             let expected = z.probability(r) * draws as f64;
-            let got = counts[r] as f64;
+            let got = count as f64;
             assert!(
                 (got - expected).abs() < 5.0 * expected.sqrt().max(10.0),
                 "rank {r}: expected {expected}, got {got}"
@@ -309,8 +322,9 @@ mod tests {
         // roughly 75 % of the mass — the paper's generosity skew.
         let p = Pareto::new(1.0, 1.05);
         let mut rng = StdRng::seed_from_u64(13);
-        let mut samples: Vec<f64> =
-            (0..100_000).map(|_| p.sample(&mut rng).min(5_000.0)).collect();
+        let mut samples: Vec<f64> = (0..100_000)
+            .map(|_| p.sample(&mut rng).min(5_000.0))
+            .collect();
         samples.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
         let total: f64 = samples.iter().sum();
         let top15: f64 = samples[..15_000].iter().sum();
@@ -335,8 +349,10 @@ mod tests {
     fn poisson_mean_and_degenerate() {
         let mut rng = StdRng::seed_from_u64(19);
         assert_eq!(poisson(0.0, &mut rng), 0);
-        let mean: f64 =
-            (0..20_000).map(|_| poisson(5.0, &mut rng) as f64).sum::<f64>() / 20_000.0;
+        let mean: f64 = (0..20_000)
+            .map(|_| poisson(5.0, &mut rng) as f64)
+            .sum::<f64>()
+            / 20_000.0;
         assert!((mean - 5.0).abs() < 0.1, "sample mean {mean}");
     }
 

@@ -70,8 +70,9 @@ impl<'a> Dynamics<'a> {
     /// the day-zero lifecycle-weighted distribution.
     pub fn new(population: &'a Population, rng: &mut impl Rng) -> Self {
         let day = population.config.start_day;
-        let tables =
-            population.reweighted_tables(|i| lifecycle(&population.config, population.files[i].birth_day, day));
+        let tables = population.reweighted_tables(|i| {
+            lifecycle(&population.config, population.files[i].birth_day, day)
+        });
         let mut caches = Vec::with_capacity(population.peers.len());
         let mut members = Vec::with_capacity(population.peers.len());
         for (idx, peer) in population.peers.iter().enumerate() {
@@ -90,7 +91,13 @@ impl<'a> Dynamics<'a> {
         } else {
             sharers.iter().sum::<f64>() / sharers.len() as f64
         };
-        Dynamics { population, caches, members, day, mean_target }
+        Dynamics {
+            population,
+            caches,
+            members,
+            day,
+            mean_target,
+        }
     }
 
     /// The current absolute day.
@@ -121,15 +128,15 @@ impl<'a> Dynamics<'a> {
         self.day += 1;
         let config = &self.population.config;
         let day = self.day;
-        let tables = self.population.reweighted_tables(|i| {
-            lifecycle(config, self.population.files[i].birth_day, day)
-        });
+        let tables = self
+            .population
+            .reweighted_tables(|i| lifecycle(config, self.population.files[i].birth_day, day));
         for (idx, peer) in self.population.peers.iter().enumerate() {
             if peer.is_free_rider() {
                 continue;
             }
-            let rate = config.daily_replacements * peer.target_cache as f64
-                / self.mean_target.max(1.0);
+            let rate =
+                config.daily_replacements * peer.target_cache as f64 / self.mean_target.max(1.0);
             let replacements = crate::dist::poisson(rate, rng);
             for _ in 0..replacements {
                 // Acquire one new file (a few tries to find a non-member).
@@ -146,8 +153,7 @@ impl<'a> Dynamics<'a> {
                 self.members[idx].insert(f);
                 // Evict the oldest entry to hold the target size.
                 if self.caches[idx].len() > peer.target_cache {
-                    let evicted =
-                        self.caches[idx].pop_front().expect("cache is non-empty");
+                    let evicted = self.caches[idx].pop_front().expect("cache is non-empty");
                     self.members[idx].remove(&evicted);
                 }
             }
@@ -297,14 +303,21 @@ mod tests {
         let mut turnover = 0usize;
         let mut stable_sizes = 0usize;
         for (idx, peer) in pop.peers.iter().enumerate() {
-            assert_eq!(after[idx].len(), before[idx].len(), "cache size must be stable");
+            assert_eq!(
+                after[idx].len(),
+                before[idx].len(),
+                "cache size must be stable"
+            );
             if peer.is_free_rider() {
                 assert!(after[idx].is_empty());
                 continue;
             }
             stable_sizes += 1;
             let before_set: HashSet<_> = before[idx].iter().collect();
-            turnover += after[idx].iter().filter(|f| !before_set.contains(f)).count();
+            turnover += after[idx]
+                .iter()
+                .filter(|f| !before_set.contains(f))
+                .count();
         }
         assert!(stable_sizes > 0);
         assert!(turnover > 0, "eight days of churn must replace something");
@@ -339,8 +352,14 @@ mod tests {
         // Coverage must be partial (observe probabilities < 1).
         let total_obs = trace.snapshot_count();
         let max_possible = pop.peers.len() * config.days as usize;
-        assert!(total_obs < max_possible, "observer must miss some snapshots");
-        assert!(total_obs > max_possible / 3, "observer must see most snapshots");
+        assert!(
+            total_obs < max_possible,
+            "observer must miss some snapshots"
+        );
+        assert!(
+            total_obs > max_possible / 3,
+            "observer must see most snapshots"
+        );
     }
 
     #[test]

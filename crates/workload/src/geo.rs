@@ -74,8 +74,16 @@ impl Geography {
                 ases: with_remainder(
                     64_000,
                     &[
-                        AsPlan { asn: 3215, name: "France Telecom Transpac", national_share: 0.51 },
-                        AsPlan { asn: 12322, name: "Proxad ISP France", national_share: 0.24 },
+                        AsPlan {
+                            asn: 3215,
+                            name: "France Telecom Transpac",
+                            national_share: 0.51,
+                        },
+                        AsPlan {
+                            asn: 12322,
+                            name: "Proxad ISP France",
+                            national_share: 0.24,
+                        },
                     ],
                     3,
                 ),
@@ -85,7 +93,11 @@ impl Geography {
                 share: 0.28,
                 ases: with_remainder(
                     64_100,
-                    &[AsPlan { asn: 3320, name: "Deutsche Telekom AG", national_share: 0.75 }],
+                    &[AsPlan {
+                        asn: 3320,
+                        name: "Deutsche Telekom AG",
+                        national_share: 0.75,
+                    }],
                     3,
                 ),
             },
@@ -94,7 +106,11 @@ impl Geography {
                 share: 0.16,
                 ases: with_remainder(
                     64_200,
-                    &[AsPlan { asn: 3352, name: "Telefonica Data Espana", national_share: 0.50 }],
+                    &[AsPlan {
+                        asn: 3352,
+                        name: "Telefonica Data Espana",
+                        national_share: 0.50,
+                    }],
                     3,
                 ),
             },
@@ -103,7 +119,11 @@ impl Geography {
                 share: 0.05,
                 ases: with_remainder(
                     64_300,
-                    &[AsPlan { asn: 1668, name: "AOL-primehost USA", national_share: 0.60 }],
+                    &[AsPlan {
+                        asn: 1668,
+                        name: "AOL-primehost USA",
+                        national_share: 0.60,
+                    }],
                     4,
                 ),
             },
@@ -134,10 +154,21 @@ impl Geography {
     /// Panics if the plan is empty, shares are not positive, or any
     /// country has no ASes.
     pub fn from_plan(countries: Vec<CountryPlan>) -> Self {
-        assert!(!countries.is_empty(), "geography needs at least one country");
+        assert!(
+            !countries.is_empty(),
+            "geography needs at least one country"
+        );
         for country in &countries {
-            assert!(country.share > 0.0, "{}: share must be positive", country.code);
-            assert!(!country.ases.is_empty(), "{}: needs at least one AS", country.code);
+            assert!(
+                country.share > 0.0,
+                "{}: share must be positive",
+                country.code
+            );
+            assert!(
+                !country.ases.is_empty(),
+                "{}: needs at least one AS",
+                country.code
+            );
         }
         let country_cumulative =
             cumulative_from_weights(&countries.iter().map(|c| c.share).collect::<Vec<_>>());
@@ -149,7 +180,11 @@ impl Geography {
                 )
             })
             .collect();
-        Geography { countries, country_cumulative, as_cumulative }
+        Geography {
+            countries,
+            country_cumulative,
+            as_cumulative,
+        }
     }
 
     /// The country plans.
@@ -221,7 +256,11 @@ fn synthetic_country(
         share,
         ases: with_remainder(
             base_asn,
-            &[AsPlan { asn: base_asn + 50, name: "national incumbent", national_share: 0.55 }],
+            &[AsPlan {
+                asn: base_asn + 50,
+                name: "national incumbent",
+                national_share: 0.55,
+            }],
             minor_count,
         ),
     }
@@ -238,10 +277,16 @@ mod tests {
     fn paper_plan_matches_published_marginals() {
         let geo = Geography::paper();
         let total: f64 = geo.countries().iter().map(|c| c.share).sum();
-        assert!((total - 1.0).abs() < 1e-9, "country shares must sum to 1, got {total}");
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "country shares must sum to 1, got {total}"
+        );
         let fr = &geo.countries()[geo.country_index(CountryCode::new("FR")).unwrap()];
         assert!((fr.share - 0.29).abs() < 1e-9);
-        assert!(fr.ases.iter().any(|a| a.asn == 3215 && a.national_share == 0.51));
+        assert!(fr
+            .ases
+            .iter()
+            .any(|a| a.asn == 3215 && a.national_share == 0.51));
         assert!(fr.ases.iter().any(|a| a.asn == 12322));
         for c in geo.countries() {
             let s: f64 = c.ases.iter().map(|a| a.national_share).sum();
@@ -269,7 +314,10 @@ mod tests {
         let dtag = by_asn[&3320] as f64 / n as f64;
         assert!((dtag - 0.21).abs() < 0.01, "DTAG global share {dtag}");
         let transpac = by_asn[&3215] as f64 / n as f64;
-        assert!((transpac - 0.148).abs() < 0.01, "Transpac global share {transpac}");
+        assert!(
+            (transpac - 0.148).abs() < 0.01,
+            "Transpac global share {transpac}"
+        );
     }
 
     #[test]

@@ -11,8 +11,8 @@
 use rand::Rng;
 
 const ONSETS: &[&str] = &[
-    "b", "c", "d", "f", "g", "j", "k", "l", "m", "n", "p", "r", "s", "t", "v", "z", "ch",
-    "st", "dr",
+    "b", "c", "d", "f", "g", "j", "k", "l", "m", "n", "p", "r", "s", "t", "v", "z", "ch", "st",
+    "dr",
 ];
 const VOWELS: &[&str] = &["a", "e", "i", "o", "u", "ou", "ai"];
 const SUFFIXES: &[&str] = &["", "", "", "x", "man", "girl", "123", "2000", "01", "99"];
@@ -20,8 +20,21 @@ const SUFFIXES: &[&str] = &["", "", "", "x", "man", "girl", "123", "2000", "01",
 /// A fixed pool of "very common" nicknames a sizeable fraction of users
 /// pick, creating the heavy name collisions the paper mentions.
 const COMMON: &[&str] = &[
-    "anonymous", "user", "emule", "donkey", "music", "shadow", "dragon", "ghost", "rider",
-    "neo", "max", "alex", "david", "juan", "hans",
+    "anonymous",
+    "user",
+    "emule",
+    "donkey",
+    "music",
+    "shadow",
+    "dragon",
+    "ghost",
+    "rider",
+    "neo",
+    "max",
+    "alex",
+    "david",
+    "juan",
+    "hans",
 ];
 
 /// Probability a user takes a common pool name rather than a generated
@@ -68,7 +81,11 @@ mod tests {
         for _ in 0..1000 {
             let n = nickname(&mut rng);
             assert!(!n.is_empty());
-            assert!(n.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()), "{n}");
+            assert!(
+                n.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()),
+                "{n}"
+            );
         }
     }
 

@@ -27,9 +27,7 @@ use std::collections::HashMap;
 use std::collections::HashSet;
 
 use crate::config::WorkloadConfig;
-use crate::dist::{
-    cumulative_from_weights, sample_cumulative, LogNormal, Pareto, ZipfMandelbrot,
-};
+use crate::dist::{cumulative_from_weights, sample_cumulative, LogNormal, Pareto, ZipfMandelbrot};
 use crate::geo::Geography;
 use crate::names::nickname;
 
@@ -119,11 +117,7 @@ impl Population {
         Self::index(config, geography, topics, files, peers)
     }
 
-    fn gen_topics(
-        config: &WorkloadConfig,
-        geography: &Geography,
-        rng: &mut StdRng,
-    ) -> Vec<Topic> {
+    fn gen_topics(config: &WorkloadConfig, geography: &Geography, rng: &mut StdRng) -> Vec<Topic> {
         let zipf = ZipfMandelbrot::new(config.topics, config.topic_zipf_s, config.topic_zipf_q);
         (0..config.topics)
             .map(|rank| Topic {
@@ -133,19 +127,22 @@ impl Population {
             .collect()
     }
 
-    fn gen_files(
-        config: &WorkloadConfig,
-        topics: &[Topic],
-        rng: &mut StdRng,
-    ) -> Vec<GenFile> {
+    fn gen_files(config: &WorkloadConfig, topics: &[Topic], rng: &mut StdRng) -> Vec<GenFile> {
         // Files spread across topics flatter than consumption: niche
         // topics carry deep catalogues (config.topic_assignment_skew).
         let skew = config.topic_assignment_skew;
         let topic_cum = cumulative_from_weights(
-            &topics.iter().map(|t| t.weight.powf(skew)).collect::<Vec<_>>(),
+            &topics
+                .iter()
+                .map(|t| t.weight.powf(skew))
+                .collect::<Vec<_>>(),
         );
         let kind_cum = cumulative_from_weights(
-            &config.kind_profiles.iter().map(|k| k.frequency).collect::<Vec<_>>(),
+            &config
+                .kind_profiles
+                .iter()
+                .map(|k| k.frequency)
+                .collect::<Vec<_>>(),
         );
         let size_samplers: Vec<LogNormal> = config
             .kind_profiles
@@ -176,9 +173,7 @@ impl Population {
                     },
                     topic: topic_idx as u32,
                     home_country: topics[topic_idx].home_country,
-                    attractiveness: topics[topic_idx].weight
-                        * intrinsic
-                        * profile.attractiveness,
+                    attractiveness: topics[topic_idx].weight * intrinsic * profile.attractiveness,
                     birth_day,
                 }
             })
@@ -196,10 +191,12 @@ impl Population {
         // communities stay small (config.interest_selection_skew).
         let sel = config.interest_selection_skew;
         let topic_cum = cumulative_from_weights(
-            &topics.iter().map(|t| t.weight.powf(sel)).collect::<Vec<_>>(),
+            &topics
+                .iter()
+                .map(|t| t.weight.powf(sel))
+                .collect::<Vec<_>>(),
         );
-        let mut country_topics: Vec<Vec<u32>> =
-            vec![Vec::new(); geography.countries().len()];
+        let mut country_topics: Vec<Vec<u32>> = vec![Vec::new(); geography.countries().len()];
         for (idx, topic) in topics.iter().enumerate() {
             country_topics[topic.home_country].push(idx as u32);
         }
@@ -235,12 +232,8 @@ impl Population {
                 while interests.len() < k && guard < 1000 {
                     guard += 1;
                     let local = &country_topics[location.country_idx];
-                    let topic = if !local.is_empty() && rng.gen_bool(config.topic_locality)
-                    {
-                        local[sample_cumulative(
-                            &country_topic_cum[location.country_idx],
-                            rng,
-                        )]
+                    let topic = if !local.is_empty() && rng.gen_bool(config.topic_locality) {
+                        local[sample_cumulative(&country_topic_cum[location.country_idx], rng)]
                     } else {
                         sample_cumulative(&topic_cum, rng) as u32
                     };
@@ -272,8 +265,7 @@ impl Population {
         peers: Vec<GenPeer>,
     ) -> Self {
         let mut topic_files: Vec<Vec<u32>> = vec![Vec::new(); topics.len()];
-        let mut country_files: Vec<Vec<u32>> =
-            vec![Vec::new(); geography.countries().len()];
+        let mut country_files: Vec<Vec<u32>> = vec![Vec::new(); geography.countries().len()];
         for (idx, file) in files.iter().enumerate() {
             topic_files[file.topic as usize].push(idx as u32);
             country_files[file.home_country].push(idx as u32);
@@ -299,9 +291,8 @@ impl Population {
         };
         let topic_file_cum = topic_files.iter().map(|l| depth_table(l)).collect();
         let country_file_cum = country_files.iter().map(|l| weight_table(l)).collect();
-        let global_cum = cumulative_from_weights(
-            &files.iter().map(|f| f.attractiveness).collect::<Vec<_>>(),
-        );
+        let global_cum =
+            cumulative_from_weights(&files.iter().map(|f| f.attractiveness).collect::<Vec<_>>());
         Population {
             config,
             geography,
@@ -351,9 +342,7 @@ impl Population {
             }
         } else if roll < self.config.interest_mix + self.config.geo_mix {
             let c = peer.country_idx;
-            if !tables.country_files[c].is_empty()
-                && *tables.country_cum[c].last().unwrap() > 0.0
-            {
+            if !tables.country_files[c].is_empty() && *tables.country_cum[c].last().unwrap() > 0.0 {
                 let i = sample_cumulative(&tables.country_cum[c], rng);
                 return tables.country_files[c][i];
             }
@@ -399,11 +388,17 @@ impl Population {
         SampleTables {
             topic_files: &self.topic_files,
             topic_cum: std::borrow::Cow::Owned(
-                self.topic_files.iter().map(|l| table(l, &depth_weights)).collect(),
+                self.topic_files
+                    .iter()
+                    .map(|l| table(l, &depth_weights))
+                    .collect(),
             ),
             country_files: &self.country_files,
             country_cum: std::borrow::Cow::Owned(
-                self.country_files.iter().map(|l| table(l, &weights)).collect(),
+                self.country_files
+                    .iter()
+                    .map(|l| table(l, &weights))
+                    .collect(),
             ),
             global_cum: std::borrow::Cow::Owned(cumulative_from_weights(&weights)),
         }
@@ -454,10 +449,10 @@ impl Population {
 /// Borrowed or per-day sampling tables used by [`Population::sample_file`].
 pub struct SampleTables<'a> {
     topic_files: &'a [Vec<u32>],
-    topic_cum: std::borrow::Cow<'a, Vec<Vec<f64>>>,
+    topic_cum: std::borrow::Cow<'a, [Vec<f64>]>,
     country_files: &'a [Vec<u32>],
-    country_cum: std::borrow::Cow<'a, Vec<Vec<f64>>>,
-    global_cum: std::borrow::Cow<'a, Vec<f64>>,
+    country_cum: std::borrow::Cow<'a, [Vec<f64>]>,
+    global_cum: std::borrow::Cow<'a, [f64]>,
 }
 
 /// Derives a stable 16-byte identity from `(seed, label, index)`.
@@ -510,7 +505,11 @@ mod tests {
         let uids: HashSet<_> = pop.peers.iter().map(|p| p.info.uid).collect();
         assert_eq!(uids.len(), pop.peers.len());
         let ips: HashSet<_> = pop.peers.iter().map(|p| p.info.ip).collect();
-        assert_eq!(ips.len(), pop.peers.len(), "the base population has no IP aliases");
+        assert_eq!(
+            ips.len(),
+            pop.peers.len(),
+            "the base population has no IP aliases"
+        );
     }
 
     #[test]

@@ -21,7 +21,10 @@ fn main() {
     config.files = 20_000;
     config.days = 21;
     let peers = config.peers;
-    println!("generating {} peers / {} files…", config.peers, config.files);
+    println!(
+        "generating {} peers / {} files…",
+        config.peers, config.files
+    );
     let population = Population::generate(config);
 
     println!("crawling for 21 days (outage on days 3–4)…");

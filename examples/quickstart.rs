@@ -17,7 +17,10 @@ fn main() {
     config.peers = 2_000;
     config.files = 15_000;
     config.days = 14;
-    println!("generating population: {} peers, {} files…", config.peers, config.files);
+    println!(
+        "generating population: {} peers, {} files…",
+        config.peers, config.files
+    );
     let (_population, trace) = generate_trace(config);
 
     // 2. The pipeline of Section 2.3: full → filtered → extrapolated.
@@ -41,7 +44,10 @@ fn main() {
     let caches = filtered.trace.static_caches();
     let n_files = filtered.trace.files.len();
     println!("\nhit rates (trace-driven simulation, Section 5):");
-    println!("{:>10} {:>8} {:>8} {:>8}", "neighbours", "LRU", "History", "Random");
+    println!(
+        "{:>10} {:>8} {:>8} {:>8}",
+        "neighbours", "LRU", "History", "Random"
+    );
     for &size in &[5usize, 10, 20, 50] {
         let lru = simulate(&caches, n_files, &SimConfig::lru(size));
         let history = simulate(&caches, n_files, &SimConfig::history(size));

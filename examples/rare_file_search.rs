@@ -14,8 +14,8 @@
 //! ```
 
 use edonkey_repro::analysis::{semantic, view};
-use edonkey_repro::semsearch::experiment;
 use edonkey_repro::prelude::*;
+use edonkey_repro::semsearch::experiment;
 
 fn main() {
     let mut config = WorkloadConfig::test_scale(99);

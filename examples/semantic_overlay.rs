@@ -8,9 +8,9 @@
 //! cargo run --release --example semantic_overlay
 //! ```
 
+use edonkey_repro::prelude::*;
 use edonkey_repro::semsearch::experiment;
 use edonkey_repro::trace::randomize::recommended_iterations;
-use edonkey_repro::prelude::*;
 
 fn main() {
     let mut config = WorkloadConfig::test_scale(2024);
@@ -28,7 +28,11 @@ fn main() {
     for (policy, sweep) in experiment::policy_comparison(&caches, n_files, &sizes, 1) {
         print!("  {:<8}", policy.name());
         for point in &sweep {
-            print!(" {:>3}:{:>5.1}%", point.list_size, 100.0 * point.result.hit_rate());
+            print!(
+                " {:>3}:{:>5.1}%",
+                point.list_size,
+                100.0 * point.result.hit_rate()
+            );
         }
         println!();
     }
@@ -49,8 +53,7 @@ fn main() {
 
     // Fig. 22: load distribution with and without generous uploaders.
     println!("\nquery load, LRU-5 (Fig. 22):");
-    for (q, sweep) in experiment::uploader_removal_grid(&caches, n_files, &[0.0, 0.10], &[5], 1)
-    {
+    for (q, sweep) in experiment::uploader_removal_grid(&caches, n_files, &[0.0, 0.10], &[5], 1) {
         let r = &sweep[0].result;
         println!(
             "  top {:>2.0}% removed: mean {:>6.1} msgs/client, max {:>7}",
@@ -65,15 +68,14 @@ fn main() {
     // semantic structure.
     let replicas: usize = caches.iter().map(Vec::len).sum();
     let full = recommended_iterations(replicas);
-    let sweep = experiment::randomization_sweep(
-        &caches,
-        n_files,
-        10,
-        &[0, full / 10, full / 2, full],
-        7,
-    );
+    let sweep =
+        experiment::randomization_sweep(&caches, n_files, 10, &[0, full / 10, full / 2, full], 7);
     println!("\nhit rate vs randomization (Fig. 21, LRU-10):");
     for point in sweep {
-        println!("  {:>9} swaps: {:>5.1}%", point.swaps, 100.0 * point.hit_rate);
+        println!(
+            "  {:>9} swaps: {:>5.1}%",
+            point.swaps,
+            100.0 * point.hit_rate
+        );
     }
 }

@@ -47,9 +47,7 @@ pub mod prelude {
     pub use edonkey_analysis::{summarize, Cdf, TraceSummary};
     pub use edonkey_netsim::{run_crawl, CrawlerConfig, NetConfig};
     pub use edonkey_proto::query::FileKind;
-    pub use edonkey_semsearch::{
-        simulate, PolicyKind, SimConfig, SimResult, PAPER_LIST_SIZES,
-    };
+    pub use edonkey_semsearch::{simulate, PolicyKind, SimConfig, SimResult, PAPER_LIST_SIZES};
     pub use edonkey_trace::{
         extrapolate, filter, randomize_caches, ExtrapolateConfig, FileRef, PeerId, Trace,
     };

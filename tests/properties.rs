@@ -5,13 +5,16 @@
 
 use std::collections::{HashMap, HashSet};
 
+use edonkey_repro::analysis::semantic;
 use edonkey_repro::proto::error::{Reader, Writer};
 use edonkey_repro::proto::md4::{Digest, Md4};
 use edonkey_repro::proto::query::Query;
 use edonkey_repro::proto::tags::{Tag, TagList, TagValue};
 use edonkey_repro::proto::wire::{Message, PublishedFile, SourceAddr};
 use edonkey_repro::semsearch::neighbours::{Lru, NeighbourPolicy};
+use edonkey_repro::semsearch::sim::{simulate_arena_with_scratch, simulate_reference, SimScratch};
 use edonkey_repro::semsearch::{simulate, SimConfig};
+use edonkey_repro::trace::compact::CacheArena;
 use edonkey_repro::trace::model::FileRef;
 use edonkey_repro::trace::pipeline::{sorted_intersection, sorted_intersection_len};
 use edonkey_repro::trace::randomize::Shuffler;
@@ -32,7 +35,12 @@ fn arb_tag() -> impl Strategy<Value = Tag> {
 }
 
 fn arb_published_file() -> impl Strategy<Value = PublishedFile> {
-    (arb_digest(), any::<u32>(), any::<u16>(), prop::collection::vec(arb_tag(), 0..4))
+    (
+        arb_digest(),
+        any::<u32>(),
+        any::<u16>(),
+        prop::collection::vec(arb_tag(), 0..4),
+    )
         .prop_map(|(file_id, ip, port, tags)| PublishedFile {
             file_id,
             ip,
@@ -44,7 +52,12 @@ fn arb_published_file() -> impl Strategy<Value = PublishedFile> {
 fn arb_message() -> impl Strategy<Value = Message> {
     prop_oneof![
         (arb_digest(), "[a-z]{1,16}", any::<u16>()).prop_map(|(uid, nick, port)| {
-            Message::Login { uid, nick, port, tags: TagList::new() }
+            Message::Login {
+                uid,
+                nick,
+                port,
+                tags: TagList::new(),
+            }
         }),
         prop::collection::vec(arb_published_file(), 0..5).prop_map(Message::PublishFiles),
         "[a-z]{1,10}".prop_map(|p| Message::QueryUsers { pattern: p }),
@@ -56,7 +69,11 @@ fn arb_message() -> impl Strategy<Value = Message> {
         (any::<u32>(), any::<u32>())
             .prop_map(|(users, files)| Message::ServerStatus { users, files }),
         prop::collection::vec((any::<u32>(), any::<u16>()), 0..6).prop_map(|v| {
-            Message::ServerList(v.into_iter().map(|(ip, port)| SourceAddr { ip, port }).collect())
+            Message::ServerList(
+                v.into_iter()
+                    .map(|(ip, port)| SourceAddr { ip, port })
+                    .collect(),
+            )
         }),
         (arb_digest(), prop::collection::vec(arb_digest(), 0..5))
             .prop_map(|(file_id, parts)| Message::Hashset { file_id, parts }),
@@ -65,13 +82,11 @@ fn arb_message() -> impl Strategy<Value = Message> {
 
 /// Caches: up to 24 peers, each holding distinct refs below 64.
 fn arb_caches() -> impl Strategy<Value = Vec<Vec<FileRef>>> {
-    prop::collection::vec(prop::collection::btree_set(0u32..64, 0..12), 0..24).prop_map(
-        |sets| {
-            sets.into_iter()
-                .map(|s| s.into_iter().map(FileRef).collect())
-                .collect()
-        },
-    )
+    prop::collection::vec(prop::collection::btree_set(0u32..64, 0..12), 0..24).prop_map(|sets| {
+        sets.into_iter()
+            .map(|s| s.into_iter().map(FileRef).collect())
+            .collect()
+    })
 }
 
 fn replica_histogram(caches: &[Vec<FileRef>]) -> HashMap<FileRef, usize> {
@@ -100,9 +115,8 @@ proptest! {
     /// or consumes a prefix.
     #[test]
     fn frame_decoder_is_total(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
-        match Message::from_frame(&bytes) {
-            Ok((_, used)) => prop_assert!(used <= bytes.len()),
-            Err(_) => {}
+        if let Ok((_, used)) = Message::from_frame(&bytes) {
+            prop_assert!(used <= bytes.len());
         }
     }
 
@@ -209,6 +223,49 @@ proptest! {
             if caches[peer].is_empty() {
                 prop_assert_eq!(load, 0, "free-riders never receive queries");
             }
+        }
+    }
+
+    /// The arena-backed simulator is exactly the legacy simulator: same
+    /// caches, same seed ⇒ identical `SimResult`, for every policy and
+    /// with scratch buffers reused across configs.
+    #[test]
+    fn arena_simulate_equals_legacy(caches in arb_caches(), seed in 0u64..1_000) {
+        let n_files = 64;
+        let arena = CacheArena::from_caches(&caches, n_files);
+        let mut scratch = SimScratch::new();
+        for config in [
+            SimConfig::lru(4).with_seed(seed),
+            SimConfig::history(3).with_seed(seed),
+            SimConfig::random(3).with_seed(seed),
+            SimConfig::rare_lru(4, 2).with_seed(seed),
+            SimConfig::lru(2).with_seed(seed).with_two_hop(),
+        ] {
+            let legacy = simulate_reference(&caches, n_files, &config);
+            let arena_result = simulate_arena_with_scratch(&arena, &config, &mut scratch);
+            prop_assert_eq!(&legacy, &arena_result, "config {:?}", config);
+        }
+    }
+
+    /// The parallel arena overlap engine reproduces the sequential seed
+    /// path exactly for 1, 2 and 8 worker threads, including holder caps.
+    #[test]
+    fn arena_overlap_equals_sequential(
+        caches in arb_caches(),
+        max_holders in prop_oneof![Just(None), (2usize..8).prop_map(Some)],
+    ) {
+        let n_files = 64;
+        let seq = semantic::overlap_counts(&caches, n_files, |_| true, max_holders);
+        let arena = CacheArena::from_caches(&caches, n_files);
+        let mut expected: Vec<_> = seq.iter().collect();
+        expected.sort_unstable();
+        for threads in [1usize, 2, 8] {
+            let par = semantic::overlap_counts_arena_with_threads(
+                &arena, |_| true, max_holders, threads,
+            );
+            let mut got: Vec<_> = par.iter().collect();
+            got.sort_unstable();
+            prop_assert_eq!(&got, &expected, "threads {}", threads);
         }
     }
 

@@ -1,0 +1,182 @@
+//! Offline vendored subset of the `criterion` API.
+//!
+//! Provides the types and macros the workspace's benches use —
+//! [`Criterion`], [`BenchmarkGroup`], [`Throughput`], [`criterion_group!`],
+//! [`criterion_main!`] — with a simple fixed-sample timing loop instead of
+//! criterion's statistical machinery. Results print as
+//! `bench_name ... mean ± spread per iter (throughput)` on stdout.
+
+// Vendored stand-in: mirrors the upstream API surface, so pedantic
+// lints about API shape do not apply here.
+#![allow(
+    clippy::type_complexity,
+    clippy::should_implement_trait,
+    clippy::new_without_default
+)]
+
+use std::time::{Duration, Instant};
+
+/// Work-per-iteration declaration, used to report rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Prevents the optimizer from discarding a value (re-export shim).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = name.into();
+        let mut group = self.benchmark_group(name.clone());
+        group.bench_function(name, f);
+        group.finish();
+        self
+    }
+}
+
+/// A group of benchmarks sharing sample-size and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares the work done per iteration.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Times one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        let mut samples = bencher.samples;
+        if samples.is_empty() {
+            println!("{}/{}: no samples recorded", self.name, id);
+            return self;
+        }
+        samples.sort_unstable();
+        let mean: Duration = samples.iter().sum::<Duration>() / samples.len() as u32;
+        let median = samples[samples.len() / 2];
+        let rate = self.throughput.map(|t| {
+            let per_sec = |units: u64| units as f64 / mean.as_secs_f64().max(1e-12);
+            match t {
+                Throughput::Bytes(b) => format!(" ({:.1} MiB/s)", per_sec(b) / (1 << 20) as f64),
+                Throughput::Elements(e) => format!(" ({:.0} elem/s)", per_sec(e)),
+            }
+        });
+        println!(
+            "{}/{}: mean {:?}, median {:?} over {} samples{}",
+            self.name,
+            id,
+            mean,
+            median,
+            samples.len(),
+            rate.unwrap_or_default()
+        );
+        self
+    }
+
+    /// Ends the group (printing happens per benchmark; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Collects timed samples of a closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `f`, recording `sample_size` samples (plus one warm-up call).
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        std::hint::black_box(f());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Bundles benchmark functions under one name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_loop_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("selftest");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(10));
+        let mut calls = 0u32;
+        group.bench_function("count", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert_eq!(calls, 4, "warm-up + 3 samples");
+    }
+}
