@@ -12,7 +12,12 @@
 //! * `sim_sweep_lru` / `sim_sweep_history` — list-size sweeps over the
 //!   paper's canonical sizes;
 //! * `randomization_sweep` — the Fig. 21 shuffle-and-simulate loop;
-//! * `trace_pipeline` — filter + extrapolate over the full trace.
+//! * `trace_pipeline` — filter + extrapolate over the full trace;
+//! * `trace_io_json_write` / `trace_io_json_read` and
+//!   `trace_io_bin_write` / `trace_io_bin_read` — the full trace saved
+//!   and reloaded through the JSON and binary columnar codecs (the
+//!   binary read entry records its speedup over JSON, and at repro
+//!   scale the harness asserts it stays ≥ 5×).
 //!
 //! Defaults to `--scale repro` (≈20 k peers); `--scale test|small`
 //! gives a quick smoke run. Output path: `BENCH_report.json` in the
@@ -26,6 +31,7 @@ use edonkey_bench::{Scale, Workload, SEED};
 use edonkey_semsearch::experiment::{self, PAPER_LIST_SIZES};
 use edonkey_semsearch::neighbours::PolicyKind;
 use edonkey_trace::compact::CacheArena;
+use edonkey_trace::io;
 use edonkey_trace::pipeline::{extrapolate, filter, ExtrapolateConfig};
 use edonkey_trace::randomize::recommended_iterations;
 
@@ -151,6 +157,63 @@ fn main() {
         wall_ms: ms,
         throughput: w.full.snapshot_count() as f64 / (ms / 1e3),
         config: "snapshots/s through filter + extrapolate".to_string(),
+    });
+
+    // Trace I/O: the full trace through the JSON and binary codecs.
+    let dir = std::env::temp_dir().join(format!("edonkey_bench_io_{SEED}"));
+    std::fs::create_dir_all(&dir).expect("create trace I/O scratch dir");
+    let json_path = dir.join("full.json");
+    let bin_path = dir.join("full.etrc");
+
+    let (_, json_write_ms) = timed(|| io::save_json(&w.full, &json_path).expect("save_json"));
+    let (json_loaded, json_read_ms) = timed(|| io::load_json(&json_path).expect("load_json"));
+    assert_eq!(json_loaded, w.full, "JSON round trip must be lossless");
+    let (_, bin_write_ms) = timed(|| io::save_bin(&w.full, &bin_path).expect("save_bin"));
+    let (bin_loaded, bin_read_ms) = timed(|| io::load_bin(&bin_path).expect("load_bin"));
+    assert_eq!(bin_loaded, w.full, "binary round trip must be lossless");
+
+    let json_bytes = std::fs::metadata(&json_path).expect("stat json").len();
+    let bin_bytes = std::fs::metadata(&bin_path).expect("stat bin").len();
+    let read_speedup = json_read_ms / bin_read_ms;
+    eprintln!(
+        "[bench_report] trace io: json {json_bytes} B read {json_read_ms:.1} ms, \
+         bin {bin_bytes} B read {bin_read_ms:.1} ms ({read_speedup:.1}x)"
+    );
+    if scale == Scale::Repro || scale == Scale::Paper {
+        assert!(
+            read_speedup >= 5.0,
+            "binary load must be >= 5x faster than JSON at {scale:?} scale \
+             (got {read_speedup:.2}x)"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    entries.push(Entry {
+        name: "trace_io_json_write",
+        wall_ms: json_write_ms,
+        throughput: json_bytes as f64 / (json_write_ms / 1e3),
+        config: format!("bytes/s writing {json_bytes} B of JSON"),
+    });
+    entries.push(Entry {
+        name: "trace_io_json_read",
+        wall_ms: json_read_ms,
+        throughput: json_bytes as f64 / (json_read_ms / 1e3),
+        config: format!("bytes/s reading {json_bytes} B of JSON, round trip lossless"),
+    });
+    entries.push(Entry {
+        name: "trace_io_bin_write",
+        wall_ms: bin_write_ms,
+        throughput: bin_bytes as f64 / (bin_write_ms / 1e3),
+        config: format!("bytes/s writing {bin_bytes} B of binary columnar v1"),
+    });
+    entries.push(Entry {
+        name: "trace_io_bin_read",
+        wall_ms: bin_read_ms,
+        throughput: bin_bytes as f64 / (bin_read_ms / 1e3),
+        config: format!(
+            "bytes/s reading {bin_bytes} B of binary columnar v1, round trip lossless, \
+             {read_speedup:.1}x faster than JSON read"
+        ),
     });
 
     let path =

@@ -2,7 +2,12 @@
 //! one generated workload, then runs the ablations. Output lands in
 //! `EXPERIMENTS-data/*.tsv`.
 //!
-//! Usage: `cargo run --release -p edonkey-bench --bin reproduce [--scale test|small|repro|paper]`
+//! Usage: `cargo run --release -p edonkey-bench --bin reproduce [--scale test|small|repro|paper] [--trace <path>]`
+//!
+//! With `--trace <path>` (or `EDONKEY_TRACE`), the full trace is loaded
+//! from the file — binary columnar, JSON, or compact, sniffed from the
+//! contents — instead of being generated, and the filtered/extrapolated
+//! stages are derived from it.
 use edonkey_bench::{
     ablations, figures_cluster as fc, figures_measure as fm, figures_search as fs,
 };

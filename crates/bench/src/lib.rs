@@ -12,7 +12,7 @@ pub mod figures_measure;
 pub mod figures_search;
 
 use std::fmt::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use edonkey_trace::model::Trace;
 use edonkey_trace::pipeline::{extrapolate, filter, ExtrapolateConfig};
@@ -73,8 +73,9 @@ impl Scale {
 
 /// The standard workload every figure binary starts from.
 pub struct Workload {
-    /// The generating population (ground truth).
-    pub population: Population,
+    /// The generating population (ground truth). `None` when the full
+    /// trace was loaded from a file instead of generated.
+    pub population: Option<Population>,
     /// The observed ("full") trace.
     pub full: Trace,
     /// The filtered trace (static analyses).
@@ -86,12 +87,45 @@ pub struct Workload {
 /// The workspace-wide default seed for regeneration runs.
 pub const SEED: u64 = 20060418; // EuroSys'06 opening day.
 
+/// Reads a trace override from `--trace <path>` argv or `EDONKEY_TRACE`.
+///
+/// When set, [`Workload::generate`] loads the full trace from this path
+/// (any of the three on-disk formats, sniffed by
+/// [`edonkey_trace::io::load_auto`]) instead of generating one.
+pub fn trace_override() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    let mut path = std::env::var("EDONKEY_TRACE").ok();
+    while let Some(arg) = args.next() {
+        if arg == "--trace" {
+            path = args.next();
+        }
+    }
+    path.map(PathBuf::from)
+}
+
 impl Workload {
-    /// Generates the standard workload at `scale`.
+    /// Generates the standard workload at `scale`, or derives it from a
+    /// trace file when [`trace_override`] names one.
     pub fn generate(scale: Scale) -> Workload {
+        if let Some(path) = trace_override() {
+            return Workload::from_trace_file(&path);
+        }
         eprintln!("[bench] generating workload at {scale:?} scale…");
         let config = scale.config(SEED);
         let (population, full) = generate_trace(config);
+        Workload::derive(Some(population), full)
+    }
+
+    /// Builds the workload from a trace file in any supported format
+    /// (binary, JSON, or compact — sniffed from the file contents).
+    pub fn from_trace_file(path: &Path) -> Workload {
+        eprintln!("[bench] loading trace from {}…", path.display());
+        let full = edonkey_trace::io::load_auto(path)
+            .unwrap_or_else(|e| panic!("load trace {}: {e}", path.display()));
+        Workload::derive(None, full)
+    }
+
+    fn derive(population: Option<Population>, full: Trace) -> Workload {
         eprintln!(
             "[bench] trace: {} peers, {} files, {} days",
             full.peers.len(),
@@ -194,6 +228,6 @@ mod tests {
         let w = Workload::generate(Scale::Test);
         assert!(w.filtered.peers.len() <= w.full.peers.len());
         assert!(w.extrapolated.peers.len() <= w.filtered.peers.len());
-        assert!(!w.population.files.is_empty());
+        assert!(!w.population.expect("generated workload").files.is_empty());
     }
 }

@@ -20,11 +20,14 @@
 //! churn aliases, missed days) all arise from the mechanics above.
 
 use std::collections::HashMap;
+use std::io::{Seek, Write};
 
 use edonkey_proto::md4::Digest;
 use edonkey_proto::tags::SpecialTag;
 use edonkey_proto::wire::Message;
-use edonkey_trace::model::{FileInfo, PeerInfo, Trace, TraceBuilder};
+use edonkey_trace::io::bin::TraceWriter;
+use edonkey_trace::io::TraceIoError;
+use edonkey_trace::model::{DaySnapshot, FileInfo, PeerInfo, Trace, TraceBuilder};
 use edonkey_workload::population::Population;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -289,6 +292,19 @@ impl Crawler {
         &self.stats
     }
 
+    /// Removes and returns a completed day's observations, if any were
+    /// recorded — the streaming hook for feeding a
+    /// [`TraceWriter`] day-by-day instead of accumulating the whole
+    /// trace (outage days record nothing and return `None`).
+    pub fn take_day(&mut self, day: u32) -> Option<DaySnapshot> {
+        self.builder.take_day(day)
+    }
+
+    /// The intern tables accumulated so far, for [`TraceWriter::finish`].
+    pub fn tables(&self) -> (&[FileInfo], &[PeerInfo]) {
+        (self.builder.files(), self.builder.peers())
+    }
+
     /// Finishes the crawl, returning the trace.
     pub fn finish(self) -> Trace {
         self.builder.finish()
@@ -322,6 +338,38 @@ pub fn run_crawl(
     }
     let stats = crawler.stats().to_vec();
     (crawler.finish(), stats)
+}
+
+/// [`run_crawl`], streaming: each day's snapshot is emitted to `writer`
+/// the moment its crawl day completes, so the crawl never holds more
+/// than one day of observations (plus the intern tables) in memory.
+///
+/// The written trace is identical to what [`run_crawl`] + `save_bin`
+/// would produce. Returns the per-day statistics and the finished sink.
+pub fn run_crawl_streaming<W: Write + Seek>(
+    population: &Population,
+    net_config: NetConfig,
+    crawler_config: CrawlerConfig,
+    mut writer: TraceWriter<W>,
+) -> Result<(Vec<CrawlDayStats>, W), TraceIoError> {
+    let total_days = population.config.days;
+    let mut net = Network::new(population, net_config);
+    let mut crawler = Crawler::new(crawler_config);
+    net.refresh_sessions();
+    crawler.crawl_day(&mut net, 0, total_days);
+    if let Some(snapshot) = crawler.take_day(net.day()) {
+        writer.write_day(&snapshot)?;
+    }
+    for offset in 1..total_days {
+        net.step_day();
+        crawler.crawl_day(&mut net, offset, total_days);
+        if let Some(snapshot) = crawler.take_day(net.day()) {
+            writer.write_day(&snapshot)?;
+        }
+    }
+    let (files, peers) = crawler.tables();
+    let sink = writer.finish(files, peers)?;
+    Ok((crawler.stats().to_vec(), sink))
 }
 
 #[cfg(test)]
@@ -416,6 +464,23 @@ mod tests {
             last < first,
             "coverage should decline with the budget: first {first}, last {last}"
         );
+    }
+
+    #[test]
+    fn streaming_crawl_equals_batch_crawl() {
+        let population = pop(5);
+        let config = CrawlerConfig {
+            outage_days: vec![2],
+            ..Default::default()
+        }
+        .budget_for(200, 1.2, 1.2);
+        let (batch, batch_stats) = run_crawl(&population, NetConfig::default(), config.clone());
+        let writer = TraceWriter::new(std::io::Cursor::new(Vec::new())).unwrap();
+        let (stream_stats, sink) =
+            run_crawl_streaming(&population, NetConfig::default(), config, writer).unwrap();
+        let streamed = edonkey_trace::io::bin::from_bin(&sink.into_inner()).unwrap();
+        assert_eq!(streamed, batch, "streaming and batch crawls must agree");
+        assert_eq!(stream_stats, batch_stats);
     }
 
     #[test]

@@ -47,6 +47,6 @@ pub mod event;
 pub mod network;
 pub mod server;
 
-pub use crawler::{run_crawl, CrawlDayStats, Crawler, CrawlerConfig};
+pub use crawler::{run_crawl, run_crawl_streaming, CrawlDayStats, Crawler, CrawlerConfig};
 pub use network::{NetConfig, Network};
 pub use server::Server;

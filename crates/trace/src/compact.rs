@@ -85,6 +85,53 @@ impl CacheArena {
         Self::from_caches(&trace.static_caches(), trace.files.len())
     }
 
+    /// Adopts already-CSR data without copying or re-sorting — the
+    /// zero-rebuild path for consumers that decode the binary trace
+    /// format's day sections (`io::bin`), whose lengths + concatenated
+    /// sorted entries are this exact layout.
+    ///
+    /// Validates the CSR invariants (offset monotonicity and bounds,
+    /// per-row sorted/deduplicated entries, refs `< n_files`) instead of
+    /// panicking, since the data may come from disk.
+    pub fn from_csr_parts(
+        files: Vec<FileRef>,
+        offsets: Vec<u32>,
+        n_files: usize,
+    ) -> Result<Self, String> {
+        if offsets.first() != Some(&0) {
+            return Err("offsets must start with 0".into());
+        }
+        if *offsets.last().expect("non-empty by the check above") as usize != files.len() {
+            return Err(format!(
+                "final offset {} does not match {} entries",
+                offsets.last().expect("non-empty"),
+                files.len()
+            ));
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("offsets must be non-decreasing".into());
+        }
+        for w in offsets.windows(2) {
+            let row = &files[w[0] as usize..w[1] as usize];
+            if row.windows(2).any(|p| p[0] >= p[1]) {
+                return Err("row entries must be strictly increasing".into());
+            }
+            if let Some(last) = row.last() {
+                if last.index() >= n_files {
+                    return Err(format!(
+                        "file ref {last} out of range (n_files = {n_files})"
+                    ));
+                }
+            }
+        }
+        Ok(CacheArena {
+            files,
+            offsets,
+            n_files,
+            holders: OnceLock::new(),
+        })
+    }
+
     fn build<'a>(
         n_peers: usize,
         n_files: usize,
@@ -307,5 +354,26 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn rejects_out_of_range_refs() {
         CacheArena::from_caches(&[vec![f(9)]], 3);
+    }
+
+    #[test]
+    fn csr_parts_round_trip_and_validate() {
+        let caches = vec![vec![f(0), f(2)], vec![], vec![f(1)]];
+        let built = CacheArena::from_caches(&caches, 3);
+        let adopted = CacheArena::from_csr_parts(
+            built.iter().flatten().copied().collect(),
+            vec![0, 2, 2, 3],
+            3,
+        )
+        .unwrap();
+        assert_eq!(adopted.to_caches(), caches);
+        assert_eq!(adopted.holders(f(2)), &[0]);
+
+        // Every invariant violation is an Err, never a panic.
+        assert!(CacheArena::from_csr_parts(vec![f(0)], vec![1, 1], 2).is_err());
+        assert!(CacheArena::from_csr_parts(vec![f(0)], vec![0, 2], 2).is_err());
+        assert!(CacheArena::from_csr_parts(vec![f(0), f(1)], vec![0, 2, 1], 2).is_err());
+        assert!(CacheArena::from_csr_parts(vec![f(1), f(0)], vec![0, 2], 2).is_err());
+        assert!(CacheArena::from_csr_parts(vec![f(5)], vec![0, 1], 2).is_err());
     }
 }

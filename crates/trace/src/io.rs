@@ -1,5 +1,10 @@
-//! Trace serialization: JSON (interoperable) and a compact line format
-//! (fast, diff-able, what the anonymized trace release would look like).
+//! Trace serialization: JSON (interoperable), a compact line format
+//! (diff-able, what the anonymized trace release would look like), and
+//! a binary columnar format ([`bin`]) for paper-scale traces, with
+//! streaming writer/reader APIs.
+//!
+//! [`load_auto`] sniffs the format from the leading bytes, so every
+//! consumer (bench binaries, examples) accepts any of the three.
 //!
 //! The compact format is line-oriented ASCII:
 //!
@@ -11,10 +16,15 @@
 //! C <peer> <fref> <fref> ...        one cache within the current day
 //! ```
 
+pub mod bin;
+
 use std::fmt::Write as _;
 use std::fs;
 use std::io;
+use std::io::Read as _;
 use std::path::Path;
+
+pub use bin::{from_bin, load_bin, save_bin, to_bin, TraceReader, TraceWriter};
 
 use edonkey_proto::md4::Digest;
 use edonkey_proto::query::FileKind;
@@ -37,6 +47,14 @@ pub enum TraceIoError {
     },
     /// The parsed trace violated a structural invariant.
     Invalid(String),
+    /// Binary-format error with the absolute byte offset it was
+    /// detected at.
+    Bin {
+        /// Byte offset within the file.
+        offset: u64,
+        /// What went wrong.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for TraceIoError {
@@ -48,6 +66,9 @@ impl std::fmt::Display for TraceIoError {
                 write!(f, "parse error at line {line}: {message}")
             }
             TraceIoError::Invalid(msg) => write!(f, "invalid trace: {msg}"),
+            TraceIoError::Bin { offset, message } => {
+                write!(f, "binary format error at byte {offset}: {message}")
+            }
         }
     }
 }
@@ -493,6 +514,42 @@ pub fn load_compact(path: &Path) -> Result<Trace, TraceIoError> {
     from_compact(&fs::read_to_string(path)?)
 }
 
+/// The on-disk formats [`load_auto`] can distinguish.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// Binary columnar (`io::bin`).
+    Binary,
+    /// The JSON interchange schema.
+    Json,
+    /// The compact line format.
+    Compact,
+}
+
+/// Sniffs a trace file's format from its leading bytes: the binary
+/// magic wins outright, a leading `{` (after whitespace) means JSON,
+/// anything else is read as the compact line format.
+pub fn sniff_format(path: &Path) -> Result<TraceFormat, TraceIoError> {
+    let mut head = [0u8; 8];
+    let n = fs::File::open(path)?.read(&mut head)?;
+    if head[..n] == bin::MAGIC[..] {
+        return Ok(TraceFormat::Binary);
+    }
+    match head[..n].iter().find(|b| !b.is_ascii_whitespace()) {
+        Some(b'{') => Ok(TraceFormat::Json),
+        _ => Ok(TraceFormat::Compact),
+    }
+}
+
+/// Loads a trace in any supported format, sniffing it from the file's
+/// leading bytes.
+pub fn load_auto(path: &Path) -> Result<Trace, TraceIoError> {
+    match sniff_format(path)? {
+        TraceFormat::Binary => load_bin(path),
+        TraceFormat::Json => load_json(path),
+        TraceFormat::Compact => load_compact(path),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -599,6 +656,25 @@ mod tests {
             from_compact(&text),
             Err(TraceIoError::Parse { .. })
         ));
+    }
+
+    #[test]
+    fn load_auto_sniffs_all_three_formats() {
+        let trace = sample_trace();
+        let dir = std::env::temp_dir().join("edonkey-trace-test-auto");
+        fs::create_dir_all(&dir).unwrap();
+        let json = dir.join("t.json");
+        let compact = dir.join("t.trace");
+        let bin = dir.join("t.edt");
+        save_json(&trace, &json).unwrap();
+        save_compact(&trace, &compact).unwrap();
+        save_bin(&trace, &bin).unwrap();
+        assert_eq!(sniff_format(&json).unwrap(), TraceFormat::Json);
+        assert_eq!(sniff_format(&compact).unwrap(), TraceFormat::Compact);
+        assert_eq!(sniff_format(&bin).unwrap(), TraceFormat::Binary);
+        for path in [&json, &compact, &bin] {
+            assert_eq!(load_auto(path).unwrap(), trace, "{}", path.display());
+        }
     }
 
     #[test]

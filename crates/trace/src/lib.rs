@@ -42,8 +42,9 @@ pub mod pipeline;
 pub mod randomize;
 
 pub use compact::CacheArena;
+pub use io::{load_auto, TraceIoError, TraceReader, TraceWriter};
 pub use model::{
     CountryCode, DaySnapshot, FileInfo, FileRef, PeerId, PeerInfo, Trace, TraceBuilder,
 };
-pub use pipeline::{extrapolate, filter, DerivedTrace, ExtrapolateConfig};
+pub use pipeline::{extrapolate, filter, filter_streaming, DerivedTrace, ExtrapolateConfig};
 pub use randomize::{randomize_caches, recommended_iterations, Shuffler, SwapStats};

@@ -420,6 +420,27 @@ impl TraceBuilder {
             .is_some_and(|s| s.cache_of(peer).is_some())
     }
 
+    /// Removes and returns a completed day's snapshot, keeping the
+    /// intern tables.
+    ///
+    /// This is the streaming hook: a producer that finishes its days in
+    /// order (the crawler) can hand each one to a
+    /// [`TraceWriter`](crate::io::bin::TraceWriter) as it completes,
+    /// instead of accumulating the whole trace in memory.
+    pub fn take_day(&mut self, day: u32) -> Option<DaySnapshot> {
+        self.days.remove(&day)
+    }
+
+    /// The file intern table built so far.
+    pub fn files(&self) -> &[FileInfo] {
+        &self.files
+    }
+
+    /// The peer intern table built so far.
+    pub fn peers(&self) -> &[PeerInfo] {
+        &self.peers
+    }
+
     /// Finalizes the trace, sorting snapshots by day.
     pub fn finish(self) -> Trace {
         let mut days: Vec<DaySnapshot> = self.days.into_values().collect();
@@ -554,6 +575,24 @@ mod tests {
         assert_eq!(trace.check_invariants(), Ok(()));
         trace.days[0].caches[0].1.push(FileRef(99));
         assert!(trace.check_invariants().is_err());
+    }
+
+    #[test]
+    fn take_day_drains_snapshots_but_keeps_tables() {
+        let mut b = TraceBuilder::new();
+        let p = b.intern_peer(peer(1));
+        let f = b.intern_file(file(1));
+        b.observe(350, p, vec![f]);
+        b.observe(351, p, vec![]);
+        let snap = b.take_day(350).expect("day 350 exists");
+        assert_eq!(snap.cache_of(p).unwrap(), &[f]);
+        assert!(b.take_day(350).is_none(), "take_day removes the snapshot");
+        assert_eq!(b.files().len(), 1);
+        assert_eq!(b.peers().len(), 1);
+        // The remaining day still finishes into a valid trace.
+        let trace = b.finish();
+        assert_eq!(trace.days.len(), 1);
+        assert_eq!(trace.days[0].day, 351);
     }
 
     #[test]

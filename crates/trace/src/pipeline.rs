@@ -11,8 +11,11 @@
 //!   connection"* — a deliberately pessimistic reconstruction.
 
 use std::collections::HashMap;
+use std::path::Path;
 
-use crate::model::{DaySnapshot, FileRef, PeerId, Trace};
+use crate::io::bin::{TraceReader, TraceWriter};
+use crate::io::TraceIoError;
+use crate::model::{DaySnapshot, FileRef, PeerId, PeerInfo, Trace};
 
 /// Knobs for [`extrapolate`], defaulting to the paper's values.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -109,6 +112,85 @@ pub fn filter(trace: &Trace) -> DerivedTrace {
         let aliased = by_ip[&info.ip] > 1 || by_uid[&info.uid.0] > 1;
         is_free_rider || !aliased
     })
+}
+
+/// Outcome of a [`filter_streaming`] pass.
+#[derive(Clone, Debug)]
+pub struct StreamedFilter {
+    /// `kept[i]` is the source-trace id of the output trace's peer `i`
+    /// — the same mapping [`filter`] reports in [`DerivedTrace::kept`].
+    pub kept: Vec<PeerId>,
+    /// Day sections written to the output.
+    pub days: u32,
+}
+
+/// The streaming `full → filtered` pass: reads a binary trace
+/// day-at-a-time and writes the filtered binary trace, equal to what
+/// the in-memory [`filter`] would produce, without ever materializing
+/// either whole trace.
+///
+/// Two passes over `input`:
+///
+/// 1. stream every day accumulating one bit per peer (*did this client
+///    ever share a file?*) — free-rider status needs the full period;
+/// 2. stream again, remapping each snapshot to the kept peers and
+///    appending it to `output`.
+///
+/// Peak resident memory is the intern tables plus **one**
+/// [`DaySnapshot`], not the trace: the paper-scale bottleneck was
+/// holding all 56 days × 1.16 M caches at once.
+pub fn filter_streaming(input: &Path, output: &Path) -> Result<StreamedFilter, TraceIoError> {
+    // Pass 1: who ever shared? (The alias counts come from the peer
+    // table, which the reader loads up front.)
+    let mut pass1 = TraceReader::open(input)?;
+    let mut shared = vec![false; pass1.peers().len()];
+    while let Some(day) = pass1.next_day()? {
+        for (peer, cache) in &day.caches {
+            if !cache.is_empty() {
+                shared[peer.index()] = true;
+            }
+        }
+    }
+
+    let mut by_ip: HashMap<u32, u32> = HashMap::new();
+    let mut by_uid: HashMap<[u8; 16], u32> = HashMap::new();
+    for peer in pass1.peers() {
+        *by_ip.entry(peer.ip).or_insert(0) += 1;
+        *by_uid.entry(peer.uid.0).or_insert(0) += 1;
+    }
+    let mut kept: Vec<PeerId> = Vec::new();
+    let mut remap: Vec<Option<PeerId>> = vec![None; pass1.peers().len()];
+    let mut peers: Vec<PeerInfo> = Vec::new();
+    for (idx, info) in pass1.peers().iter().enumerate() {
+        let aliased = by_ip[&info.ip] > 1 || by_uid[&info.uid.0] > 1;
+        if !shared[idx] || !aliased {
+            remap[idx] = Some(PeerId(kept.len() as u32));
+            kept.push(PeerId(idx as u32));
+            peers.push(info.clone());
+        }
+    }
+
+    // Pass 2: remap and stream out. Dense remapping preserves relative
+    // order, so each filtered snapshot stays sorted by the new ids.
+    let files = pass1.files().to_vec();
+    drop(pass1);
+    let mut pass2 = TraceReader::open(input)?;
+    let mut writer = TraceWriter::create(output)?;
+    let mut days = 0u32;
+    while let Some(day) = pass2.next_day()? {
+        let caches: Vec<(PeerId, Vec<FileRef>)> = day
+            .caches
+            .iter()
+            .filter_map(|(p, c)| remap[p.index()].map(|np| (np, c.clone())))
+            .collect();
+        writer.write_day(&DaySnapshot {
+            day: day.day,
+            caches,
+        })?;
+        days += 1;
+    }
+    writer.finish(&files, &peers)?;
+    Ok(StreamedFilter { kept, days })
 }
 
 /// Produces the paper's **extrapolated trace**.
@@ -273,6 +355,29 @@ mod tests {
         let derived = filter(&trace);
         // Now every sharer is aliased; only the free-rider remains.
         assert_eq!(derived.kept, vec![PeerId(2)]);
+    }
+
+    #[test]
+    fn streaming_filter_matches_in_memory_filter() {
+        let mut trace = aliased_trace();
+        // A second day with a different mix, to exercise multi-day streams.
+        let mut extra = DaySnapshot::new(351);
+        extra.insert(PeerId(1), vec![FileRef(0)]);
+        extra.insert(PeerId(3), vec![]);
+        trace.days.push(extra);
+        assert_eq!(trace.check_invariants(), Ok(()));
+
+        let dir = std::env::temp_dir().join("edonkey-pipeline-stream");
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("full.edt");
+        let output = dir.join("filtered.edt");
+        crate::io::save_bin(&trace, &input).unwrap();
+
+        let streamed = filter_streaming(&input, &output).unwrap();
+        let in_memory = filter(&trace);
+        assert_eq!(streamed.kept, in_memory.kept);
+        assert_eq!(streamed.days as usize, trace.days.len());
+        assert_eq!(crate::io::load_bin(&output).unwrap(), in_memory.trace);
     }
 
     fn observed(b: &mut TraceBuilder, peer: PeerId, days_caches: &[(u32, Vec<FileRef>)]) {

@@ -8,6 +8,7 @@ use std::collections::{HashMap, HashSet};
 use edonkey_repro::analysis::semantic;
 use edonkey_repro::proto::error::{Reader, Writer};
 use edonkey_repro::proto::md4::{Digest, Md4};
+use edonkey_repro::proto::query::FileKind;
 use edonkey_repro::proto::query::Query;
 use edonkey_repro::proto::tags::{Tag, TagList, TagValue};
 use edonkey_repro::proto::wire::{Message, PublishedFile, SourceAddr};
@@ -15,7 +16,10 @@ use edonkey_repro::semsearch::neighbours::{Lru, NeighbourPolicy};
 use edonkey_repro::semsearch::sim::{simulate_arena_with_scratch, simulate_reference, SimScratch};
 use edonkey_repro::semsearch::{simulate, SimConfig};
 use edonkey_repro::trace::compact::CacheArena;
-use edonkey_repro::trace::model::FileRef;
+use edonkey_repro::trace::io;
+use edonkey_repro::trace::model::{
+    CountryCode, DaySnapshot, FileInfo, FileRef, PeerId, PeerInfo, Trace,
+};
 use edonkey_repro::trace::pipeline::{sorted_intersection, sorted_intersection_len};
 use edonkey_repro::trace::randomize::Shuffler;
 use proptest::prelude::*;
@@ -87,6 +91,70 @@ fn arb_caches() -> impl Strategy<Value = Vec<Vec<FileRef>>> {
             .map(|s| s.into_iter().map(FileRef).collect())
             .collect()
     })
+}
+
+/// Arbitrary valid traces: 0–11 files, 0–9 peers (IPs drawn from four
+/// addresses so DHCP-style duplicates are common), 0–3 days with
+/// arbitrary per-peer caches (often empty ⇒ free-riders). Covers the
+/// degenerate shapes the codecs must handle: the empty trace, day-less
+/// traces with populated tables, and single-day traces.
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    let countries = ["FR", "DE", "ES", "US"];
+    (
+        prop::collection::vec((any::<u32>(), 0usize..64), 0..12),
+        prop::collection::vec((0u32..4, 0usize..4, any::<u32>()), 0..10),
+        prop::collection::vec(
+            prop::collection::vec(
+                (any::<bool>(), prop::collection::btree_set(0u32..16, 0..6)),
+                0..10,
+            ),
+            0..4,
+        ),
+        prop::collection::btree_set(340u32..360, 0..4),
+    )
+        .prop_map(move |(files_raw, peers_raw, day_slots, day_numbers)| {
+            let files: Vec<FileInfo> = files_raw
+                .iter()
+                .enumerate()
+                .map(|(i, &(size, kind))| FileInfo {
+                    id: Md4::digest(format!("prop-file-{i}").as_bytes()),
+                    size: size as u64,
+                    kind: FileKind::ALL[kind % FileKind::ALL.len()],
+                })
+                .collect();
+            let peers: Vec<PeerInfo> = peers_raw
+                .iter()
+                .enumerate()
+                .map(|(i, &(ip, country, asn))| PeerInfo {
+                    uid: Md4::digest(format!("prop-peer-{i}").as_bytes()),
+                    ip,
+                    country: CountryCode::new(countries[country]),
+                    asn,
+                })
+                .collect();
+            let days: Vec<DaySnapshot> = day_numbers
+                .into_iter()
+                .zip(day_slots)
+                .map(|(day, slots)| DaySnapshot {
+                    day,
+                    caches: slots
+                        .into_iter()
+                        .take(peers.len())
+                        .enumerate()
+                        .filter(|(_, (observed, _))| *observed)
+                        .map(|(peer, (_, raw))| {
+                            let cache: Vec<FileRef> = raw
+                                .into_iter()
+                                .filter(|&f| (f as usize) < files.len())
+                                .map(FileRef)
+                                .collect();
+                            (PeerId(peer as u32), cache)
+                        })
+                        .collect(),
+                })
+                .collect();
+            Trace { files, peers, days }
+        })
 }
 
 fn replica_histogram(caches: &[Vec<FileRef>]) -> HashMap<FileRef, usize> {
@@ -267,6 +335,33 @@ proptest! {
             got.sort_unstable();
             prop_assert_eq!(&got, &expected, "threads {}", threads);
         }
+    }
+
+    /// Every valid trace — including the empty trace, day-less traces,
+    /// free-riders and duplicate-IP peers — survives the binary columnar
+    /// codec byte-for-byte: decode(encode(t)) == t.
+    #[test]
+    fn binary_codec_round_trips(trace in arb_trace()) {
+        prop_assert_eq!(trace.check_invariants(), Ok(()));
+        let bytes = io::to_bin(&trace);
+        let decoded = io::from_bin(&bytes).expect("decode own binary encoding");
+        prop_assert_eq!(decoded, trace);
+    }
+
+    /// The JSON codec round-trips the same trace family losslessly.
+    #[test]
+    fn json_codec_round_trips(trace in arb_trace()) {
+        let decoded = io::from_json(&io::to_json(&trace)).expect("decode own JSON");
+        prop_assert_eq!(decoded, trace);
+    }
+
+    /// The compact text codec round-trips the same trace family
+    /// losslessly.
+    #[test]
+    fn compact_codec_round_trips(trace in arb_trace()) {
+        let decoded =
+            io::from_compact(&io::to_compact(&trace)).expect("decode own compact text");
+        prop_assert_eq!(decoded, trace);
     }
 
     /// Hit rates are monotone (within tolerance) in list size — more
