@@ -3,6 +3,7 @@
 //! paper's headline metrics do (DESIGN.md §7).
 
 use edonkey_analysis::{semantic, view};
+use edonkey_netsim::{run_crawl_full, CrawlerConfig, FaultConfig, NetConfig, RetryPolicy};
 use edonkey_semsearch::sim::{simulate, SimConfig};
 use edonkey_trace::randomize::{recommended_iterations, Shuffler};
 use edonkey_workload::generate_trace;
@@ -112,6 +113,81 @@ pub fn ablation_crawler(scale: Scale) {
             trace.files.len().to_string(),
             trace.snapshot_count().to_string(),
         ]);
+    }
+    e.finish();
+}
+
+/// Crawl robustness: coverage and the Fig. 18 policy ordering vs the
+/// fault rate, for the no-retry and retry+backoff crawler policies.
+///
+/// The composite fault mix scales every transient fault kind with one
+/// `rate` knob (connect timeouts at `rate`, mid-browse disconnects and
+/// query drops at `rate/4`) so a single column orders the runs; NAT and
+/// churn bursts are exercised separately by the test matrix.
+pub fn ablation_fault_sweep(scale: Scale) {
+    let mut e = Emitter::new("fault_sweep");
+    e.comment("Ablation: crawl robustness vs transient-fault rate");
+    e.comment(
+        "fault_rate\tpolicy\tsnapshots\tcoverage_vs_clean_pct\tlru20_hit_pct\t\
+         history20_hit_pct\trandom20_hit_pct",
+    );
+    let mut config = scale.config(SEED);
+    // The protocol crawl is heavier than the ideal observer; shrink.
+    config.peers = config.peers.min(2_000);
+    config.files = config.files.min(20_000);
+    config.days = config.days.min(12);
+    // The netsim path evolves identities mechanistically; the
+    // observer-side alias knobs do not apply here.
+    config.alias_dhcp_daily_prob = 0.0;
+    config.alias_reinstall_daily_prob = 0.0;
+    let peers = config.peers;
+    let population = edonkey_workload::Population::generate(config);
+    let crawl = |rate: f64, retry: RetryPolicy| {
+        let crawler_config = CrawlerConfig {
+            outage_days: vec![],
+            fault: FaultConfig {
+                seed: SEED ^ 0xfa17,
+                transient_rate: rate,
+                disconnect_rate: rate / 4.0,
+                query_drop_rate: rate / 4.0,
+                ..FaultConfig::none()
+            },
+            retry,
+            ..Default::default()
+        }
+        .budget_for(peers, 2.0, 2.0);
+        run_crawl_full(&population, NetConfig::default(), crawler_config)
+    };
+    let (clean, _) = crawl(0.0, RetryPolicy::no_retry());
+    let clean_snapshots = clean.snapshot_count().max(1);
+    for &rate in &[0.0, 0.1, 0.25, 0.5] {
+        for (name, retry) in [
+            ("no_retry", RetryPolicy::no_retry()),
+            ("retry_backoff", RetryPolicy::backoff()),
+        ] {
+            let (trace, report) = crawl(rate, retry);
+            report
+                .health
+                .check_invariants()
+                .expect("crawl health must reconcile");
+            let filtered = edonkey_trace::pipeline::filter(&trace).trace;
+            let caches = filtered.static_caches();
+            let n_files = filtered.files.len();
+            let hit =
+                |c: SimConfig| 100.0 * simulate(&caches, n_files, &c.with_seed(SEED)).hit_rate();
+            e.row([
+                f(rate, 2),
+                name.to_string(),
+                trace.snapshot_count().to_string(),
+                f(
+                    100.0 * trace.snapshot_count() as f64 / clean_snapshots as f64,
+                    1,
+                ),
+                f(hit(SimConfig::lru(20)), 2),
+                f(hit(SimConfig::history(20)), 2),
+                f(hit(SimConfig::random(20)), 2),
+            ]);
+        }
     }
     e.finish();
 }

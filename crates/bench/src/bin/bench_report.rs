@@ -147,6 +147,68 @@ fn main() {
         config: format!("swap attempts/s, checkpoints {checkpoints:?}, list size 10"),
     });
 
+    // Crawl robustness: a 25%-transient-fault crawl under the
+    // retry+backoff policy, measured against a fault-free crawl of the
+    // same (capped) population.
+    {
+        let mut cfg = scale.config(SEED);
+        cfg.peers = cfg.peers.min(2_000);
+        cfg.files = cfg.files.min(20_000);
+        cfg.days = cfg.days.min(12);
+        cfg.alias_dhcp_daily_prob = 0.0;
+        cfg.alias_reinstall_daily_prob = 0.0;
+        let crawl_peers = cfg.peers;
+        let crawl_pop = edonkey_workload::Population::generate(cfg);
+        let base = edonkey_netsim::CrawlerConfig {
+            outage_days: vec![],
+            ..Default::default()
+        }
+        .budget_for(crawl_peers, 2.0, 2.0);
+        let (clean, _) = edonkey_netsim::run_crawl_full(
+            &crawl_pop,
+            edonkey_netsim::NetConfig::default(),
+            base.clone(),
+        );
+        let faulted_cfg = edonkey_netsim::CrawlerConfig {
+            fault: edonkey_netsim::FaultConfig {
+                seed: SEED ^ 0xfa17,
+                transient_rate: 0.25,
+                ..edonkey_netsim::FaultConfig::none()
+            },
+            retry: edonkey_netsim::RetryPolicy::backoff(),
+            ..base
+        };
+        let ((faulted, report), ms) = timed(|| {
+            edonkey_netsim::run_crawl_full(
+                &crawl_pop,
+                edonkey_netsim::NetConfig::default(),
+                faulted_cfg,
+            )
+        });
+        report
+            .health
+            .check_invariants()
+            .expect("crawl health must reconcile");
+        let recovery =
+            100.0 * faulted.snapshot_count() as f64 / clean.snapshot_count().max(1) as f64;
+        eprintln!(
+            "[bench_report] crawl_fault_sweep: {:.1} ms, recovery {recovery:.1}% \
+             ({} attempts, {} retries, {} timeouts)",
+            ms, report.health.attempted, report.health.retries, report.health.timeouts
+        );
+        entries.push(Entry {
+            name: "crawl_fault_sweep",
+            wall_ms: ms,
+            throughput: report.health.attempted as f64 / (ms / 1e3),
+            config: format!(
+                "attempts/s at 25% transient faults with retry+backoff over {crawl_peers} peers, \
+                 recovery {recovery:.1}% of fault-free snapshots, \
+                 {} retries, {} quarantined",
+                report.health.retries, report.health.quarantined
+            ),
+        });
+    }
+
     // Trace pipeline.
     let (_, ms) = timed(|| {
         let filtered = filter(&w.full);

@@ -1,0 +1,9 @@
+//! Regenerates the `fault_sweep` ablation: crawl coverage and the
+//! Fig. 18 policy ordering vs the injected transient-fault rate, for
+//! the no-retry and retry+backoff crawler policies.
+//!
+//! Usage: `cargo run --release -p edonkey-bench --bin fault_sweep [--scale test|small|repro|paper]`
+fn main() {
+    let scale = edonkey_bench::Scale::from_env();
+    edonkey_bench::ablations::ablation_fault_sweep(scale);
+}

@@ -54,5 +54,6 @@ fn main() {
     ablations::ablation_randomize(scale);
     ablations::ablation_policies(scale);
     ablations::ablation_crawler(scale);
+    ablations::ablation_fault_sweep(scale);
     eprintln!("[reproduce] done.");
 }

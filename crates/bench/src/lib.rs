@@ -59,12 +59,20 @@ impl Scale {
                 c.days = 20;
                 c
             }
-            Scale::Small => WorkloadConfig {
-                peers: 8_000,
-                files: 160_000,
-                topics: 1_600,
-                ..WorkloadConfig::test_scale(seed)
-            },
+            Scale::Small => {
+                let mut c = WorkloadConfig {
+                    peers: 8_000,
+                    files: 160_000,
+                    topics: 1_600,
+                    ..WorkloadConfig::test_scale(seed)
+                };
+                // Identity churn at the netsim rates, so the filtering
+                // stage has real duplicate-IP/uid aliases to remove and
+                // Table 1 shows filtered < full at this scale.
+                c.alias_dhcp_daily_prob = 0.02;
+                c.alias_reinstall_daily_prob = 0.002;
+                c
+            }
             Scale::Repro => WorkloadConfig::repro_scale(seed),
             Scale::Paper => WorkloadConfig::paper_scale(seed),
         }
@@ -212,6 +220,18 @@ mod tests {
         for scale in [Scale::Test, Scale::Small, Scale::Repro, Scale::Paper] {
             assert_eq!(scale.config(1).validate(), Ok(()), "{scale:?}");
         }
+    }
+
+    #[test]
+    fn small_scale_exercises_the_alias_filter() {
+        let c = Scale::Small.config(1);
+        assert!(c.alias_dhcp_daily_prob > 0.0);
+        assert!(c.alias_reinstall_daily_prob > 0.0);
+        // The test preset stays alias-free (fixtures and differential
+        // suites pin its byte-identical stream).
+        let t = Scale::Test.config(1);
+        assert_eq!(t.alias_dhcp_daily_prob, 0.0);
+        assert_eq!(t.alias_reinstall_daily_prob, 0.0);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! whether it answers *browse* requests (the user-disableable feature
 //! the crawler depends on).
 
-use edonkey_proto::md4::{Digest, Md4};
+use edonkey_proto::md4::Digest;
 use edonkey_proto::tags::{SpecialTag, Tag, TagValue};
 use edonkey_proto::wire::{Message, PublishedFile};
 use edonkey_trace::model::FileRef;
@@ -60,15 +60,18 @@ impl Client {
         }
     }
 
+    /// Whether the crawler can open a connection to this client today.
+    pub fn reachable(&self) -> bool {
+        self.online && !self.firewalled
+    }
+
     /// Applies a reinstall: a fresh user hash derived from the previous
-    /// one (deterministic, collision-free).
+    /// one (deterministic, collision-free). The derivation is shared
+    /// with the ideal observer's alias model so both paths produce the
+    /// same uid chains.
     pub fn reinstall(&mut self) {
         self.reinstalls += 1;
-        let mut h = Md4::new();
-        h.update(self.uid.as_bytes());
-        h.update(b"reinstall");
-        h.update(&self.reinstalls.to_le_bytes());
-        self.uid = h.finalize();
+        self.uid = edonkey_workload::dynamics::reinstall_uid(&self.uid, self.reinstalls);
     }
 
     /// Handles a client-to-client message against the client's current

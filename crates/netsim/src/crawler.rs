@@ -19,7 +19,7 @@
 //! (name-collision shadowing, firewalled blind spots, browse-denial,
 //! churn aliases, missed days) all arise from the mechanics above.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io::{Seek, Write};
 
 use edonkey_proto::md4::Digest;
@@ -33,6 +33,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::event::EventQueue;
+use crate::fault::{CrawlHealth, FaultConfig, FaultPlan, RetryPolicy};
 use crate::network::{NetConfig, Network};
 
 /// Crawler parameters.
@@ -56,6 +57,13 @@ pub struct CrawlerConfig {
     pub outage_days: Vec<u32>,
     /// RNG seed for browse-order shuffling.
     pub seed: u64,
+    /// The fault schedule injected into the run. Quiet by default, in
+    /// which case the crawl is identical to a run without fault
+    /// injection.
+    pub fault: FaultConfig,
+    /// The crawler's retry/timeout/quarantine policy. Defaults to
+    /// [`RetryPolicy::no_retry`], the seed crawler's behaviour.
+    pub retry: RetryPolicy,
 }
 
 impl Default for CrawlerConfig {
@@ -67,6 +75,8 @@ impl Default for CrawlerConfig {
             budget_end: 30_000,
             outage_days: vec![3, 4],
             seed: 0xc4a1,
+            fault: FaultConfig::none(),
+            retry: RetryPolicy::no_retry(),
         }
     }
 }
@@ -106,10 +116,18 @@ pub struct CrawlDayStats {
 pub struct Crawler {
     /// Configuration.
     pub config: CrawlerConfig,
+    /// The fault schedule (derived from `config.fault`).
+    plan: FaultPlan,
     /// Address book: uid → resolved client.
     known: HashMap<Digest, KnownUser>,
+    /// Consecutive fully-failed days per client (quarantine accounting).
+    fail_streak: HashMap<usize, u32>,
+    /// Clients currently quarantined: probed once per day, no retries,
+    /// paroled on the first successful connection.
+    quarantined: HashSet<usize>,
     builder: TraceBuilder,
     stats: Vec<CrawlDayStats>,
+    health: CrawlHealth,
     rng: StdRng,
 }
 
@@ -117,13 +135,23 @@ impl Crawler {
     /// Creates an idle crawler.
     pub fn new(config: CrawlerConfig) -> Self {
         let rng = StdRng::seed_from_u64(config.seed);
+        let plan = FaultPlan::new(config.fault.clone());
         Crawler {
             config,
+            plan,
             known: HashMap::new(),
+            fail_streak: HashMap::new(),
+            quarantined: HashSet::new(),
             builder: TraceBuilder::new(),
             stats: Vec::new(),
+            health: CrawlHealth::default(),
             rng,
         }
+    }
+
+    /// The fault schedule this crawler runs against.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.plan
     }
 
     /// The fixed pattern list: `patterns` trigrams evenly spaced through
@@ -155,7 +183,7 @@ impl Crawler {
             return;
         }
 
-        self.discover(net);
+        self.discover(net, day_offset);
         stats.known_users = self.known.len();
 
         // Browse under the day's budget, on a seconds clock.
@@ -174,46 +202,122 @@ impl Crawler {
         order.sort_unstable(); // determinism before shuffling
         shuffle(&mut order, &mut self.rng);
 
-        let mut queue: EventQueue<Digest> = EventQueue::new();
+        // Events carry the attempt number so retries share the crawl
+        // clock with first tries; `clock` tracks time actually spent,
+        // which outruns the pre-scheduled slots when timeouts cost more
+        // than a browse slot.
+        let policy = self.config.retry;
+        let mut queue: EventQueue<(Digest, u32)> = EventQueue::new();
         let mut next_time = 0u64;
         for uid in order {
-            queue.schedule(next_time, uid);
+            queue.schedule(next_time, (uid, 0));
             next_time += self.config.seconds_per_browse;
         }
         let mut stale: Vec<Digest> = Vec::new();
-        while let Some((_, uid)) = queue.pop_until(budget) {
-            stats.attempts += 1;
+        // client → did any attempt connect today? (quarantine input)
+        let mut connected_today: HashMap<usize, bool> = HashMap::new();
+        let mut clock = 0u64;
+        while let Some((due, (uid, attempt))) = queue.pop() {
+            let start = due.max(clock);
+            if start > budget {
+                self.health.abandoned += 1 + queue.clear() as u64;
+                break;
+            }
             let Some(user) = self.known.get(&uid) else {
                 continue;
             };
             let client_idx = user.client_idx;
+            stats.attempts += 1;
+            self.health.attempted += 1;
+            if attempt > 0 {
+                self.health.retries += 1;
+            }
             // Reinstalls invalidate the address-book entry.
             if net.clients[client_idx].uid != uid {
+                self.health.stale += 1;
                 stale.push(uid);
+                clock = start + self.config.seconds_per_browse;
                 continue;
             }
-            if let Some(Message::BrowseResult(files)) =
+            let timed_out = self.plan.natted(client_idx)
+                || self.plan.connect_timeout(client_idx, day_offset, attempt);
+            let reply = if timed_out {
+                None
+            } else {
                 net.deliver_to_idx(client_idx, &Message::BrowseRequest)
-            {
-                stats.browsed += 1;
-                self.record(net, client_idx, &files);
+            };
+            match reply {
+                Some(Message::BrowseResult(mut files)) => {
+                    self.health.connected += 1;
+                    connected_today.insert(client_idx, true);
+                    if self.plan.mid_browse_cut(client_idx, day_offset, attempt) {
+                        let keep =
+                            self.plan
+                                .truncated_len(files.len(), client_idx, day_offset, attempt);
+                        files.truncate(keep);
+                        self.health.truncated += 1;
+                    }
+                    stats.browsed += 1;
+                    if self.record(net, client_idx, &files) {
+                        self.health.recorded += 1;
+                    } else {
+                        self.health.duplicates += 1;
+                    }
+                    clock = start + self.config.seconds_per_browse;
+                }
+                Some(_) => {
+                    // Browse denied: the connection itself succeeded.
+                    self.health.connected += 1;
+                    self.health.denied += 1;
+                    connected_today.insert(client_idx, true);
+                    clock = start + self.config.seconds_per_browse;
+                }
+                None => {
+                    self.health.timeouts += 1;
+                    connected_today.entry(client_idx).or_insert(false);
+                    clock = start + policy.browse_timeout;
+                    // Quarantined peers get the single probe only.
+                    let allowed = if self.quarantined.contains(&client_idx) {
+                        0
+                    } else {
+                        policy.max_retries
+                    };
+                    if attempt < allowed {
+                        let at = clock + policy.backoff_for(attempt);
+                        queue.schedule(at.max(queue.now()), (uid, attempt + 1));
+                    }
+                }
             }
         }
         for uid in stale {
             self.known.remove(&uid);
+        }
+        // Quarantine bookkeeping: a connection paroles the client and
+        // clears its streak; a fully-dead day extends the streak.
+        for (client_idx, connected) in connected_today {
+            if connected {
+                self.fail_streak.remove(&client_idx);
+                self.quarantined.remove(&client_idx);
+            } else {
+                let streak = self.fail_streak.entry(client_idx).or_insert(0);
+                *streak += 1;
+                if *streak >= policy.quarantine_after && self.quarantined.insert(client_idx) {
+                    self.health.quarantined += 1;
+                }
+            }
         }
         self.stats.push(stats);
     }
 
     /// The discovery sweep: connect to each server, fetch its server
     /// list, and run the nickname queries where supported.
-    fn discover(&mut self, net: &mut Network<'_>) {
+    fn discover(&mut self, net: &mut Network<'_>, day_offset: u32) {
         let patterns = Self::patterns(self.config.patterns);
         let crawler_uid = Digest([0xCC; 16]);
         // Collect discoveries first (the server borrow must end before
         // uid resolution walks the client table).
         let mut discovered: Vec<edonkey_proto::wire::UserRecord> = Vec::new();
-        for server in &mut net.servers {
+        for (server_idx, server) in net.servers.iter_mut().enumerate() {
             let login = Message::Login {
                 uid: crawler_uid,
                 nick: "crawler".into(),
@@ -224,17 +328,44 @@ impl Crawler {
             // Server list exchange (kept for fidelity; all servers are
             // already known in this simulation).
             let _ = server.handle(session, &Message::GetServerList);
-            for pattern in &patterns {
-                let Some(Message::FoundUsers(users)) = server.handle(
-                    session,
-                    &Message::QueryUsers {
-                        pattern: pattern.clone(),
-                    },
-                ) else {
-                    break; // Server without query-users: skip its sweep.
-                };
-                // Firewalled users are unreachable: filtered out.
-                discovered.extend(users.into_iter().filter(|u| u.ip != 0));
+            for (pattern_idx, pattern) in patterns.iter().enumerate() {
+                // A dropped reply is indistinguishable from a slow
+                // server, so the crawler re-asks within its retry
+                // budget; a server *without* query-users answers (with
+                // a refusal) and ends the sweep as before.
+                enum Outcome {
+                    Found(Vec<edonkey_proto::wire::UserRecord>),
+                    Unsupported,
+                    Dropped,
+                }
+                let mut outcome = Outcome::Dropped;
+                for attempt in 0..=self.config.retry.max_retries {
+                    if self
+                        .plan
+                        .query_dropped(server_idx, pattern_idx, day_offset, attempt)
+                    {
+                        self.health.query_drops += 1;
+                        continue;
+                    }
+                    outcome = match server.handle(
+                        session,
+                        &Message::QueryUsers {
+                            pattern: pattern.clone(),
+                        },
+                    ) {
+                        Some(Message::FoundUsers(users)) => Outcome::Found(users),
+                        _ => Outcome::Unsupported,
+                    };
+                    break;
+                }
+                match outcome {
+                    Outcome::Found(users) => {
+                        // Firewalled users are unreachable: filtered out.
+                        discovered.extend(users.into_iter().filter(|u| u.ip != 0));
+                    }
+                    Outcome::Unsupported => break, // skip this server's sweep
+                    Outcome::Dropped => continue,  // every ask was dropped
+                }
             }
             server.disconnect(session);
         }
@@ -249,13 +380,15 @@ impl Crawler {
         }
     }
 
-    /// Records a successful browse as a trace observation.
+    /// Records a successful browse as a trace observation. Returns
+    /// `false` when the peer was already observed today (the browse
+    /// succeeded but added nothing to the trace).
     fn record(
         &mut self,
         net: &Network<'_>,
         client_idx: usize,
         files: &[edonkey_proto::wire::PublishedFile],
-    ) {
+    ) -> bool {
         let client = &net.clients[client_idx];
         let peer_info = &net.population.peers[client.peer_idx].info;
         let peer = self.builder.intern_peer(PeerInfo {
@@ -268,7 +401,7 @@ impl Crawler {
         if self.builder.observed_on(day, peer) {
             // The same client can surface twice in one day via nickname
             // collisions; one observation per day is what the trace keeps.
-            return;
+            return false;
         }
         let cache = files
             .iter()
@@ -285,11 +418,17 @@ impl Crawler {
             })
             .collect();
         self.builder.observe(day, peer, cache);
+        true
     }
 
     /// Per-day statistics so far.
     pub fn stats(&self) -> &[CrawlDayStats] {
         &self.stats
+    }
+
+    /// The graceful-degradation counters so far.
+    pub fn health(&self) -> CrawlHealth {
+        self.health
     }
 
     /// Removes and returns a completed day's observations, if any were
@@ -318,26 +457,50 @@ fn shuffle<T>(items: &mut [T], rng: &mut impl Rng) {
     }
 }
 
+/// Everything a crawl reports besides the trace itself.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CrawlReport {
+    /// Per-day statistics.
+    pub stats: Vec<CrawlDayStats>,
+    /// Graceful-degradation counters, reconcilable against the trace.
+    pub health: CrawlHealth,
+}
+
 /// End-to-end convenience: generate network dynamics for `population`
 /// and crawl it for the configured number of days.
 ///
-/// Returns the trace and the per-day crawl statistics.
+/// Returns the trace and the per-day crawl statistics. See
+/// [`run_crawl_full`] for the [`CrawlHealth`] counters as well.
 pub fn run_crawl(
     population: &Population,
     net_config: NetConfig,
     crawler_config: CrawlerConfig,
 ) -> (Trace, Vec<CrawlDayStats>) {
+    let (trace, report) = run_crawl_full(population, net_config, crawler_config);
+    (trace, report.stats)
+}
+
+/// [`run_crawl`], also returning the [`CrawlHealth`] report.
+pub fn run_crawl_full(
+    population: &Population,
+    net_config: NetConfig,
+    crawler_config: CrawlerConfig,
+) -> (Trace, CrawlReport) {
     let total_days = population.config.days;
     let mut net = Network::new(population, net_config);
     let mut crawler = Crawler::new(crawler_config);
+    net.set_fault_plan(crawler.fault_plan().clone());
     net.refresh_sessions();
     crawler.crawl_day(&mut net, 0, total_days);
     for offset in 1..total_days {
         net.step_day();
         crawler.crawl_day(&mut net, offset, total_days);
     }
-    let stats = crawler.stats().to_vec();
-    (crawler.finish(), stats)
+    let report = CrawlReport {
+        stats: crawler.stats().to_vec(),
+        health: crawler.health(),
+    };
+    (crawler.finish(), report)
 }
 
 /// [`run_crawl`], streaming: each day's snapshot is emitted to `writer`
@@ -345,16 +508,17 @@ pub fn run_crawl(
 /// than one day of observations (plus the intern tables) in memory.
 ///
 /// The written trace is identical to what [`run_crawl`] + `save_bin`
-/// would produce. Returns the per-day statistics and the finished sink.
+/// would produce. Returns the crawl report and the finished sink.
 pub fn run_crawl_streaming<W: Write + Seek>(
     population: &Population,
     net_config: NetConfig,
     crawler_config: CrawlerConfig,
     mut writer: TraceWriter<W>,
-) -> Result<(Vec<CrawlDayStats>, W), TraceIoError> {
+) -> Result<(CrawlReport, W), TraceIoError> {
     let total_days = population.config.days;
     let mut net = Network::new(population, net_config);
     let mut crawler = Crawler::new(crawler_config);
+    net.set_fault_plan(crawler.fault_plan().clone());
     net.refresh_sessions();
     crawler.crawl_day(&mut net, 0, total_days);
     if let Some(snapshot) = crawler.take_day(net.day()) {
@@ -369,7 +533,11 @@ pub fn run_crawl_streaming<W: Write + Seek>(
     }
     let (files, peers) = crawler.tables();
     let sink = writer.finish(files, peers)?;
-    Ok((crawler.stats().to_vec(), sink))
+    let report = CrawlReport {
+        stats: crawler.stats().to_vec(),
+        health: crawler.health(),
+    };
+    Ok((report, sink))
 }
 
 #[cfg(test)]
@@ -474,13 +642,177 @@ mod tests {
             ..Default::default()
         }
         .budget_for(200, 1.2, 1.2);
-        let (batch, batch_stats) = run_crawl(&population, NetConfig::default(), config.clone());
+        let (batch, batch_report) =
+            run_crawl_full(&population, NetConfig::default(), config.clone());
         let writer = TraceWriter::new(std::io::Cursor::new(Vec::new())).unwrap();
-        let (stream_stats, sink) =
+        let (stream_report, sink) =
             run_crawl_streaming(&population, NetConfig::default(), config, writer).unwrap();
         let streamed = edonkey_trace::io::bin::from_bin(&sink.into_inner()).unwrap();
         assert_eq!(streamed, batch, "streaming and batch crawls must agree");
-        assert_eq!(stream_stats, batch_stats);
+        assert_eq!(stream_report, batch_report);
+    }
+
+    #[test]
+    fn quiet_fault_plan_reproduces_the_plain_crawl() {
+        let population = pop(5);
+        let config = CrawlerConfig {
+            outage_days: vec![2],
+            ..Default::default()
+        }
+        .budget_for(200, 1.2, 1.2);
+        let (plain, plain_stats) = run_crawl(&population, NetConfig::default(), config.clone());
+        let quiet = CrawlerConfig {
+            fault: FaultConfig {
+                seed: 77, // a seed alone must change nothing
+                ..FaultConfig::none()
+            },
+            retry: RetryPolicy::no_retry(),
+            ..config
+        };
+        let (faulted, report) = run_crawl_full(&population, NetConfig::default(), quiet);
+        assert_eq!(faulted, plain, "a quiet plan must be invisible");
+        assert_eq!(report.stats, plain_stats);
+        assert_eq!(report.health.check_invariants(), Ok(()));
+        assert_eq!(report.health.recorded, faulted.snapshot_count() as u64);
+        assert_eq!(report.health.truncated, 0);
+        assert_eq!(report.health.query_drops, 0);
+    }
+
+    #[test]
+    fn transient_faults_cost_coverage_and_retries_recover_it() {
+        let population = pop(6);
+        let base = CrawlerConfig {
+            outage_days: vec![],
+            ..Default::default()
+        }
+        .budget_for(200, 3.0, 3.0);
+        let fault = FaultConfig {
+            seed: 5,
+            transient_rate: 0.25,
+            ..FaultConfig::none()
+        };
+        let (clean, _) = run_crawl(&population, NetConfig::default(), base.clone());
+        let (no_retry, nr_report) = run_crawl_full(
+            &population,
+            NetConfig::default(),
+            CrawlerConfig {
+                fault: fault.clone(),
+                retry: RetryPolicy::no_retry(),
+                ..base.clone()
+            },
+        );
+        let (retry, r_report) = run_crawl_full(
+            &population,
+            NetConfig::default(),
+            CrawlerConfig {
+                fault,
+                retry: RetryPolicy::backoff(),
+                ..base
+            },
+        );
+        assert_eq!(nr_report.health.check_invariants(), Ok(()));
+        assert_eq!(r_report.health.check_invariants(), Ok(()));
+        assert!(nr_report.health.timeouts > 0);
+        assert!(r_report.health.retries > 0);
+        let (clean_n, nr_n, r_n) = (
+            clean.snapshot_count(),
+            no_retry.snapshot_count(),
+            retry.snapshot_count(),
+        );
+        assert!(
+            nr_n < clean_n,
+            "faults must cost the no-retry crawler coverage: {nr_n} vs {clean_n}"
+        );
+        assert!(
+            r_n > nr_n,
+            "retries must win coverage back: {r_n} vs {nr_n}"
+        );
+    }
+
+    #[test]
+    fn nat_quarantine_stops_wasting_attempts() {
+        let population = pop(8);
+        let fault = FaultConfig {
+            seed: 9,
+            nat_prob: 0.4,
+            ..FaultConfig::none()
+        };
+        // A generous budget so no day is truncated: with the budget as
+        // the binding constraint, quarantine would *raise* per-day
+        // attempts (freed time admits browses that were being abandoned).
+        let config = CrawlerConfig {
+            outage_days: vec![],
+            fault,
+            retry: RetryPolicy::backoff(),
+            ..Default::default()
+        }
+        .budget_for(200, 12.0, 3.0);
+        let (_, report) = run_crawl_full(&population, NetConfig::default(), config);
+        assert!(report.health.quarantined > 0, "NATed peers must be caught");
+        // Quarantined peers keep one probe per day, so attempts fall off
+        // once the NATed cohort is caught. The address book also grows
+        // over the first days (each day discovers only that day's online
+        // peers), so the comparison baseline is the peak day, not day 0.
+        let peak = report
+            .stats
+            .iter()
+            .map(|d| d.attempts)
+            .max()
+            .expect("stats non-empty");
+        let late = report.stats.last().unwrap().attempts;
+        assert!(
+            late < peak,
+            "quarantine must shed attempts: peak {peak}, last {late}"
+        );
+        assert_eq!(report.health.check_invariants(), Ok(()));
+    }
+
+    #[test]
+    fn truncated_browses_are_kept_as_partial_snapshots() {
+        let population = pop(4);
+        let config = CrawlerConfig {
+            outage_days: vec![],
+            fault: FaultConfig {
+                seed: 3,
+                disconnect_rate: 0.5,
+                ..FaultConfig::none()
+            },
+            ..Default::default()
+        }
+        .budget_for(200, 1.5, 1.5);
+        let (trace, report) = run_crawl_full(&population, NetConfig::default(), config);
+        assert!(report.health.truncated > 0);
+        assert_eq!(trace.check_invariants(), Ok(()));
+        assert_eq!(report.health.recorded, trace.snapshot_count() as u64);
+    }
+
+    #[test]
+    fn burst_days_thin_the_observed_population() {
+        let population = pop(6);
+        let base = CrawlerConfig {
+            outage_days: vec![],
+            ..Default::default()
+        }
+        .budget_for(200, 2.0, 2.0);
+        let (clean, _) = run_crawl(&population, NetConfig::default(), base.clone());
+        let burst_day = population.config.start_day + 3;
+        let config = CrawlerConfig {
+            fault: FaultConfig {
+                seed: 21,
+                burst_days: vec![3],
+                burst_offline_prob: 0.9,
+                ..FaultConfig::none()
+            },
+            ..base
+        };
+        let (trace, report) = run_crawl_full(&population, NetConfig::default(), config);
+        let clean_day = clean.snapshot(burst_day).map_or(0, |s| s.peer_count());
+        let burst = trace.snapshot(burst_day).map_or(0, |s| s.peer_count());
+        assert!(
+            burst < clean_day / 2,
+            "burst day must lose most peers: {burst} vs {clean_day}"
+        );
+        assert_eq!(report.health.check_invariants(), Ok(()));
     }
 
     #[test]

@@ -112,6 +112,14 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Drops every pending event, returning how many were discarded —
+    /// the crawler's abandoned-attempt accounting when a budget expires.
+    pub fn clear(&mut self) -> usize {
+        let n = self.heap.len();
+        self.heap.clear();
+        n
+    }
+
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -167,6 +175,8 @@ mod tests {
         assert_eq!(q.pop_until(9), None);
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+        assert_eq!(q.clear(), 1);
+        assert!(q.is_empty());
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //! * [`client`] — per-client network state and message handling;
 //! * [`network`] — the day-level network loop (churn, sessions);
 //! * [`crawler`] — the measurement crawler and trace assembly;
+//! * [`fault`] — seeded deterministic fault injection ([`FaultConfig`]
+//!   / [`fault::FaultPlan`]) and the crawler's counter-measures
+//!   ([`RetryPolicy`], [`CrawlHealth`]);
 //! * [`download`] — multi-source block downloads with MD4 part
 //!   verification, corruption banning and partial sharing.
 //!
@@ -44,9 +47,14 @@ pub mod client;
 pub mod crawler;
 pub mod download;
 pub mod event;
+pub mod fault;
 pub mod network;
 pub mod server;
 
-pub use crawler::{run_crawl, run_crawl_streaming, CrawlDayStats, Crawler, CrawlerConfig};
+pub use crawler::{
+    run_crawl, run_crawl_full, run_crawl_streaming, CrawlDayStats, CrawlReport, Crawler,
+    CrawlerConfig,
+};
+pub use fault::{CrawlHealth, FaultConfig, RetryPolicy};
 pub use network::{NetConfig, Network};
 pub use server::Server;

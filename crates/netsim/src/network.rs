@@ -20,6 +20,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::client::Client;
+use crate::fault::FaultPlan;
 use crate::server::Server;
 
 /// Network-level parameters.
@@ -81,6 +82,9 @@ pub struct Network<'a> {
     /// Fresh-IP counter for DHCP renewals (per-AS plan offset; starts
     /// beyond the population's static allocations).
     dhcp_counter: u32,
+    /// Fault schedule for churn bursts; `None` (and any quiet plan)
+    /// leaves the network byte-identical to a run without faults.
+    fault_plan: Option<FaultPlan>,
 }
 
 impl<'a> Network<'a> {
@@ -119,9 +123,17 @@ impl<'a> Network<'a> {
             rng,
             day_offset: 0,
             dhcp_counter: 1 << 19, // above any static host index
+            fault_plan: None,
         };
         network.interconnect_servers();
         network
+    }
+
+    /// Installs the fault schedule (churn bursts are applied by the
+    /// network; everything else is crawler-side). Call before the first
+    /// [`Network::refresh_sessions`].
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = Some(plan);
     }
 
     fn interconnect_servers(&mut self) {
@@ -173,7 +185,16 @@ impl<'a> Network<'a> {
             if self.rng.gen_bool(self.config.reinstall_daily_prob) {
                 self.clients[idx].reinstall();
             }
-            let online = self.rng.gen_bool(self.clients[idx].availability);
+            let mut online = self.rng.gen_bool(self.clients[idx].availability);
+            // Churn bursts strike *after* the availability roll so a
+            // quiet plan leaves the rng stream untouched.
+            if online {
+                if let Some(plan) = &self.fault_plan {
+                    if plan.burst_offline(idx, self.day_offset) {
+                        online = false;
+                    }
+                }
+            }
             self.clients[idx].online = online;
             if !online {
                 continue;
@@ -215,7 +236,7 @@ impl<'a> Network<'a> {
     /// offline, unknown, or ignores the message.
     pub fn deliver(&self, uid: &edonkey_proto::md4::Digest, msg: &Message) -> Option<Message> {
         let client = self.clients.iter().find(|c| c.uid == *uid)?;
-        if !client.online || client.firewalled {
+        if !client.reachable() {
             return None;
         }
         client.handle(msg, &self.caches[client.peer_idx], self.population)
@@ -232,7 +253,7 @@ impl<'a> Network<'a> {
     /// index.
     pub fn deliver_to_idx(&self, idx: usize, msg: &Message) -> Option<Message> {
         let client = &self.clients[idx];
-        if !client.online || client.firewalled {
+        if !client.reachable() {
             return None;
         }
         client.handle(msg, &self.caches[client.peer_idx], self.population)

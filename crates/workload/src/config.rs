@@ -125,6 +125,14 @@ pub struct WorkloadConfig {
     /// Probability on the final day (the paper's coverage decayed from
     /// ~65 k to ~35 k clients/day due to crawler bandwidth).
     pub observe_prob_end: f64,
+    /// Daily probability of a DHCP re-address in the ideal-observer
+    /// path. Zero (the default) keeps the alias-free fast path and its
+    /// byte-identical rng stream.
+    pub alias_dhcp_daily_prob: f64,
+    /// Daily probability of a client reinstall (fresh uid, same IP) in
+    /// the ideal-observer path — the duplicate-IP aliases the filtering
+    /// stage removes. Zero by default.
+    pub alias_reinstall_daily_prob: f64,
 }
 
 impl WorkloadConfig {
@@ -209,6 +217,8 @@ impl WorkloadConfig {
             lifecycle_floor: 0.05,
             observe_prob_start: 0.95,
             observe_prob_end: 0.55,
+            alias_dhcp_daily_prob: 0.0,
+            alias_reinstall_daily_prob: 0.0,
         }
     }
 
@@ -269,6 +279,11 @@ impl WorkloadConfig {
         prob("lifecycle_floor", self.lifecycle_floor)?;
         prob("observe_prob_start", self.observe_prob_start)?;
         prob("observe_prob_end", self.observe_prob_end)?;
+        prob("alias_dhcp_daily_prob", self.alias_dhcp_daily_prob)?;
+        prob(
+            "alias_reinstall_daily_prob",
+            self.alias_reinstall_daily_prob,
+        )?;
         if self.interest_mix + self.geo_mix > 1.0 {
             return Err("interest_mix + geo_mix must not exceed 1".into());
         }
@@ -345,8 +360,11 @@ mod tests {
         let mut c = base.clone();
         c.kind_profiles[0].frequency += 0.5;
         assert!(c.validate().is_err());
-        let mut c = base;
+        let mut c = base.clone();
         c.interests_max = c.topics + 1;
+        assert!(c.validate().is_err());
+        let mut c = base;
+        c.alias_reinstall_daily_prob = -0.1;
         assert!(c.validate().is_err());
     }
 }

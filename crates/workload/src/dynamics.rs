@@ -22,6 +22,7 @@
 //! is the fast path used by analyses that don't need the measurement
 //! artefacts to arise mechanistically.
 
+use edonkey_proto::md4::{Digest, Md4};
 use edonkey_trace::model::{FileRef, Trace, TraceBuilder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -192,6 +193,19 @@ pub fn lifecycle(config: &WorkloadConfig, birth: u32, day: u32) -> f64 {
     decayed.max(config.lifecycle_floor)
 }
 
+/// The uid a client adopts after its `reinstalls`-th reinstall
+/// (1-based), derived from the previous uid — deterministic and
+/// collision-free. Shared by the protocol-level netsim client and the
+/// ideal observer's alias model so both paths produce the same uid
+/// chains.
+pub fn reinstall_uid(previous: &Digest, reinstalls: u32) -> Digest {
+    let mut h = Md4::new();
+    h.update(previous.as_bytes());
+    h.update(b"reinstall");
+    h.update(&reinstalls.to_le_bytes());
+    h.finalize()
+}
+
 /// Applies the ideal-observer model to a ground truth, producing a
 /// [`Trace`] ready for the pipeline.
 ///
@@ -200,7 +214,18 @@ pub fn lifecycle(config: &WorkloadConfig, birth: u32, day: u32) -> f64 {
 /// the crawler coverage decline of Fig. 1. Free-riders appear with empty
 /// caches when observed (the crawl does see them; they just share
 /// nothing).
+///
+/// With either alias knob set (`alias_dhcp_daily_prob`,
+/// `alias_reinstall_daily_prob`), client identities evolve day by day
+/// exactly as in the netsim network — DHCP re-addressing and reinstall
+/// uid churn — so the trace contains the duplicate-IP/uid aliases the
+/// filtering stage removes. Both knobs at zero take the original
+/// alias-free path, untouched, with a byte-identical rng stream.
 pub fn observe(population: &Population, truth: &GroundTruth, rng: &mut impl Rng) -> Trace {
+    let config = &population.config;
+    if config.alias_dhcp_daily_prob > 0.0 || config.alias_reinstall_daily_prob > 0.0 {
+        return observe_aliased(population, truth, rng);
+    }
     let mut builder = TraceBuilder::new();
     // Intern everything up front so FileRef/PeerId match the population
     // indices exactly (analyses rely on this alignment).
@@ -223,6 +248,58 @@ pub fn observe(population: &Population, truth: &GroundTruth, rng: &mut impl Rng)
                     edonkey_trace::model::PeerId(peer_idx as u32),
                     cache.clone(),
                 );
+            }
+        }
+    }
+    builder.finish()
+}
+
+/// The alias-aware observer branch: identities churn (DHCP + reinstall)
+/// before each day's observations.
+///
+/// Interning order keeps the analyses' alignment guarantee for original
+/// identities: files and the day-zero peer identities are interned up
+/// front, so `PeerId(i) == population index i` for every `i` below
+/// `population.peers.len()`; reinstall aliases append *after* that
+/// range as they are first observed.
+fn observe_aliased(population: &Population, truth: &GroundTruth, rng: &mut impl Rng) -> Trace {
+    let config = &population.config;
+    let mut builder = TraceBuilder::new();
+    for info in population.file_infos() {
+        builder.intern_file(info);
+    }
+    let mut idents = population.peer_infos();
+    for info in &idents {
+        builder.intern_peer(info.clone());
+    }
+    let mut reinstalls = vec![0u32; idents.len()];
+    // Fresh-IP counter above any static host index, mirroring the
+    // netsim network's DHCP allocation plan.
+    let mut dhcp_counter: u32 = 1 << 19;
+    let n_days = truth.days.len().max(1) as f64;
+    for (offset, day_caches) in truth.days.iter().enumerate() {
+        let day = truth.start_day + offset as u32;
+        let t = offset as f64 / (n_days - 1.0).max(1.0);
+        let p_observe =
+            config.observe_prob_start + t * (config.observe_prob_end - config.observe_prob_start);
+        for (peer_idx, cache) in day_caches.iter().enumerate() {
+            // Identity churn: skipped on day zero, like the network,
+            // which boots with the population identities.
+            if offset > 0 {
+                if rng.gen_bool(config.alias_dhcp_daily_prob) {
+                    let asn = idents[peer_idx].asn;
+                    idents[peer_idx].ip = population.geography.ip_for(asn, dhcp_counter);
+                    dhcp_counter += 1;
+                }
+                if rng.gen_bool(config.alias_reinstall_daily_prob) {
+                    reinstalls[peer_idx] += 1;
+                    idents[peer_idx].uid =
+                        reinstall_uid(&idents[peer_idx].uid, reinstalls[peer_idx]);
+                }
+            }
+            if rng.gen_bool(p_observe.clamp(0.0, 1.0)) {
+                let peer = builder.intern_peer(idents[peer_idx].clone());
+                builder.observe(day, peer, cache.clone());
             }
         }
     }
@@ -382,6 +459,52 @@ mod tests {
         let (_, a) = generate_trace(tiny_config());
         let (_, b) = generate_trace(tiny_config());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reinstall_uid_chains_are_deterministic_and_collision_free() {
+        let start = Digest([7; 16]);
+        let a = reinstall_uid(&start, 1);
+        let b = reinstall_uid(&start, 1);
+        assert_eq!(a, b);
+        let c = reinstall_uid(&a, 2);
+        assert_ne!(a, start);
+        assert_ne!(c, a);
+        assert_ne!(reinstall_uid(&start, 2), a, "count is part of the input");
+    }
+
+    #[test]
+    fn alias_churn_creates_filterable_duplicates() {
+        let mut config = tiny_config();
+        config.alias_dhcp_daily_prob = 0.02;
+        config.alias_reinstall_daily_prob = 0.01;
+        let (pop, trace) = generate_trace(config);
+        assert_eq!(trace.check_invariants(), Ok(()));
+        assert!(
+            trace.peers.len() > pop.peers.len(),
+            "reinstalls must append alias identities: {} vs {}",
+            trace.peers.len(),
+            pop.peers.len()
+        );
+        // The original identities keep the population alignment.
+        for idx in [0usize, 1, pop.peers.len() - 1] {
+            assert_eq!(trace.peers[idx].uid, pop.peers[idx].info.uid);
+        }
+        // Filtering now has real work to do: duplicate-IP sharing
+        // aliases are dropped, so filtered < full (the Table 1 gap).
+        let filtered = edonkey_trace::pipeline::filter(&trace);
+        assert!(
+            filtered.trace.peers.len() < trace.peers.len(),
+            "filtered {} must be below full {}",
+            filtered.trace.peers.len(),
+            trace.peers.len()
+        );
+        // And it stays deterministic.
+        let mut config2 = tiny_config();
+        config2.alias_dhcp_daily_prob = 0.02;
+        config2.alias_reinstall_daily_prob = 0.01;
+        let (_, again) = generate_trace(config2);
+        assert_eq!(again, trace);
     }
 
     use std::collections::HashSet;

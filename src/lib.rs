@@ -45,7 +45,10 @@ pub use edonkey_workload as workload;
 /// The most common imports, for examples and quick experiments.
 pub mod prelude {
     pub use edonkey_analysis::{summarize, Cdf, TraceSummary};
-    pub use edonkey_netsim::{run_crawl, CrawlerConfig, NetConfig};
+    pub use edonkey_netsim::{
+        run_crawl, run_crawl_full, CrawlHealth, CrawlReport, CrawlerConfig, FaultConfig, NetConfig,
+        RetryPolicy,
+    };
     pub use edonkey_proto::query::FileKind;
     pub use edonkey_semsearch::{simulate, PolicyKind, SimConfig, SimResult, PAPER_LIST_SIZES};
     pub use edonkey_trace::{

@@ -24,6 +24,9 @@ use edonkey_repro::trace::pipeline::{sorted_intersection, sorted_intersection_le
 use edonkey_repro::trace::randomize::Shuffler;
 use proptest::prelude::*;
 
+use edonkey_repro::netsim::{run_crawl_full, CrawlerConfig, FaultConfig, NetConfig, RetryPolicy};
+use edonkey_repro::workload::{Population, WorkloadConfig};
+
 // --- strategies -------------------------------------------------------
 
 fn arb_digest() -> impl Strategy<Value = Digest> {
@@ -155,6 +158,48 @@ fn arb_trace() -> impl Strategy<Value = Trace> {
                 .collect();
             Trace { files, peers, days }
         })
+}
+
+/// One tiny shared population for the fault-schedule properties (the
+/// crawl itself is the system under test; generation is just setup).
+fn crawl_population() -> &'static Population {
+    static POP: std::sync::OnceLock<Population> = std::sync::OnceLock::new();
+    POP.get_or_init(|| {
+        let mut config = WorkloadConfig::test_scale(0xfa17);
+        config.peers = 120;
+        config.files = 1_000;
+        config.topics = 24;
+        config.days = 5;
+        Population::generate(config)
+    })
+}
+
+/// Arbitrary fault schedules: every rate in [0, 0.6], any subset of the
+/// population's days as burst days, either retry policy.
+fn arb_fault_config() -> impl Strategy<Value = FaultConfig> {
+    let pct = || (0u32..=60).prop_map(|p| p as f64 / 100.0);
+    (
+        (any::<u64>(), pct(), pct(), pct(), pct()),
+        (
+            prop::collection::btree_set(0u32..5, 0..3),
+            (0u32..=90).prop_map(|p| p as f64 / 100.0),
+        ),
+    )
+        .prop_map(
+            |((seed, nat, transient, disconnect, query), (bursts, burst_prob))| FaultConfig {
+                seed,
+                nat_prob: nat,
+                transient_rate: transient,
+                disconnect_rate: disconnect,
+                query_drop_rate: query,
+                burst_days: bursts.into_iter().collect(),
+                burst_offline_prob: burst_prob,
+            },
+        )
+}
+
+fn arb_retry_policy() -> impl Strategy<Value = RetryPolicy> {
+    prop_oneof![Just(RetryPolicy::no_retry()), Just(RetryPolicy::backoff())]
 }
 
 fn replica_histogram(caches: &[Vec<FileRef>]) -> HashMap<FileRef, usize> {
@@ -362,6 +407,41 @@ proptest! {
         let decoded =
             io::from_compact(&io::to_compact(&trace)).expect("decode own compact text");
         prop_assert_eq!(decoded, trace);
+    }
+
+    /// Crawls under arbitrary fault schedules never panic, reconcile
+    /// their health ledger with the emitted trace, are bit-identical
+    /// when re-run with the same seed, and the (possibly truncated)
+    /// trace round-trips every codec.
+    #[test]
+    fn faulted_crawls_are_total_and_deterministic(
+        fault in arb_fault_config(),
+        retry in arb_retry_policy(),
+    ) {
+        let config = CrawlerConfig {
+            outage_days: vec![],
+            patterns: 2_000,
+            fault,
+            retry,
+            ..Default::default()
+        }
+        .budget_for(120, 1.5, 1.5);
+        let (trace, report) =
+            run_crawl_full(crawl_population(), NetConfig::default(), config.clone());
+        prop_assert_eq!(trace.check_invariants(), Ok(()));
+        prop_assert_eq!(report.health.check_invariants(), Ok(()));
+        prop_assert_eq!(report.health.recorded as usize, trace.snapshot_count());
+        let (trace2, report2) =
+            run_crawl_full(crawl_population(), NetConfig::default(), config);
+        prop_assert_eq!(&report, &report2, "same seed, same report");
+        let bytes = io::to_bin(&trace);
+        prop_assert_eq!(&bytes, &io::to_bin(&trace2), "same seed, same bytes");
+        prop_assert_eq!(io::from_bin(&bytes).expect("binary"), trace.clone());
+        prop_assert_eq!(io::from_json(&io::to_json(&trace)).expect("json"), trace.clone());
+        prop_assert_eq!(
+            io::from_compact(&io::to_compact(&trace)).expect("compact"),
+            trace
+        );
     }
 
     /// Hit rates are monotone (within tolerance) in list size — more
