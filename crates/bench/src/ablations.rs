@@ -4,7 +4,8 @@
 
 use edonkey_analysis::{semantic, view};
 use edonkey_netsim::{run_crawl_full, CrawlerConfig, FaultConfig, NetConfig, RetryPolicy};
-use edonkey_semsearch::sim::{simulate, SimConfig};
+use edonkey_semsearch::sim::{simulate, QueryPolicy, SimConfig};
+use edonkey_semsearch::{churn_grid, ChurnCell};
 use edonkey_trace::randomize::{recommended_iterations, Shuffler};
 use edonkey_workload::generate_trace;
 use rand::rngs::StdRng;
@@ -188,6 +189,86 @@ pub fn ablation_fault_sweep(scale: Scale) {
                 f(hit(SimConfig::random(20)), 2),
             ]);
         }
+    }
+    e.finish();
+}
+
+/// Renders a querier reaction as a stable column label.
+fn query_label(q: &QueryPolicy) -> &'static str {
+    if q.max_retries == 0 {
+        "no_retry"
+    } else {
+        "retry_evict"
+    }
+}
+
+/// Availability ablation (DESIGN.md §9): server-less hit rate and query
+/// load vs the peer churn rate, for every list policy × querier
+/// reaction, plus a server-outage section with stranded/recovered
+/// accounting. Every cell's `SearchHealth` ledger is reconciled inside
+/// `churn_grid` — a violation anywhere panics the sweep.
+pub fn ablation_churn_sweep(scale: Scale) {
+    let mut e = Emitter::new("churn_sweep");
+    e.comment("Ablation: server-less search under peer churn (availability model)");
+    e.comment(
+        "churn_permille\tpolicy\tquery\thit_rate_pct\tmean_load\ttimed_out\tretried\t\
+         evicted_stale\tprobed_stale\tserver_fallback",
+    );
+    let (_, trace) = generate_trace(scale.config(SEED));
+    let filtered = edonkey_trace::pipeline::filter(&trace).trace;
+    let caches = filtered.static_caches();
+    let n_files = filtered.files.len();
+    let peers = caches.len().max(1);
+    let queries = [QueryPolicy::no_retry(), QueryPolicy::retry_evict()];
+    let churn_seed = SEED ^ 0xc4c4;
+    let mean_load =
+        |cell: &ChurnCell| cell.result.messages_per_peer.iter().sum::<u64>() as f64 / peers as f64;
+    for cell in churn_grid(
+        &caches,
+        n_files,
+        20,
+        &[0, 100, 250, 500],
+        &queries,
+        &[],
+        churn_seed,
+        SEED,
+    ) {
+        e.row([
+            cell.churn_permille.to_string(),
+            cell.policy.name().to_string(),
+            query_label(&cell.query).to_string(),
+            f(100.0 * cell.result.hit_rate(), 2),
+            f(mean_load(&cell), 2),
+            cell.health.timed_out.to_string(),
+            cell.health.retried.to_string(),
+            cell.health.evicted_stale.to_string(),
+            cell.health.probed_stale.to_string(),
+            cell.health.server_fallback.to_string(),
+        ]);
+    }
+    e.blank();
+    e.comment("server outage on virtual days 7.. at 250 permille churn: stranded vs recovered");
+    e.comment("policy\tquery\thit_rate_pct\tanswered\tserver_fallback\tstranded\trecovered");
+    let outage: Vec<u32> = (7..200).collect();
+    for cell in churn_grid(
+        &caches,
+        n_files,
+        20,
+        &[250],
+        &queries,
+        &outage,
+        churn_seed,
+        SEED,
+    ) {
+        e.row([
+            cell.policy.name().to_string(),
+            query_label(&cell.query).to_string(),
+            f(100.0 * cell.result.hit_rate(), 2),
+            cell.health.answered.to_string(),
+            cell.health.server_fallback.to_string(),
+            cell.health.stranded.to_string(),
+            cell.health.recovered.to_string(),
+        ]);
     }
     e.finish();
 }

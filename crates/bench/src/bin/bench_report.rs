@@ -147,6 +147,43 @@ fn main() {
         config: format!("swap attempts/s, checkpoints {checkpoints:?}, list size 10"),
     });
 
+    // Availability: the churn grid (4 rates × 4 policies × 2 querier
+    // reactions) over the filtered caches, every cell's SearchHealth
+    // ledger reconciled inside churn_grid.
+    {
+        let queries = [
+            edonkey_semsearch::QueryPolicy::no_retry(),
+            edonkey_semsearch::QueryPolicy::retry_evict(),
+        ];
+        let (cells, ms) = timed(|| {
+            experiment::churn_grid(
+                &caches,
+                n_files,
+                20,
+                &[0, 100, 250, 500],
+                &queries,
+                &[],
+                SEED ^ 0xc4c4,
+                SEED,
+            )
+        });
+        let attempts: u64 = cells.iter().map(|c| c.health.attempted).sum();
+        eprintln!(
+            "[bench_report] churn_sweep: {ms:.1} ms, {} cells, {attempts} attempts",
+            cells.len()
+        );
+        entries.push(Entry {
+            name: "churn_sweep",
+            wall_ms: ms,
+            throughput: attempts as f64 / (ms / 1e3),
+            config: format!(
+                "query attempts/s over {} churn cells (rates 0/100/250/500 permille, \
+                 4 policies, no_retry vs retry_evict), list size 20",
+                cells.len()
+            ),
+        });
+    }
+
     // Crawl robustness: a 25%-transient-fault crawl under the
     // retry+backoff policy, measured against a fault-free crawl of the
     // same (capped) population.

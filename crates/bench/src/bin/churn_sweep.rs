@@ -1,0 +1,9 @@
+//! Regenerates the `churn_sweep` ablation: server-less hit rate and
+//! query load vs the peer churn rate for every list policy × querier
+//! reaction, plus the server-outage stranded/recovered section.
+//!
+//! Usage: `cargo run --release -p edonkey-bench --bin churn_sweep [--scale test|small|repro|paper]`
+fn main() {
+    let scale = edonkey_bench::Scale::from_env();
+    edonkey_bench::ablations::ablation_churn_sweep(scale);
+}

@@ -55,5 +55,6 @@ fn main() {
     ablations::ablation_policies(scale);
     ablations::ablation_crawler(scale);
     ablations::ablation_fault_sweep(scale);
+    ablations::ablation_churn_sweep(scale);
     eprintln!("[reproduce] done.");
 }

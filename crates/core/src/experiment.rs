@@ -10,7 +10,10 @@ use rand::SeedableRng;
 
 use crate::filters::{remove_top_files, remove_top_uploaders};
 use crate::neighbours::PolicyKind;
-use crate::sim::{simulate_arena_with_scratch, SimConfig, SimResult, SimScratch};
+use crate::sim::{
+    simulate_arena_health_with_scratch, simulate_arena_with_scratch, AvailabilityConfig,
+    QueryPolicy, SearchHealth, SimConfig, SimResult, SimScratch,
+};
 
 /// One sweep point: a list size and its simulation result.
 #[derive(Clone, Debug)]
@@ -43,6 +46,7 @@ pub fn sweep_list_sizes(
             policy,
             two_hop,
             seed,
+            availability: AvailabilityConfig::none(),
         };
         SweepPoint {
             list_size,
@@ -186,6 +190,83 @@ pub fn randomization_sweep(
             hit_rate: result.hit_rate(),
         }
     })
+}
+
+/// One cell of the churn ablation grid: a churn rate × policy × query
+/// policy combination with its result and availability ledger.
+#[derive(Clone, Debug)]
+pub struct ChurnCell {
+    /// Offline window length per peer per day, in milli-days.
+    pub churn_permille: u32,
+    /// Neighbour-list policy.
+    pub policy: PolicyKind,
+    /// The querier's timeout reaction.
+    pub query: QueryPolicy,
+    /// Full simulation result.
+    pub result: SimResult,
+    /// The availability ledger (already reconciled against `result`).
+    pub health: SearchHealth,
+}
+
+/// The four policies the churn ablation compares (Fig. 18's three plus
+/// the rare-file LRU of Section 5.3.2).
+pub const CHURN_POLICIES: [PolicyKind; 4] = [
+    PolicyKind::Lru,
+    PolicyKind::History,
+    PolicyKind::Random,
+    PolicyKind::RareLru { max_sources: 10 },
+];
+
+/// The churn ablation: every churn rate × [`CHURN_POLICIES`] × query
+/// policy cell at one list size, in parallel. Each cell's
+/// [`SearchHealth`] is reconciled against its [`SimResult`] before
+/// returning — a violation in any configuration panics.
+#[allow(clippy::too_many_arguments)]
+pub fn churn_grid(
+    caches: &[Vec<FileRef>],
+    n_files: usize,
+    list_size: usize,
+    permilles: &[u32],
+    queries: &[QueryPolicy],
+    outage_days: &[u32],
+    churn_seed: u64,
+    seed: u64,
+) -> Vec<ChurnCell> {
+    let arena = CacheArena::from_caches(caches, n_files);
+    let mut cells: Vec<(u32, PolicyKind, QueryPolicy)> = Vec::new();
+    for &rate in permilles {
+        for policy in CHURN_POLICIES {
+            for &query in queries {
+                cells.push((rate, policy, query));
+            }
+        }
+    }
+    parallel_map_init(
+        &cells,
+        SimScratch::new,
+        |scratch, &(rate, policy, query)| {
+            let config = SimConfig {
+                list_size,
+                policy,
+                two_hop: false,
+                seed,
+                availability: AvailabilityConfig::churn(churn_seed, rate)
+                    .with_query(query)
+                    .with_outages(outage_days.to_vec()),
+            };
+            let (result, health) = simulate_arena_health_with_scratch(&arena, &config, scratch);
+            health
+                .check_against(&result)
+                .expect("SearchHealth must reconcile in every churn cell");
+            ChurnCell {
+                churn_permille: rate,
+                policy,
+                query,
+                result,
+                health,
+            }
+        },
+    )
 }
 
 /// Maps `items` in parallel with scoped threads, preserving order.

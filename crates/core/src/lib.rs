@@ -46,11 +46,19 @@ pub mod overlay;
 pub mod sim;
 
 pub use experiment::{
-    policy_comparison, randomization_sweep, sweep_list_sizes, RandomizationPoint, SweepPoint,
-    PAPER_LIST_SIZES,
+    churn_grid, policy_comparison, randomization_sweep, sweep_list_sizes, ChurnCell,
+    RandomizationPoint, SweepPoint, CHURN_POLICIES, PAPER_LIST_SIZES,
 };
 pub use filters::{remove_top_files, remove_top_uploaders};
 pub use gossip::{build_overlay, overlay_hit_rate, GossipConfig, SemanticOverlay};
-pub use neighbours::{AnyPolicy, History, Lru, NeighbourPolicy, PolicyKind, RandomList, RareLru};
-pub use overlay::{simulate_overlay, OverlayConfig, OverlayDayStats};
-pub use sim::{simulate, SimConfig, SimResult};
+pub use neighbours::{
+    AnyPolicy, History, Lru, NeighbourPolicy, PolicyKind, RandomList, RareLru, StaleReaction,
+};
+pub use overlay::{
+    simulate_overlay, simulate_overlay_health, simulate_overlay_reference, OverlayConfig,
+    OverlayDayStats,
+};
+pub use sim::{
+    simulate, simulate_health, AvailabilityConfig, ChurnConfig, ChurnSchedule, QueryPolicy,
+    SearchHealth, SimConfig, SimResult,
+};

@@ -21,6 +21,29 @@ use rand::Rng;
 /// A peer index in the simulation (dense, like `edonkey_trace::PeerId`).
 pub type Peer = u32;
 
+/// How a policy reacted to a *stale* neighbour — one whose query timed
+/// out because the peer is offline (see `edonkey_workload::churn`).
+/// Each policy has a defined reaction, dispatched by
+/// [`AnyPolicy::handle_stale`]:
+///
+/// * LRU / RareLRU **evict** the entry (recency information is dead);
+/// * History **probes**: the counter is halved and the entry demoted,
+///   so a flaky uploader must re-earn its rank;
+/// * Random **replaces** the slot from the sharer pool (the list is
+///   semantics-free, so any peer is as good as any other).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StaleReaction {
+    /// The entry was removed.
+    Evicted,
+    /// The entry was removed and a replacement inserted.
+    Replaced,
+    /// The entry was kept but demoted (History's probe).
+    Probed,
+    /// No structural change (the peer was not a list member, or no
+    /// valid replacement existed).
+    Kept,
+}
+
 /// The interface every neighbour-list policy implements.
 pub trait NeighbourPolicy {
     /// Records a successful upload received *from* `uploader`.
@@ -80,6 +103,18 @@ impl Lru {
             list: Vec::with_capacity(capacity),
             members: HashSet::new(),
             capacity,
+        }
+    }
+
+    /// Removes `peer` from the list (the staleness reaction: a
+    /// timed-out neighbour is dropped). Returns whether it was present.
+    pub fn evict(&mut self, peer: Peer) -> bool {
+        if let Some(pos) = self.list.iter().position(|&p| p == peer) {
+            self.list.remove(pos);
+            self.members.remove(&peer);
+            true
+        } else {
+            false
         }
     }
 }
@@ -166,6 +201,29 @@ impl History {
             self.last_seen.get(&peer).copied().unwrap_or(0),
         )
     }
+
+    /// The staleness reaction: a timed-out neighbour is *probed*, not
+    /// dropped — its upload counter is halved and the entry re-sorted,
+    /// so it must re-earn its rank but its history is not erased.
+    /// Returns whether the peer was a list member.
+    pub fn demote(&mut self, peer: Peer) -> bool {
+        if !self.members.contains(&peer) {
+            return false;
+        }
+        let pos = self.list.iter().position(|&p| p == peer).expect("member");
+        self.list.remove(pos);
+        if let Some(count) = self.counts.get_mut(&peer) {
+            *count /= 2;
+        }
+        let key = self.key(peer);
+        let pos = self
+            .list
+            .iter()
+            .position(|&p| self.key(p) < key)
+            .unwrap_or(self.list.len());
+        self.list.insert(pos, peer);
+        true
+    }
 }
 
 impl NeighbourPolicy for History {
@@ -223,6 +281,7 @@ impl NeighbourPolicy for History {
 pub struct RandomList {
     list: Vec<Peer>,
     members: HashSet<Peer>,
+    owner: Peer,
     capacity: usize,
 }
 
@@ -252,7 +311,29 @@ impl RandomList {
         RandomList {
             list,
             members,
+            owner,
             capacity,
+        }
+    }
+
+    /// The staleness reaction: a timed-out entry is removed and — the
+    /// list being semantics-free — refilled with `replacement` when one
+    /// is offered and valid (not the owner, not already listed).
+    /// Returns what happened; `replacement` is ignored unless the stale
+    /// entry was actually a member.
+    pub fn replace_stale(&mut self, stale: Peer, replacement: Option<Peer>) -> StaleReaction {
+        if !self.members.remove(&stale) {
+            return StaleReaction::Kept;
+        }
+        let pos = self.list.iter().position(|&p| p == stale).expect("member");
+        self.list.remove(pos);
+        match replacement {
+            Some(r) if r != self.owner && !self.members.contains(&r) => {
+                self.members.insert(r);
+                self.list.push(r);
+                StaleReaction::Replaced
+            }
+            _ => StaleReaction::Evicted,
         }
     }
 }
@@ -308,6 +389,11 @@ impl RareLru {
             inner: Lru::new(capacity),
             max_sources,
         }
+    }
+
+    /// The staleness reaction: same as [`Lru::evict`].
+    pub fn evict(&mut self, peer: Peer) -> bool {
+        self.inner.evict(peer)
     }
 }
 
@@ -394,6 +480,37 @@ impl AnyPolicy {
             }
             PolicyKind::RareLru { max_sources } => {
                 AnyPolicy::RareLru(RareLru::new(capacity, max_sources))
+            }
+        }
+    }
+
+    /// Applies the policy's staleness reaction to a timed-out
+    /// neighbour. `replacement` is only consulted by the Random policy;
+    /// pass `None` for the others (a deterministic draw from the sharer
+    /// pool — never the simulation's main RNG — supplies it).
+    pub fn handle_stale(&mut self, stale: Peer, replacement: Option<Peer>) -> StaleReaction {
+        match self {
+            AnyPolicy::Lru(p) => {
+                if p.evict(stale) {
+                    StaleReaction::Evicted
+                } else {
+                    StaleReaction::Kept
+                }
+            }
+            AnyPolicy::History(p) => {
+                if p.demote(stale) {
+                    StaleReaction::Probed
+                } else {
+                    StaleReaction::Kept
+                }
+            }
+            AnyPolicy::Random(p) => p.replace_stale(stale, replacement),
+            AnyPolicy::RareLru(p) => {
+                if p.evict(stale) {
+                    StaleReaction::Evicted
+                } else {
+                    StaleReaction::Kept
+                }
             }
         }
     }
@@ -590,5 +707,69 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _ = Lru::new(0);
+    }
+
+    #[test]
+    fn lru_staleness_evicts() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut p = AnyPolicy::new(PolicyKind::Lru, 3, 0, &[], &mut rng);
+        p.record_upload(1);
+        p.record_upload(2);
+        assert_eq!(p.handle_stale(1, None), StaleReaction::Evicted);
+        assert_eq!(p.neighbours(), &[2]);
+        assert!(!p.contains(1));
+        assert_eq!(p.handle_stale(1, None), StaleReaction::Kept, "already gone");
+        check_invariants(&p);
+    }
+
+    #[test]
+    fn history_staleness_probes_and_demotes() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut p = AnyPolicy::new(PolicyKind::History, 4, 0, &[], &mut rng);
+        for _ in 0..4 {
+            p.record_upload(1);
+        }
+        for _ in 0..3 {
+            p.record_upload(2);
+        }
+        assert_eq!(p.neighbours(), &[1, 2]);
+        // Halving 1's count (4 → 2) drops it below 2's count of 3.
+        assert_eq!(p.handle_stale(1, None), StaleReaction::Probed);
+        assert_eq!(p.neighbours(), &[2, 1], "demoted, not evicted");
+        assert!(p.contains(1), "probed entries stay members");
+        assert_eq!(p.handle_stale(9, None), StaleReaction::Kept);
+        check_invariants(&p);
+    }
+
+    #[test]
+    fn random_staleness_replaces_from_pool() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let candidates: Vec<Peer> = (0..50).collect();
+        let mut p = AnyPolicy::new(PolicyKind::Random, 5, 0, &candidates, &mut rng);
+        let stale = p.neighbours()[0];
+        let fresh = (0..50)
+            .find(|&c| c != 0 && !p.contains(c))
+            .expect("pool larger than list");
+        assert_eq!(p.handle_stale(stale, Some(fresh)), StaleReaction::Replaced);
+        assert!(!p.contains(stale));
+        assert!(p.contains(fresh));
+        assert_eq!(p.neighbours().len(), 5);
+        check_invariants(&p);
+        // Invalid replacements degrade to plain eviction.
+        let stale = p.neighbours()[0];
+        assert_eq!(p.handle_stale(stale, Some(0)), StaleReaction::Evicted);
+        assert_eq!(p.neighbours().len(), 4);
+        // Non-members are untouched even with a replacement on offer.
+        assert_eq!(p.handle_stale(stale, Some(fresh)), StaleReaction::Kept);
+        check_invariants(&p);
+    }
+
+    #[test]
+    fn rare_lru_staleness_evicts() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut p = AnyPolicy::new(PolicyKind::RareLru { max_sources: 5 }, 3, 0, &[], &mut rng);
+        p.record_upload_with_popularity(4, 1);
+        assert_eq!(p.handle_stale(4, None), StaleReaction::Evicted);
+        assert!(p.neighbours().is_empty());
     }
 }

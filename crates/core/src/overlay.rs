@@ -20,7 +20,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 
-use crate::neighbours::{AnyPolicy, NeighbourPolicy, Peer, PolicyKind};
+use crate::neighbours::{AnyPolicy, NeighbourPolicy, Peer, PolicyKind, StaleReaction};
+use crate::sim::{AvailabilityConfig, ChurnSchedule, SearchHealth};
 
 /// Live-overlay parameters.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -31,6 +32,10 @@ pub struct OverlayConfig {
     pub policy: PolicyKind,
     /// RNG seed (request order within a day, fallback uploader picks).
     pub seed: u64,
+    /// Peer-availability regime (quiet by default). Churn draws and
+    /// outage days are keyed by the day *offset* from the start of the
+    /// history, not the absolute day number.
+    pub availability: AvailabilityConfig,
 }
 
 impl OverlayConfig {
@@ -40,7 +45,14 @@ impl OverlayConfig {
             list_size,
             policy: PolicyKind::Lru,
             seed: 0x007e_51a7,
+            availability: AvailabilityConfig::none(),
         }
+    }
+
+    /// Runs under the given availability regime.
+    pub fn with_availability(mut self, availability: AvailabilityConfig) -> Self {
+        self.availability = availability;
+        self
     }
 }
 
@@ -89,6 +101,226 @@ impl OverlayDayStats {
 /// assert_eq!(stats[1].requests, 1);
 /// ```
 pub fn simulate_overlay(
+    days: &[Vec<Vec<FileRef>>],
+    start_day: u32,
+    n_files: usize,
+    config: &OverlayConfig,
+) -> Vec<OverlayDayStats> {
+    simulate_overlay_health(days, start_day, n_files, config).0
+}
+
+/// [`simulate_overlay`], also returning the availability ledger
+/// (`health.reconcile(total_requests, total_hits, 0)` holds for every
+/// config).
+///
+/// Under a non-quiet [`AvailabilityConfig`] the day's acquisitions are
+/// spread over the day in milli-days; queries to offline list members
+/// time out (with the per-policy staleness reaction), the querier
+/// retries per its `QueryPolicy` — backoff can carry an attempt into
+/// the next day's schedule — and a holder must be online to answer.
+/// Overlay misses during a server-outage day strand: the upload never
+/// happens and nothing is recorded. (The *cache* still changes — the
+/// ground-truth history is what it is — but the semantic link is lost.)
+pub fn simulate_overlay_health(
+    days: &[Vec<Vec<FileRef>>],
+    start_day: u32,
+    n_files: usize,
+    config: &OverlayConfig,
+) -> (Vec<OverlayDayStats>, SearchHealth) {
+    let mut health = SearchHealth::default();
+    let Some(first) = days.first() else {
+        return (Vec::new(), health);
+    };
+    let n_peers = first.len();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let sharer_pool: Vec<Peer> = first
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| !c.is_empty())
+        .map(|(p, _)| p as Peer)
+        .collect();
+    let mut policies: Vec<AnyPolicy> = (0..n_peers)
+        .map(|p| {
+            AnyPolicy::new(
+                config.policy,
+                config.list_size,
+                p as Peer,
+                &sharer_pool,
+                &mut rng,
+            )
+        })
+        .collect();
+
+    let schedule = ChurnSchedule::new(config.availability.churn.clone());
+    let quiet = schedule.is_quiet();
+    let query = config.availability.query;
+    let mut query_buf: Vec<Peer> = Vec::new();
+    // Per-request consecutive-timeout streaks (see `SimScratch`).
+    let mut stale_prev: Vec<(Peer, u32)> = Vec::new();
+    let mut stale_cur: Vec<(Peer, u32)> = Vec::new();
+
+    let mut stats = Vec::with_capacity(days.len());
+    stats.push(OverlayDayStats {
+        day: start_day,
+        requests: 0,
+        hits: 0,
+    });
+
+    // Yesterday's state: per-peer membership sets and per-file holders.
+    let mut membership: Vec<HashSet<FileRef>> =
+        first.iter().map(|c| c.iter().copied().collect()).collect();
+    let mut holders: Vec<Vec<Peer>> = vec![Vec::new(); n_files];
+    for (p, cache) in first.iter().enumerate() {
+        for f in cache {
+            holders[f.index()].push(p as Peer);
+        }
+    }
+
+    for (offset, today) in days.iter().enumerate().skip(1) {
+        let mut day_stats = OverlayDayStats {
+            day: start_day + offset as u32,
+            requests: 0,
+            hits: 0,
+        };
+        // The day's acquisitions, shuffled across peers so no peer gets
+        // systematic first-mover advantage.
+        let mut acquisitions: Vec<(Peer, FileRef)> = Vec::new();
+        for (p, cache) in today.iter().enumerate() {
+            for &f in cache {
+                if !membership[p].contains(&f) {
+                    acquisitions.push((p as Peer, f));
+                }
+            }
+        }
+        for i in (1..acquisitions.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            acquisitions.swap(i, j);
+        }
+        let day_len = acquisitions.len().max(1) as u64;
+
+        for (j, &(peer, file)) in acquisitions.iter().enumerate() {
+            let sources = &holders[file.index()];
+            if sources.is_empty() {
+                // Original contributor (file newly born or newly entering
+                // circulation): nothing to query.
+                continue;
+            }
+            day_stats.requests += 1;
+
+            // Acquisition j of the day happens j/day_len through it.
+            let base_millis = j as u64 * 1000 / day_len;
+            let mut elapsed = 0u64;
+            let mut attempt = 0u32;
+            stale_prev.clear();
+
+            let (found, day) = loop {
+                health.attempted += 1;
+                if attempt > 0 {
+                    health.retried += 1;
+                }
+                let now = base_millis + elapsed;
+                let day = offset as u32 + (now / 1000) as u32;
+                let milli = (now % 1000) as u32;
+
+                // Offline list members time out (with the per-policy
+                // staleness reaction); the list is copied out first
+                // because the reaction mutates it mid-walk.
+                let mut saw_timeout = false;
+                if !quiet {
+                    query_buf.clear();
+                    query_buf.extend_from_slice(policies[peer as usize].neighbours());
+                    stale_cur.clear();
+                    for &n in query_buf.iter() {
+                        if !schedule.offline(n, day, milli) {
+                            continue;
+                        }
+                        saw_timeout = true;
+                        health.timed_out += 1;
+                        if query.handle_stale {
+                            let streak = stale_prev
+                                .iter()
+                                .find(|&&(p, _)| p == n)
+                                .map_or(1, |&(_, s)| s + 1);
+                            stale_cur.push((n, streak));
+                            if streak < query.stale_after.max(1) {
+                                continue;
+                            }
+                            let replacement = match config.policy {
+                                PolicyKind::Random if !sharer_pool.is_empty() => {
+                                    let i =
+                                        schedule.replacement_index(peer, n, day, sharer_pool.len());
+                                    Some(sharer_pool[i])
+                                }
+                                _ => None,
+                            };
+                            match policies[peer as usize].handle_stale(n, replacement) {
+                                StaleReaction::Evicted | StaleReaction::Replaced => {
+                                    health.evicted_stale += 1;
+                                }
+                                StaleReaction::Probed => health.probed_stale += 1,
+                                StaleReaction::Kept => {}
+                            }
+                        }
+                    }
+                    std::mem::swap(&mut stale_prev, &mut stale_cur);
+                }
+
+                let policy = &policies[peer as usize];
+                let uploader = sources
+                    .iter()
+                    .copied()
+                    .find(|&s| policy.contains(s) && (quiet || !schedule.offline(s, day, milli)));
+
+                if uploader.is_some() || !saw_timeout || attempt >= query.max_retries {
+                    break (uploader, day);
+                }
+                elapsed += query.backoff_for(attempt);
+                attempt += 1;
+            };
+
+            let uploader = match found {
+                Some(u) => {
+                    day_stats.hits += 1;
+                    health.answered += 1;
+                    if schedule.server_out(day) {
+                        health.recovered += 1;
+                    }
+                    u
+                }
+                None => {
+                    if schedule.server_out(day) {
+                        // Overlay miss with the server down: the upload
+                        // never happens and no link is recorded.
+                        health.stranded += 1;
+                        continue;
+                    }
+                    health.server_fallback += 1;
+                    sources[rng.gen_range(0..sources.len())]
+                }
+            };
+            policies[peer as usize].record_upload(uploader);
+        }
+
+        // Roll the world forward to tonight's caches.
+        for (p, cache) in today.iter().enumerate() {
+            let today_set: HashSet<FileRef> = cache.iter().copied().collect();
+            for &gone in membership[p].difference(&today_set) {
+                holders[gone.index()].retain(|&h| h != p as Peer);
+            }
+            for &new in today_set.difference(&membership[p]) {
+                holders[new.index()].push(p as Peer);
+            }
+            membership[p] = today_set;
+        }
+        stats.push(day_stats);
+    }
+    (stats, health)
+}
+
+/// The original (pre-availability) implementation, kept verbatim as a
+/// correctness oracle: the zero-churn bit-identity tests compare
+/// [`simulate_overlay`] under a quiet schedule against it.
+pub fn simulate_overlay_reference(
     days: &[Vec<Vec<FileRef>>],
     start_day: u32,
     n_files: usize,
@@ -295,6 +527,7 @@ mod tests {
             list_size: 4,
             policy: PolicyKind::History,
             seed: 1,
+            availability: AvailabilityConfig::none(),
         };
         let stats = simulate_overlay(&history, 0, n_files, &config);
         assert!(steady_state_hit_rate(&stats, 6) > 0.4);

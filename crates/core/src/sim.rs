@@ -16,14 +16,91 @@
 //! Load accounting: every request sends one message to each of the
 //! requester's (one-hop) semantic neighbours, which is how the paper's
 //! Fig. 22 counts "messages per client".
+//!
+//! # Availability
+//!
+//! With a non-quiet [`AvailabilityConfig`] the simulator consults a
+//! deterministic [`ChurnSchedule`]: the static request stream is spread
+//! over `virtual_days` of simulated time, queries to offline neighbours
+//! time out (no message delivered, no mark stamped), the querier
+//! retries per its [`QueryPolicy`] with backoff in simulated time, and
+//! stale entries get the per-policy reaction of
+//! [`AnyPolicy::handle_stale`]. Day-scoped server outages strand final
+//! misses: the file is not acquired and nothing is recorded. A
+//! [`SearchHealth`] ledger accounts for every attempt and reconciles
+//! exactly against the [`SimResult`] totals. When the schedule is quiet
+//! the whole layer is a no-op and results are bit-identical to the
+//! pre-availability simulator ([`simulate_reference`] is the pinned
+//! oracle).
 
 use edonkey_trace::compact::CacheArena;
 use edonkey_trace::model::FileRef;
+pub use edonkey_workload::churn::{ChurnConfig, ChurnSchedule, QueryPolicy};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 
-use crate::neighbours::{AnyPolicy, NeighbourPolicy, Peer, PolicyKind};
+use crate::neighbours::{AnyPolicy, NeighbourPolicy, Peer, PolicyKind, StaleReaction};
+
+/// The availability regime a simulation runs under.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AvailabilityConfig {
+    /// Who is offline when, and which days the server is down.
+    pub churn: ChurnConfig,
+    /// The querier's timeout reaction (retries, backoff, staleness).
+    pub query: QueryPolicy,
+    /// How many simulated days the static request stream spans (the
+    /// trace-driven stream has no timestamps of its own). Irrelevant —
+    /// but still bit-identically harmless — when `churn` is quiet.
+    pub virtual_days: u32,
+}
+
+/// Default span: the 14-day windows the Section 4 figures use.
+const DEFAULT_VIRTUAL_DAYS: u32 = 14;
+
+impl AvailabilityConfig {
+    /// Always-on peers, always-up server, single attempts: the paper's
+    /// implicit regime, and the bit-identity baseline.
+    pub fn none() -> Self {
+        AvailabilityConfig {
+            churn: ChurnConfig::none(),
+            query: QueryPolicy::no_retry(),
+            virtual_days: DEFAULT_VIRTUAL_DAYS,
+        }
+    }
+
+    /// Session churn at `churn_permille` (see [`ChurnConfig`]) under
+    /// the given schedule seed, single attempts.
+    pub fn churn(seed: u64, churn_permille: u32) -> Self {
+        AvailabilityConfig {
+            churn: ChurnConfig::with_rate(seed, churn_permille),
+            ..Self::none()
+        }
+    }
+
+    /// Replaces the query policy.
+    pub fn with_query(mut self, query: QueryPolicy) -> Self {
+        self.query = query;
+        self
+    }
+
+    /// Adds server-outage days (offsets into the virtual span).
+    pub fn with_outages(mut self, days: Vec<u32>) -> Self {
+        self.churn.outage_days = days;
+        self
+    }
+
+    /// True iff the availability layer cannot affect the simulation.
+    pub fn is_quiet(&self) -> bool {
+        self.churn.is_quiet()
+    }
+}
+
+impl Default for AvailabilityConfig {
+    fn default() -> Self {
+        Self::none()
+    }
+}
 
 /// Simulation parameters.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -36,6 +113,8 @@ pub struct SimConfig {
     pub two_hop: bool,
     /// RNG seed for the request order and uploader picks.
     pub seed: u64,
+    /// Peer-availability regime (quiet by default).
+    pub availability: AvailabilityConfig,
 }
 
 impl SimConfig {
@@ -46,6 +125,7 @@ impl SimConfig {
             policy: PolicyKind::Lru,
             two_hop: false,
             seed: 0x5eed,
+            availability: AvailabilityConfig::none(),
         }
     }
 
@@ -84,6 +164,87 @@ impl SimConfig {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Runs under the given availability regime.
+    pub fn with_availability(mut self, availability: AvailabilityConfig) -> Self {
+        self.availability = availability;
+        self
+    }
+}
+
+/// The availability ledger: every query attempt of a simulation run,
+/// accounted once. Identities (checked by [`SearchHealth::reconcile`]):
+///
+/// * `answered == one_hop_hits + two_hop_hits`
+/// * `answered + server_fallback + stranded == requests`
+/// * `attempted == requests + retried`
+/// * `recovered <= answered`
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchHealth {
+    /// Query attempts issued (initial attempts plus retries).
+    pub attempted: u64,
+    /// Requests answered by the overlay (one- or two-hop).
+    pub answered: u64,
+    /// Individual neighbour queries that timed out (offline peer).
+    pub timed_out: u64,
+    /// Retry attempts (beyond each request's first attempt).
+    pub retried: u64,
+    /// Stale entries evicted (or replaced) after a timeout.
+    pub evicted_stale: u64,
+    /// Stale entries probed/demoted after a timeout (History).
+    pub probed_stale: u64,
+    /// Final misses resolved by the fallback server.
+    pub server_fallback: u64,
+    /// Final misses during a server outage: the request failed
+    /// entirely — nothing acquired, nothing recorded.
+    pub stranded: u64,
+    /// Requests the overlay answered *during* a server outage — what
+    /// server-less search rescued when there was no fallback.
+    pub recovered: u64,
+}
+
+impl SearchHealth {
+    /// Checks the ledger identities against raw totals. Returns a
+    /// description of the first violated identity, if any.
+    pub fn reconcile(
+        &self,
+        requests: u64,
+        one_hop_hits: u64,
+        two_hop_hits: u64,
+    ) -> Result<(), String> {
+        let hits = one_hop_hits + two_hop_hits;
+        if self.answered != hits {
+            return Err(format!(
+                "answered {} != one_hop + two_hop hits {hits}",
+                self.answered
+            ));
+        }
+        let resolved = self.answered + self.server_fallback + self.stranded;
+        if resolved != requests {
+            return Err(format!(
+                "answered {} + server_fallback {} + stranded {} = {resolved} != requests {requests}",
+                self.answered, self.server_fallback, self.stranded
+            ));
+        }
+        if self.attempted != requests + self.retried {
+            return Err(format!(
+                "attempted {} != requests {requests} + retried {}",
+                self.attempted, self.retried
+            ));
+        }
+        if self.recovered > self.answered {
+            return Err(format!(
+                "recovered {} > answered {}",
+                self.recovered, self.answered
+            ));
+        }
+        Ok(())
+    }
+
+    /// [`SearchHealth::reconcile`] against a [`SimResult`].
+    pub fn check_against(&self, result: &SimResult) -> Result<(), String> {
+        self.reconcile(result.requests, result.one_hop_hits, result.two_hop_hits)
     }
 }
 
@@ -178,6 +339,16 @@ pub fn simulate(caches: &[Vec<FileRef>], n_files: usize, config: &SimConfig) -> 
     simulate_arena(&arena, config)
 }
 
+/// [`simulate`], also returning the availability ledger.
+pub fn simulate_health(
+    caches: &[Vec<FileRef>],
+    n_files: usize,
+    config: &SimConfig,
+) -> (SimResult, SearchHealth) {
+    let arena = CacheArena::from_caches(caches, n_files);
+    simulate_arena_health_with_scratch(&arena, config, &mut SimScratch::new())
+}
+
 /// Arena-backed [`simulate`] with fresh scratch buffers.
 pub fn simulate_arena(arena: &CacheArena, config: &SimConfig) -> SimResult {
     simulate_arena_with_scratch(arena, config, &mut SimScratch::new())
@@ -196,11 +367,19 @@ pub fn simulate_arena(arena: &CacheArena, config: &SimConfig) -> SimResult {
 pub struct SimScratch {
     stream: Vec<(u32, FileRef)>,
     sharers: Vec<Vec<Peer>>,
-    /// `mark[p] == generation` ⇔ peer `p` is a neighbour of the current
-    /// requester. Stale entries are invalidated by the generation bump —
-    /// never by clearing the array.
+    /// `mark[p] == generation` ⇔ peer `p` is an *online, queried*
+    /// neighbour of the current requester. Stale entries are
+    /// invalidated by the generation bump — never by clearing the
+    /// array.
     mark: Vec<u64>,
     generation: u64,
+    /// Per-attempt copy of the requester's neighbour list: staleness
+    /// reactions mutate the list mid-walk.
+    query_buf: Vec<Peer>,
+    /// Per-request consecutive-timeout streaks `(neighbour, streak)` —
+    /// the previous attempt's and the one being walked.
+    stale_prev: Vec<(Peer, u32)>,
+    stale_cur: Vec<(Peer, u32)>,
 }
 
 impl SimScratch {
@@ -230,6 +409,16 @@ pub fn simulate_arena_with_scratch(
     config: &SimConfig,
     scratch: &mut SimScratch,
 ) -> SimResult {
+    simulate_arena_health_with_scratch(arena, config, scratch).0
+}
+
+/// [`simulate_arena_with_scratch`], also returning the availability
+/// ledger ([`SearchHealth::check_against`] holds for every config).
+pub fn simulate_arena_health_with_scratch(
+    arena: &CacheArena,
+    config: &SimConfig,
+    scratch: &mut SimScratch,
+) -> (SimResult, SearchHealth) {
     let n_peers = arena.n_peers();
     let n_files = arena.n_files();
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -245,6 +434,9 @@ pub fn simulate_arena_with_scratch(
         sharers,
         mark,
         generation,
+        query_buf,
+        stale_prev,
+        stale_cur,
     } = scratch;
 
     // Request stream: a uniformly shuffled multiset of (peer, file).
@@ -284,8 +476,20 @@ pub fn simulate_arena_with_scratch(
         contributor_seeds: 0,
         messages_per_peer: vec![0; n_peers],
     };
+    let mut health = SearchHealth::default();
 
-    for &(peer, file) in stream.iter() {
+    // Availability: quiet schedules take none of the branches below, so
+    // the pre-churn behaviour (and RNG sequence) is preserved exactly.
+    let availability = &config.availability;
+    let schedule = ChurnSchedule::new(availability.churn.clone());
+    let quiet = schedule.is_quiet();
+    let query = availability.query;
+    // The static stream is spread uniformly over the virtual span, in
+    // milli-days (1 day = 1000 md).
+    let span_millis = u64::from(availability.virtual_days.max(1)) * 1000;
+    let stream_len = stream.len().max(1) as u64;
+
+    for (t, &(peer, file)) in stream.iter().enumerate() {
         let peer_idx = peer as usize;
         if sharers[file.index()].is_empty() {
             // Original contributor.
@@ -295,44 +499,136 @@ pub fn simulate_arena_with_scratch(
         }
         result.requests += 1;
 
-        // Querying loads every one-hop neighbour; the same walk stamps
-        // the mark array for the membership probe below.
-        *generation += 1;
-        for &n in policies[peer_idx].neighbours() {
-            result.messages_per_peer[n as usize] += 1;
-            mark[n as usize] = *generation;
-        }
+        let base_millis = t as u64 * span_millis / stream_len;
+        let mut elapsed = 0u64;
+        let mut attempt = 0u32;
+        stale_prev.clear();
 
-        // One-hop: does any current sharer sit in the neighbour list?
-        // Iterating sharers (popularity-sized) beats iterating the list
-        // for rare files, and is equivalent.
-        let file_sharers = &sharers[file.index()];
-        let mut uploader: Option<Peer> = file_sharers
-            .iter()
-            .copied()
-            .find(|&s| mark[s as usize] == *generation);
-        let mut hop = 1;
+        let (mut uploader, hop, day) = loop {
+            health.attempted += 1;
+            if attempt > 0 {
+                health.retried += 1;
+            }
+            let now = base_millis + elapsed;
+            let day = (now / 1000) as u32;
+            let milli = (now % 1000) as u32;
 
-        // Two-hop: query each neighbour's neighbours.
-        if uploader.is_none() && config.two_hop {
-            'outer: for &n in policies[peer_idx].neighbours() {
-                for &s in file_sharers {
-                    if s != peer && policies[n as usize].contains(s) {
-                        uploader = Some(s);
-                        hop = 2;
-                        break 'outer;
+            // Querying loads every *online* one-hop neighbour; the same
+            // walk stamps the mark array for the membership probe
+            // below. The list is copied out first because staleness
+            // reactions mutate it mid-walk.
+            *generation += 1;
+            let mut saw_timeout = false;
+            query_buf.clear();
+            query_buf.extend_from_slice(policies[peer_idx].neighbours());
+            stale_cur.clear();
+            for &n in query_buf.iter() {
+                if !quiet && schedule.offline(n, day, milli) {
+                    // Timed out: no message delivered, no mark stamped.
+                    saw_timeout = true;
+                    health.timed_out += 1;
+                    if query.handle_stale {
+                        let streak = stale_prev
+                            .iter()
+                            .find(|&&(p, _)| p == n)
+                            .map_or(1, |&(_, s)| s + 1);
+                        stale_cur.push((n, streak));
+                        if streak >= query.stale_after.max(1) {
+                            // Only the Random policy wants a
+                            // replacement; it is drawn statelessly so
+                            // the main RNG sequence never moves.
+                            let replacement = match config.policy {
+                                PolicyKind::Random if !sharer_pool.is_empty() => {
+                                    let i =
+                                        schedule.replacement_index(peer, n, day, sharer_pool.len());
+                                    Some(sharer_pool[i])
+                                }
+                                _ => None,
+                            };
+                            match policies[peer_idx].handle_stale(n, replacement) {
+                                StaleReaction::Evicted | StaleReaction::Replaced => {
+                                    health.evicted_stale += 1;
+                                }
+                                StaleReaction::Probed => health.probed_stale += 1,
+                                StaleReaction::Kept => {}
+                            }
+                        }
+                    }
+                } else {
+                    result.messages_per_peer[n as usize] += 1;
+                    mark[n as usize] = *generation;
+                }
+            }
+            std::mem::swap(stale_prev, stale_cur);
+
+            // One-hop: does any current sharer sit among the online
+            // queried neighbours? Iterating sharers (popularity-sized)
+            // beats iterating the list for rare files, and is
+            // equivalent.
+            let file_sharers = &sharers[file.index()];
+            let mut uploader: Option<Peer> = file_sharers
+                .iter()
+                .copied()
+                .find(|&s| mark[s as usize] == *generation);
+            let mut hop = 1;
+
+            // Two-hop: query each online neighbour's neighbours; the
+            // second-hop holder must itself be online to answer.
+            if uploader.is_none() && config.two_hop {
+                'outer: for &n in query_buf.iter() {
+                    if mark[n as usize] != *generation {
+                        continue; // offline relay: its list is unreachable
+                    }
+                    for &s in file_sharers {
+                        if s != peer
+                            && policies[n as usize].contains(s)
+                            && (quiet || !schedule.offline(s, day, milli))
+                        {
+                            uploader = Some(s);
+                            hop = 2;
+                            break 'outer;
+                        }
                     }
                 }
             }
-        }
+
+            // Retry only when something actually timed out: a
+            // definitive miss over fully online neighbours is final.
+            if uploader.is_some() || !saw_timeout || attempt >= query.max_retries {
+                break (uploader, hop, day);
+            }
+            elapsed += query.backoff_for(attempt);
+            attempt += 1;
+        };
 
         match uploader {
-            Some(_) if hop == 1 => result.one_hop_hits += 1,
-            Some(_) => result.two_hop_hits += 1,
+            Some(_) => {
+                if hop == 1 {
+                    result.one_hop_hits += 1;
+                } else {
+                    result.two_hop_hits += 1;
+                }
+                health.answered += 1;
+                if schedule.server_out(day) {
+                    health.recovered += 1;
+                }
+            }
             None => {
+                if schedule.server_out(day) {
+                    // Overlay miss with the fallback server down: the
+                    // request strands — nothing acquired, nothing
+                    // recorded, no RNG consumed.
+                    health.stranded += 1;
+                    continue;
+                }
                 // Server fallback: a uniformly random current sharer
-                // uploads the file.
+                // uploads the file. The server queues uploads from
+                // currently-offline sharers, so the pick ranges over
+                // all of them — which is also exactly the pre-churn
+                // draw, keeping quiet runs bit-identical.
+                let file_sharers = &sharers[file.index()];
                 let pick = file_sharers[rng.gen_range(0..file_sharers.len())];
+                health.server_fallback += 1;
                 uploader = Some(pick);
             }
         }
@@ -343,7 +639,7 @@ pub fn simulate_arena_with_scratch(
         sharers[file.index()].push(peer);
     }
 
-    result
+    (result, health)
 }
 
 /// The original (pre-arena) implementation, kept verbatim as a
@@ -613,6 +909,189 @@ mod tests {
         assert_eq!(result.hit_rate(), 0.0);
         assert_eq!(result.mean_load(), 0.0);
         assert_eq!(result.max_load(), 0);
+        let (result, health) = simulate_health(&[], 0, &SimConfig::lru(5));
+        assert!(health.check_against(&result).is_ok());
+        assert_eq!(health, SearchHealth::default());
+    }
+
+    #[test]
+    fn quiet_availability_is_bit_identical_to_reference() {
+        let caches = community(8, 15);
+        // A quiet schedule with a non-trivial seed and span, retries
+        // armed: none of it may move a single bit.
+        let quiet = AvailabilityConfig {
+            churn: ChurnConfig::with_rate(0xdead_beef, 0),
+            query: QueryPolicy::retry_evict(),
+            virtual_days: 97,
+        };
+        assert!(quiet.is_quiet());
+        for base in [
+            SimConfig::lru(5).with_seed(9),
+            SimConfig::history(4).with_seed(9),
+            SimConfig::random(3).with_seed(9),
+            SimConfig::rare_lru(5, 3).with_seed(9),
+            SimConfig::lru(3).with_seed(9).with_two_hop(),
+        ] {
+            let reference = simulate_reference(&caches, 15, &base);
+            let config = base.with_availability(quiet.clone());
+            let (result, health) = simulate_health(&caches, 15, &config);
+            assert_eq!(reference, result, "config {config:?}");
+            assert!(health.check_against(&result).is_ok());
+            assert_eq!(health.timed_out, 0);
+            assert_eq!(health.retried, 0);
+            assert_eq!(health.evicted_stale + health.probed_stale, 0);
+            assert_eq!(health.stranded, 0);
+            assert_eq!(health.recovered, 0);
+            assert_eq!(health.attempted, result.requests);
+        }
+    }
+
+    #[test]
+    fn churn_reconciles_for_every_policy() {
+        let caches = community(10, 30);
+        for permille in [100u32, 250, 500, 1000] {
+            for base in [
+                SimConfig::lru(5),
+                SimConfig::history(5),
+                SimConfig::random(5),
+                SimConfig::rare_lru(5, 3),
+                SimConfig::lru(4).with_two_hop(),
+            ] {
+                for query in [QueryPolicy::no_retry(), QueryPolicy::retry_evict()] {
+                    let config = base.clone().with_availability(
+                        AvailabilityConfig::churn(7, permille).with_query(query),
+                    );
+                    let (result, health) = simulate_health(&caches, 30, &config);
+                    health
+                        .check_against(&result)
+                        .unwrap_or_else(|e| panic!("{e} (config {config:?})"));
+                    assert!(health.timed_out > 0, "churn {permille} must bite");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn churn_degrades_hits_monotonically() {
+        let caches = community(12, 40);
+        let hit_at = |permille: u32| {
+            let config =
+                SimConfig::lru(6).with_availability(AvailabilityConfig::churn(3, permille));
+            simulate(&caches, 40, &config).hits()
+        };
+        let h0 = hit_at(0);
+        let h250 = hit_at(250);
+        let h1000 = hit_at(1000);
+        assert!(h0 > 0);
+        assert!(h250 < h0, "25% churn must cost hits ({h250} vs {h0})");
+        assert_eq!(h1000, 0, "permanently offline neighbours never answer");
+    }
+
+    #[test]
+    fn retries_recover_hits_under_churn() {
+        let caches = community(12, 40);
+        let run = |query: QueryPolicy| {
+            let config = SimConfig::lru(6)
+                .with_availability(AvailabilityConfig::churn(3, 250).with_query(query));
+            simulate_health(&caches, 40, &config)
+        };
+        let (none, none_health) = run(QueryPolicy::no_retry());
+        let (retry, retry_health) = run(QueryPolicy::retry_evict());
+        assert!(retry_health.retried > 0);
+        assert_eq!(none_health.retried, 0);
+        assert!(
+            retry.hits() > none.hits(),
+            "retry {} vs no-retry {}",
+            retry.hits(),
+            none.hits()
+        );
+    }
+
+    #[test]
+    fn outage_strands_and_recovers() {
+        let caches = community(10, 30);
+        // The server dies halfway through the 14-day span: the warmed
+        // overlay keeps answering (recovered), misses strand.
+        let late_days: Vec<u32> = (7..200).collect();
+        let config = SimConfig::lru(5).with_availability(
+            AvailabilityConfig::churn(3, 250)
+                .with_query(QueryPolicy::retry_evict())
+                .with_outages(late_days),
+        );
+        let (result, health) = simulate_health(&caches, 30, &config);
+        assert!(health.check_against(&result).is_ok());
+        assert!(health.stranded > 0, "outage misses must strand");
+        assert!(health.recovered > 0, "the warm overlay still answers");
+        assert!(health.server_fallback > 0, "pre-outage misses fall back");
+        assert_eq!(
+            health.stranded + health.server_fallback,
+            result.requests - result.hits()
+        );
+
+        // Server down from day 0: adaptive lists can never bootstrap —
+        // the first acquisition needs the server — so nothing is ever
+        // answered. Server-less search still *depends* on a server to
+        // seed its links.
+        let all_days: Vec<u32> = (0..200).collect();
+        let config = SimConfig::lru(5).with_availability(
+            AvailabilityConfig::churn(3, 250)
+                .with_query(QueryPolicy::retry_evict())
+                .with_outages(all_days),
+        );
+        let (result, health) = simulate_health(&caches, 30, &config);
+        assert!(health.check_against(&result).is_ok());
+        assert_eq!(health.server_fallback, 0, "no server to fall back to");
+        assert_eq!(result.hits(), 0, "LRU lists never seed without a server");
+        assert_eq!(health.stranded, result.requests);
+
+        // No outage, same churn: nothing strands, nothing to recover.
+        let config = SimConfig::lru(5).with_availability(
+            AvailabilityConfig::churn(3, 250).with_query(QueryPolicy::retry_evict()),
+        );
+        let (result, health) = simulate_health(&caches, 30, &config);
+        assert!(health.check_against(&result).is_ok());
+        assert_eq!(health.stranded, 0);
+        assert_eq!(health.recovered, 0);
+        assert!(health.server_fallback > 0);
+    }
+
+    #[test]
+    fn churn_runs_are_deterministic() {
+        let caches = community(9, 25);
+        let config = SimConfig::history(5).with_availability(
+            AvailabilityConfig::churn(11, 400)
+                .with_query(QueryPolicy::retry_evict())
+                .with_outages(vec![2, 3]),
+        );
+        let a = simulate_health(&caches, 25, &config);
+        let b = simulate_health(&caches, 25, &config);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reconcile_rejects_violations() {
+        let health = SearchHealth {
+            attempted: 5,
+            answered: 3,
+            server_fallback: 2,
+            ..SearchHealth::default()
+        };
+        assert!(health.reconcile(5, 3, 0).is_ok());
+        let err = health.reconcile(5, 2, 0).unwrap_err();
+        assert!(err.contains("answered"), "{err}");
+        let err = health.reconcile(6, 3, 0).unwrap_err();
+        assert!(err.contains("requests"), "{err}");
+        let bad = SearchHealth {
+            recovered: 4,
+            ..health
+        };
+        assert!(bad.reconcile(5, 3, 0).is_err());
+        let bad = SearchHealth {
+            attempted: 9,
+            ..health
+        };
+        let err = bad.reconcile(5, 3, 0).unwrap_err();
+        assert!(err.contains("retried"), "{err}");
     }
 
     #[test]

@@ -22,7 +22,7 @@ use std::fmt::Write as _;
 use std::fs;
 use std::io;
 use std::io::Read as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 pub use bin::{from_bin, load_bin, save_bin, to_bin, TraceReader, TraceWriter};
 
@@ -55,6 +55,32 @@ pub enum TraceIoError {
         /// What went wrong.
         message: String,
     },
+    /// Any of the above, annotated with the file it occurred on. Every
+    /// path-taking entry point (`load_*`, `save_*`, [`sniff_format`],
+    /// [`load_auto`]) wraps its errors in this variant, so a failure
+    /// deep in a parse still names the file.
+    WithPath {
+        /// The file the operation was on.
+        path: PathBuf,
+        /// The underlying error.
+        source: Box<TraceIoError>,
+    },
+}
+
+impl TraceIoError {
+    /// Annotates the error with the file path the operation was on.
+    /// Idempotent: an error already carrying a path is returned as-is,
+    /// so nested entry points (e.g. [`load_auto`] calling `load_bin`)
+    /// keep the innermost, most specific annotation.
+    pub fn with_path(self, path: &Path) -> TraceIoError {
+        match self {
+            TraceIoError::WithPath { .. } => self,
+            other => TraceIoError::WithPath {
+                path: path.to_path_buf(),
+                source: Box::new(other),
+            },
+        }
+    }
 }
 
 impl std::fmt::Display for TraceIoError {
@@ -69,11 +95,22 @@ impl std::fmt::Display for TraceIoError {
             TraceIoError::Bin { offset, message } => {
                 write!(f, "binary format error at byte {offset}: {message}")
             }
+            TraceIoError::WithPath { path, source } => {
+                write!(f, "{}: {}", path.display(), source)
+            }
         }
     }
 }
 
-impl std::error::Error for TraceIoError {}
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            TraceIoError::WithPath { source, .. } => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}
 
 impl From<io::Error> for TraceIoError {
     fn from(e: io::Error) -> Self {
@@ -81,18 +118,43 @@ impl From<io::Error> for TraceIoError {
     }
 }
 
-/// Saves a trace as JSON.
+/// The `<name>.tmp` sibling used for crash-safe writes.
+pub(crate) fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Crash-safe whole-file write: the bytes stream into a `<name>.tmp`
+/// sibling and an atomic rename installs them, so an interrupted write
+/// never leaves a half-written file at `path` — whatever was there
+/// before stays intact.
+fn write_atomic(path: &Path, contents: &str) -> Result<(), TraceIoError> {
+    let tmp = tmp_sibling(path);
+    let write = || -> io::Result<()> {
+        fs::write(&tmp, contents)?;
+        fs::rename(&tmp, path)
+    };
+    write().map_err(|e| TraceIoError::Io(e).with_path(path))
+}
+
+/// Saves a trace as JSON (crash-safe: tmp sibling + atomic rename).
 pub fn save_json(trace: &Trace, path: &Path) -> Result<(), TraceIoError> {
-    fs::write(path, to_json(trace))?;
-    Ok(())
+    write_atomic(path, &to_json(trace))
 }
 
 /// Loads a JSON trace and validates its invariants.
 pub fn load_json(path: &Path) -> Result<Trace, TraceIoError> {
-    let data = fs::read_to_string(path)?;
-    let trace = from_json(&data)?;
-    trace.check_invariants().map_err(TraceIoError::Invalid)?;
-    Ok(trace)
+    let load = || -> Result<Trace, TraceIoError> {
+        let data = fs::read_to_string(path)?;
+        let trace = from_json(&data)?;
+        trace.check_invariants().map_err(TraceIoError::Invalid)?;
+        Ok(trace)
+    };
+    load().map_err(|e| e.with_path(path))
 }
 
 /// Serializes a trace as JSON (hand-rolled: this workspace carries no
@@ -503,15 +565,16 @@ pub fn from_compact(text: &str) -> Result<Trace, TraceIoError> {
     Ok(trace)
 }
 
-/// Saves a trace in the compact format.
+/// Saves a trace in the compact format (crash-safe: tmp sibling +
+/// atomic rename).
 pub fn save_compact(trace: &Trace, path: &Path) -> Result<(), TraceIoError> {
-    fs::write(path, to_compact(trace))?;
-    Ok(())
+    write_atomic(path, &to_compact(trace))
 }
 
 /// Loads a compact-format trace.
 pub fn load_compact(path: &Path) -> Result<Trace, TraceIoError> {
-    from_compact(&fs::read_to_string(path)?)
+    let load = || -> Result<Trace, TraceIoError> { from_compact(&fs::read_to_string(path)?) };
+    load().map_err(|e| e.with_path(path))
 }
 
 /// The on-disk formats [`load_auto`] can distinguish.
@@ -530,7 +593,8 @@ pub enum TraceFormat {
 /// anything else is read as the compact line format.
 pub fn sniff_format(path: &Path) -> Result<TraceFormat, TraceIoError> {
     let mut head = [0u8; 8];
-    let n = fs::File::open(path)?.read(&mut head)?;
+    let mut sniff = || -> io::Result<usize> { fs::File::open(path)?.read(&mut head) };
+    let n = sniff().map_err(|e| TraceIoError::Io(e).with_path(path))?;
     if head[..n] == bin::MAGIC[..] {
         return Ok(TraceFormat::Binary);
     }
@@ -684,5 +748,47 @@ mod tests {
             message: "boom".into(),
         };
         assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn errors_carry_the_file_path() {
+        let dir = std::env::temp_dir().join("edonkey-trace-test-errpath");
+        fs::create_dir_all(&dir).unwrap();
+
+        // A missing file: the i/o error names the path.
+        let missing = dir.join("missing.edt");
+        let _ = fs::remove_file(&missing);
+        let e = load_auto(&missing).unwrap_err();
+        assert!(e.to_string().contains("missing.edt"), "{e}");
+
+        // Corrupt binary on disk: path AND byte offset in one message,
+        // with the underlying error reachable through source().
+        let trace = sample_trace();
+        let corrupt = dir.join("corrupt.edt");
+        save_bin(&trace, &corrupt).unwrap();
+        let mut bytes = fs::read(&corrupt).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        fs::write(&corrupt, &bytes).unwrap();
+        let e = load_auto(&corrupt).unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("corrupt.edt"), "{msg}");
+        assert!(msg.contains("byte"), "{msg}");
+        let inner = std::error::Error::source(&e).expect("WithPath chains its source");
+        assert!(inner.to_string().contains("byte"), "{inner}");
+
+        // Broken JSON on disk: same contract for the text codec.
+        let bad_json = dir.join("bad.json");
+        fs::write(&bad_json, "{\"files\":[oops").unwrap();
+        let e = load_auto(&bad_json).unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("bad.json"), "{msg}");
+        assert!(msg.contains("byte"), "{msg}");
+
+        // with_path is idempotent: no double annotation.
+        let e = TraceIoError::Invalid("x".into())
+            .with_path(Path::new("a"))
+            .with_path(Path::new("b"));
+        assert_eq!(e.to_string(), "a: invalid trace: x");
     }
 }

@@ -54,7 +54,7 @@
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Cursor, Read, Seek, SeekFrom, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use edonkey_proto::md4::Digest;
 use edonkey_proto::query::FileKind;
@@ -147,12 +147,27 @@ pub struct TraceWriter<W: Write + Seek> {
     /// tables at finish (days are written before the tables exist).
     max_peer: Option<u32>,
     max_file: Option<u32>,
+    /// Set by [`TraceWriter::create`]: the `.tmp` sibling actually being
+    /// written and the destination it is renamed to at finish.
+    paths: Option<(PathBuf, PathBuf)>,
 }
 
 impl TraceWriter<BufWriter<File>> {
-    /// Creates (truncating) a binary trace file at `path`.
+    /// Creates a binary trace file at `path`.
+    ///
+    /// Crash-safe: bytes stream into a `<name>.tmp` sibling and only the
+    /// atomic rename inside [`TraceWriter::finish`] touches `path`, so a
+    /// writer killed mid-stream (or a `finish` that fails validation)
+    /// leaves whatever was at `path` before intact. An orphaned `.tmp`
+    /// is simply truncated by the next attempt.
     pub fn create(path: &Path) -> Result<Self, TraceIoError> {
-        Self::new(BufWriter::new(File::create(path)?))
+        let tmp = super::tmp_sibling(path);
+        let make = || -> Result<Self, TraceIoError> {
+            let mut w = Self::new(BufWriter::new(File::create(&tmp)?))?;
+            w.paths = Some((tmp.clone(), path.to_path_buf()));
+            Ok(w)
+        };
+        make().map_err(|e| e.with_path(path))
     }
 }
 
@@ -167,6 +182,7 @@ impl<W: Write + Seek> TraceWriter<W> {
             last_day: None,
             max_peer: None,
             max_file: None,
+            paths: None,
         })
     }
 
@@ -232,7 +248,9 @@ impl<W: Write + Seek> TraceWriter<W> {
 
     /// Writes the intern tables and the end marker, back-patches the
     /// header, and flushes. Fails if any day referenced a peer or file
-    /// outside the tables.
+    /// outside the tables. For a writer opened with
+    /// [`TraceWriter::create`], this is also the moment the `.tmp`
+    /// sibling is atomically renamed onto the destination path.
     pub fn finish(mut self, files: &[FileInfo], peers: &[PeerInfo]) -> Result<W, TraceIoError> {
         let n_files = u32::try_from(files.len())
             .map_err(|_| TraceIoError::Invalid("more than u32::MAX files".into()))?;
@@ -289,6 +307,9 @@ impl<W: Write + Seek> TraceWriter<W> {
         self.sink
             .write_all(&header_bytes(n_files, n_peers, table_offset))?;
         self.sink.flush()?;
+        if let Some((tmp, dest)) = self.paths.take() {
+            std::fs::rename(&tmp, &dest).map_err(|e| TraceIoError::Io(e).with_path(&dest))?;
+        }
         Ok(self.sink)
     }
 
@@ -333,9 +354,11 @@ pub struct TraceReader<R: Read + Seek> {
 }
 
 impl TraceReader<BufReader<File>> {
-    /// Opens a binary trace file.
+    /// Opens a binary trace file. Errors carry the file path.
     pub fn open(path: &Path) -> Result<Self, TraceIoError> {
-        Self::new(BufReader::new(File::open(path)?))
+        let open =
+            || -> Result<Self, TraceIoError> { Self::new(BufReader::new(File::open(path)?)) };
+        open().map_err(|e| e.with_path(path))
     }
 }
 
@@ -756,19 +779,24 @@ fn decode_day(
 
 // --- whole-trace conveniences -----------------------------------------
 
-/// Saves a trace in the binary columnar format.
+/// Saves a trace in the binary columnar format (crash-safe: tmp sibling
+/// + atomic rename, via [`TraceWriter::create`]).
 pub fn save_bin(trace: &Trace, path: &Path) -> Result<(), TraceIoError> {
-    let mut writer = TraceWriter::create(path)?;
-    for day in &trace.days {
-        writer.write_day(day)?;
-    }
-    writer.finish(&trace.files, &trace.peers)?;
-    Ok(())
+    let save = || -> Result<(), TraceIoError> {
+        let mut writer = TraceWriter::create(path)?;
+        for day in &trace.days {
+            writer.write_day(day)?;
+        }
+        writer.finish(&trace.files, &trace.peers)?;
+        Ok(())
+    };
+    save().map_err(|e| e.with_path(path))
 }
 
-/// Loads a binary trace file.
+/// Loads a binary trace file. Errors carry the file path.
 pub fn load_bin(path: &Path) -> Result<Trace, TraceIoError> {
-    TraceReader::open(path)?.into_trace()
+    let load = || -> Result<Trace, TraceIoError> { TraceReader::open(path)?.into_trace() };
+    load().map_err(|e| e.with_path(path))
 }
 
 /// Encodes a trace to binary bytes in memory.
@@ -863,6 +891,42 @@ mod tests {
         assert_eq!(d1, trace.days[1]);
         assert!(reader.next_day().unwrap().is_none());
         assert!(reader.next_day().unwrap().is_none(), "None is sticky");
+    }
+
+    #[test]
+    fn interrupted_write_leaves_the_original_intact() {
+        let dir = std::env::temp_dir().join("edonkey-trace-test-atomic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.edt");
+        let trace = sample_trace();
+        save_bin(&trace, &path).unwrap();
+
+        // A writer killed mid-stream: one day written, never finished.
+        {
+            let mut w = TraceWriter::create(&path).unwrap();
+            w.write_day(&trace.days[0]).unwrap();
+            // dropped here without finish — the simulated crash
+        }
+        assert_eq!(
+            load_bin(&path).unwrap(),
+            trace,
+            "an unfinished write must not clobber the original"
+        );
+        let tmp = path.with_file_name("t.edt.tmp");
+        assert!(tmp.exists(), "the partial write lands in the tmp sibling");
+
+        // A finish that fails validation must not install either.
+        let mut w = TraceWriter::create(&path).unwrap();
+        for day in &trace.days {
+            w.write_day(day).unwrap();
+        }
+        assert!(w.finish(&trace.files[..1], &trace.peers).is_err());
+        assert_eq!(load_bin(&path).unwrap(), trace);
+
+        // A clean save truncates the orphaned tmp and installs.
+        save_bin(&trace, &path).unwrap();
+        assert!(!tmp.exists(), "finish consumes the tmp sibling");
+        assert_eq!(load_bin(&path).unwrap(), trace);
     }
 
     #[test]

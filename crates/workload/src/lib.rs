@@ -12,6 +12,8 @@
 //!
 //! Modules:
 //! * [`config`] — every knob, with paper-calibrated presets;
+//! * [`churn`] — deterministic session on/off schedules, server-outage
+//!   windows and the query retry policy for availability-aware search;
 //! * [`dist`] — Zipf–Mandelbrot, Pareto, Poisson, log-normal samplers;
 //! * [`geo`] — countries, ASes and the address plan;
 //! * [`names`] — collision-prone nicknames for the crawler;
@@ -30,6 +32,7 @@
 //! assert_eq!(caches.len(), pop.peers.len());
 //! ```
 
+pub mod churn;
 pub mod config;
 pub mod dist;
 pub mod dynamics;
@@ -37,6 +40,7 @@ pub mod geo;
 pub mod names;
 pub mod population;
 
+pub use churn::{ChurnConfig, ChurnSchedule, QueryPolicy};
 pub use config::{KindProfile, WorkloadConfig};
 pub use dynamics::{generate_trace, Dynamics, GroundTruth};
 pub use geo::Geography;

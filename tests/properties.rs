@@ -13,8 +13,11 @@ use edonkey_repro::proto::query::Query;
 use edonkey_repro::proto::tags::{Tag, TagList, TagValue};
 use edonkey_repro::proto::wire::{Message, PublishedFile, SourceAddr};
 use edonkey_repro::semsearch::neighbours::{Lru, NeighbourPolicy};
+use edonkey_repro::semsearch::overlay::{
+    simulate_overlay, simulate_overlay_reference, OverlayConfig,
+};
 use edonkey_repro::semsearch::sim::{simulate_arena_with_scratch, simulate_reference, SimScratch};
-use edonkey_repro::semsearch::{simulate, SimConfig};
+use edonkey_repro::semsearch::{simulate, AvailabilityConfig, QueryPolicy, SimConfig};
 use edonkey_repro::trace::compact::CacheArena;
 use edonkey_repro::trace::io;
 use edonkey_repro::trace::model::{
@@ -22,6 +25,7 @@ use edonkey_repro::trace::model::{
 };
 use edonkey_repro::trace::pipeline::{sorted_intersection, sorted_intersection_len};
 use edonkey_repro::trace::randomize::Shuffler;
+use edonkey_repro::workload::{ChurnConfig, ChurnSchedule};
 use proptest::prelude::*;
 
 use edonkey_repro::netsim::{run_crawl_full, CrawlerConfig, FaultConfig, NetConfig, RetryPolicy};
@@ -442,6 +446,96 @@ proptest! {
             io::from_compact(&io::to_compact(&trace)).expect("compact"),
             trace
         );
+    }
+
+    /// Churn schedules are pure functions of `(seed, peer, day)`: two
+    /// instances of the same config agree everywhere, and the offline
+    /// windows of a lower churn rate nest inside those of any higher
+    /// rate (same window start, shorter duration).
+    #[test]
+    fn churn_schedule_deterministic_and_nested(
+        seed in any::<u64>(),
+        peer in 0u32..200,
+        day in 0u32..200,
+        r1 in 0u32..=1000,
+        r2 in 0u32..=1000,
+    ) {
+        let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+        let a = ChurnSchedule::new(ChurnConfig::with_rate(seed, lo));
+        let b = ChurnSchedule::new(ChurnConfig::with_rate(seed, lo));
+        let c = ChurnSchedule::new(ChurnConfig::with_rate(seed, hi));
+        prop_assert_eq!(
+            a.session_offline_start(peer, day),
+            b.session_offline_start(peer, day)
+        );
+        for milli in (0..1000u32).step_by(29) {
+            prop_assert_eq!(a.offline(peer, day, milli), b.offline(peer, day, milli));
+            if a.offline(peer, day, milli) {
+                prop_assert!(
+                    c.offline(peer, day, milli),
+                    "rate {} offline at {} but rate {} online",
+                    lo, milli, hi
+                );
+            }
+        }
+    }
+
+    /// A quiet availability regime — churn 0, no outages — leaves the
+    /// request-replay simulator bit-identical to the pre-availability
+    /// oracle, even with retries and staleness handling fully armed.
+    #[test]
+    fn quiet_availability_matches_reference(caches in arb_caches(), seed in 0u64..500) {
+        let n_files = 64;
+        let arena = CacheArena::from_caches(&caches, n_files);
+        let mut scratch = SimScratch::new();
+        let quiet = AvailabilityConfig::none().with_query(QueryPolicy::retry_evict());
+        for config in [
+            SimConfig::lru(4).with_seed(seed),
+            SimConfig::history(3).with_seed(seed),
+            SimConfig::random(3).with_seed(seed),
+            SimConfig::rare_lru(4, 2).with_seed(seed),
+            SimConfig::lru(2).with_seed(seed).with_two_hop(),
+        ] {
+            let legacy = simulate_reference(&caches, n_files, &config);
+            let armed = config.with_availability(quiet.clone());
+            let got = simulate_arena_with_scratch(&arena, &armed, &mut scratch);
+            prop_assert_eq!(&legacy, &got, "config {:?}", armed);
+        }
+    }
+
+    /// The live-overlay simulator under a quiet availability regime is
+    /// bit-identical to its pre-availability oracle on arbitrary
+    /// growing cache histories.
+    #[test]
+    fn quiet_overlay_matches_reference(
+        base in prop::collection::vec(prop::collection::btree_set(0u32..16, 0..5), 1..7),
+        adds in prop::collection::vec(
+            prop::collection::vec(prop::collection::btree_set(0u32..16, 0..3), 1..7),
+            1..4,
+        ),
+        seed in 0u64..100,
+    ) {
+        // Growing per-peer histories: day 0 is `base`, each later day
+        // adds files (the GroundTruth layout the overlay replays).
+        let n_peers = base.len();
+        let mut current = base;
+        let snapshot = |caches: &[std::collections::BTreeSet<u32>]| -> Vec<Vec<FileRef>> {
+            caches.iter().map(|s| s.iter().map(|&f| FileRef(f)).collect()).collect()
+        };
+        let mut days = vec![snapshot(&current)];
+        for day_adds in adds {
+            for (p, add) in day_adds.into_iter().enumerate().take(n_peers) {
+                current[p].extend(add);
+            }
+            days.push(snapshot(&current));
+        }
+        let mut config = OverlayConfig::lru(4);
+        config.seed = seed;
+        let reference = simulate_overlay_reference(&days, 340, 16, &config);
+        let armed = config.with_availability(
+            AvailabilityConfig::none().with_query(QueryPolicy::retry_evict()),
+        );
+        prop_assert_eq!(simulate_overlay(&days, 340, 16, &armed), reference);
     }
 
     /// Hit rates are monotone (within tolerance) in list size — more
