@@ -6,7 +6,8 @@ use edonkey_analysis::{semantic, view};
 use edonkey_netsim::{run_crawl_full, CrawlerConfig, FaultConfig, NetConfig, RetryPolicy};
 use edonkey_semsearch::sim::{simulate, QueryPolicy, SimConfig};
 use edonkey_semsearch::{churn_grid, ChurnCell};
-use edonkey_trace::randomize::{recommended_iterations, Shuffler};
+use edonkey_trace::compact::CacheArena;
+use edonkey_trace::randomize::{recommended_iterations, ArenaShuffler};
 use edonkey_workload::generate_trace;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -54,21 +55,20 @@ pub fn ablation_randomize(scale: Scale) {
     let n_files = filtered.files.len();
     let replicas: usize = caches.iter().map(Vec::len).sum();
     let full = recommended_iterations(replicas);
-    let mut shuffler = Shuffler::new(caches);
+    // Popularity is swap-invariant, so the qualifying file set is fixed
+    // across the whole sweep and can be computed once up front.
+    let popularity = view::popularity_of_caches(&caches, n_files);
+    let arena = CacheArena::from_caches(&caches, n_files);
+    let mut shuffler = ArenaShuffler::new(&arena);
     let mut rng = StdRng::seed_from_u64(SEED ^ 0xab1a);
     let mut applied = 0u64;
     for &fraction in &[0.0, 0.1, 0.25, 0.5, 1.0, 2.0] {
         let target = (fraction * full as f64) as u64;
         shuffler.run(target - applied, &mut rng);
         applied = target;
-        let mut snapshot = shuffler.caches().to_vec();
-        for cache in &mut snapshot {
-            cache.sort_unstable();
-        }
-        let popularity = view::popularity_of_caches(&snapshot, n_files);
-        let curve = semantic::clustering_correlation(
+        let snapshot = shuffler.snapshot_arena();
+        let curve = semantic::clustering_correlation_arena(
             &snapshot,
-            n_files,
             |fr| popularity[fr.index()] == 3,
             None,
         );

@@ -10,14 +10,24 @@
 //!   curves are checked equal before anything is written);
 //! * `arena_build` — packing the caches into a [`CacheArena`];
 //! * `sim_sweep_lru` / `sim_sweep_history` — list-size sweeps over the
-//!   paper's canonical sizes;
-//! * `randomization_sweep` — the Fig. 21 shuffle-and-simulate loop;
-//! * `trace_pipeline` — filter + extrapolate over the full trace;
+//!   paper's canonical sizes, parallel cells diffed against a
+//!   sequential oracle (`cells_equal`);
+//! * `randomization_sweep` / `randomize_arena` — the Fig. 21
+//!   shuffle-and-simulate loop on the arena shuffler, run as prefix +
+//!   checkpoint-resumed suffix and diffed against the row-shuffler
+//!   oracle (`checkpoint_equal`; ≥ 1.5× asserted at repro scale);
+//! * `trace_pipeline` / `pipeline_par` — filter + extrapolate over the
+//!   full trace on the CSR arena path, diffed against the row pipeline
+//!   (`derived_equal`; ≥ 3× asserted at repro scale);
 //! * `trace_io_json_write` / `trace_io_json_read` and
 //!   `trace_io_bin_write` / `trace_io_bin_read` — the full trace saved
 //!   and reloaded through the JSON and binary columnar codecs (the
 //!   binary read entry records its speedup over JSON, and at repro
 //!   scale the harness asserts it stays ≥ 5×).
+//!
+//! Every entry also records `alloc_count` / `alloc_bytes` (heap traffic
+//! during the timed region, from the bench crate's counting allocator)
+//! and `peak_rss_kb` (the `VmHWM` high-water mark at the region's end).
 //!
 //! Defaults to `--scale repro` (≈20 k peers); `--scale test|small`
 //! gives a quick smoke run. Output path: `BENCH_report.json` in the
@@ -27,30 +37,54 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use edonkey_analysis::semantic;
-use edonkey_bench::{Scale, Workload, SEED};
+use edonkey_bench::{alloc, Scale, Workload, SEED};
 use edonkey_semsearch::experiment::{self, PAPER_LIST_SIZES};
 use edonkey_semsearch::neighbours::PolicyKind;
-use edonkey_trace::compact::CacheArena;
+use edonkey_trace::compact::{CacheArena, TraceArena};
 use edonkey_trace::io;
-use edonkey_trace::pipeline::{extrapolate, filter, ExtrapolateConfig};
+use edonkey_trace::pipeline::{
+    extrapolate, extrapolate_arena, filter, filter_arena, ExtrapolateConfig,
+};
 use edonkey_trace::randomize::recommended_iterations;
 
 /// Holder cap for the overlap benches (matches the Fig. 13 binaries:
 /// blockbusters contribute quadratic work and no clustering signal).
 const HOLDER_CAP: usize = 200;
 
+/// One timed region: wall clock plus heap traffic (from the bench
+/// crate's counting allocator) and the process RSS high-water mark as
+/// of the region's end.
+#[derive(Clone, Copy)]
+struct Meas {
+    ms: f64,
+    alloc_count: u64,
+    alloc_bytes: u64,
+    peak_rss_kb: u64,
+}
+
 struct Entry {
     name: &'static str,
-    wall_ms: f64,
+    meas: Meas,
     /// Work units per second (units named in `config`).
     throughput: f64,
     config: String,
 }
 
-fn timed<R>(f: impl FnOnce() -> R) -> (R, f64) {
+fn timed<R>(f: impl FnOnce() -> R) -> (R, Meas) {
+    let before = alloc::snapshot();
     let start = Instant::now();
     let r = f();
-    (r, start.elapsed().as_secs_f64() * 1e3)
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    let a = alloc::since(before);
+    (
+        r,
+        Meas {
+            ms,
+            alloc_count: a.count,
+            alloc_bytes: a.bytes,
+            peak_rss_kb: alloc::peak_rss_kb().unwrap_or(0),
+        },
+    )
 }
 
 fn main() {
@@ -75,19 +109,18 @@ fn main() {
     let mut entries: Vec<Entry> = Vec::new();
 
     // Arena build.
-    let (arena, build_ms) = timed(|| CacheArena::from_caches(&caches, n_files));
+    let (arena, m_build) = timed(|| CacheArena::from_caches(&caches, n_files));
     entries.push(Entry {
         name: "arena_build",
-        wall_ms: build_ms,
-        throughput: replicas as f64 / (build_ms / 1e3),
+        meas: m_build,
+        throughput: replicas as f64 / (m_build.ms / 1e3),
         config: format!("replicas/s over {replicas} replicas"),
     });
 
     // Overlap: sequential seed path vs parallel arena engine.
-    let (seq, seq_ms) =
+    let (seq, m_seq) =
         timed(|| semantic::overlap_counts(&caches, n_files, |_| true, Some(HOLDER_CAP)));
-    let (par, par_ms) =
-        timed(|| semantic::overlap_counts_arena(&arena, |_| true, Some(HOLDER_CAP)));
+    let (par, m_par) = timed(|| semantic::overlap_counts_arena(&arena, |_| true, Some(HOLDER_CAP)));
     let seq_curve = semantic::correlation_curve(&seq);
     let par_curve = semantic::correlation_curve(&par);
     assert_eq!(
@@ -95,57 +128,132 @@ fn main() {
         "parallel overlap must reproduce the sequential correlation curve exactly"
     );
     eprintln!(
-        "[bench_report] overlap: seq {seq_ms:.1} ms, par {par_ms:.1} ms \
+        "[bench_report] overlap: seq {:.1} ms, par {:.1} ms \
          ({:.2}x, {} pairs, curves identical)",
-        seq_ms / par_ms,
+        m_seq.ms,
+        m_par.ms,
+        m_seq.ms / m_par.ms,
         seq.pair_count()
     );
     entries.push(Entry {
         name: "overlap_seq",
-        wall_ms: seq_ms,
-        throughput: seq.pair_count() as f64 / (seq_ms / 1e3),
+        meas: m_seq,
+        throughput: seq.pair_count() as f64 / (m_seq.ms / 1e3),
         config: format!("pairs/s, holder cap {HOLDER_CAP}, sequential seed path"),
     });
     entries.push(Entry {
         name: "overlap_par",
-        wall_ms: par_ms,
-        throughput: par.pair_count() as f64 / (par_ms / 1e3),
+        meas: m_par,
+        throughput: par.pair_count() as f64 / (m_par.ms / 1e3),
         config: format!(
             "pairs/s, holder cap {HOLDER_CAP}, parallel arena engine, speedup {:.2}x, \
              curve_equal true",
-            seq_ms / par_ms
+            m_seq.ms / m_par.ms
         ),
     });
 
-    // Simulation sweeps at the paper's list sizes.
+    // Simulation sweeps at the paper's list sizes: the parallel runner
+    // against the one-thread oracle, cell results diffed exactly.
     for (name, policy) in [
         ("sim_sweep_lru", PolicyKind::Lru),
         ("sim_sweep_history", PolicyKind::History),
     ] {
-        let (sweep, ms) = timed(|| {
+        let (sweep, m_par) = timed(|| {
             experiment::sweep_list_sizes(&caches, n_files, policy, &PAPER_LIST_SIZES, false, SEED)
         });
+        let (seq_sweep, m_seq) = timed(|| {
+            experiment::sweep_list_sizes_seq(
+                &caches,
+                n_files,
+                policy,
+                &PAPER_LIST_SIZES,
+                false,
+                SEED,
+            )
+        });
+        assert!(
+            sweep.len() == seq_sweep.len()
+                && sweep
+                    .iter()
+                    .zip(&seq_sweep)
+                    .all(|(p, s)| p.list_size == s.list_size && p.result == s.result),
+            "{name}: parallel sweep must match the sequential oracle cell for cell"
+        );
         let requests: u64 = sweep.iter().map(|p| p.result.requests).sum();
+        eprintln!(
+            "[bench_report] {name}: par {:.1} ms, seq {:.1} ms ({:.2}x, cells identical)",
+            m_par.ms,
+            m_seq.ms,
+            m_seq.ms / m_par.ms
+        );
         entries.push(Entry {
             name,
-            wall_ms: ms,
-            throughput: requests as f64 / (ms / 1e3),
-            config: format!("requests/s over list sizes {PAPER_LIST_SIZES:?}"),
+            meas: m_par,
+            throughput: requests as f64 / (m_par.ms / 1e3),
+            config: format!(
+                "requests/s over list sizes {PAPER_LIST_SIZES:?}, parallel cells, \
+                 speedup {:.2}x vs sequential oracle, cells_equal true",
+                m_seq.ms / m_par.ms
+            ),
         });
     }
 
-    // Randomization sweep (Fig. 21 shape): a few checkpoints up to the
-    // recommended full randomization.
+    // Randomization sweep (Fig. 21 shape): the legacy row shuffler as
+    // oracle, then the arena shuffler run as prefix + checkpoint-resumed
+    // suffix — the report's entry times the resumable arena path.
     let full = recommended_iterations(replicas);
     let checkpoints = [0, full / 4, full / 2, full];
-    let (_, ms) =
+    let (row_points, m_row) =
         timed(|| experiment::randomization_sweep(&caches, n_files, 10, &checkpoints, SEED));
+    let (arena_points, m_arena) = timed(|| {
+        let prefix = experiment::randomization_sweep_arena(&arena, 10, &checkpoints[..2], SEED);
+        let suffix =
+            experiment::randomization_sweep_resume(&prefix.checkpoint, 10, &checkpoints[2..], SEED);
+        let mut points = prefix.points;
+        points.extend(suffix.points);
+        points
+    });
+    assert!(
+        row_points.len() == arena_points.len()
+            && row_points
+                .iter()
+                .zip(&arena_points)
+                .all(|(r, a)| r.swaps == a.swaps && r.hit_rate == a.hit_rate),
+        "checkpoint-resumed arena sweep must match the row-shuffler oracle exactly\n\
+         row:   {row_points:?}\narena: {arena_points:?}"
+    );
+    let rand_speedup = m_row.ms / m_arena.ms;
+    eprintln!(
+        "[bench_report] randomization: row {:.1} ms, arena {:.1} ms ({rand_speedup:.2}x, \
+         points identical across resume)",
+        m_row.ms, m_arena.ms
+    );
     entries.push(Entry {
         name: "randomization_sweep",
-        wall_ms: ms,
-        throughput: full as f64 / (ms / 1e3),
-        config: format!("swap attempts/s, checkpoints {checkpoints:?}, list size 10"),
+        meas: m_arena,
+        throughput: full as f64 / (m_arena.ms / 1e3),
+        config: format!(
+            "swap attempts/s, checkpoints {checkpoints:?}, list size 10, \
+             arena shuffler resumed from checkpoint after {}",
+            checkpoints[1]
+        ),
     });
+    entries.push(Entry {
+        name: "randomize_arena",
+        meas: m_arena,
+        throughput: full as f64 / (m_arena.ms / 1e3),
+        config: format!(
+            "swap attempts/s, arena swap state + checkpoint resume, \
+             speedup {rand_speedup:.2}x vs row shuffler, checkpoint_equal true"
+        ),
+    });
+    if scale == Scale::Repro || scale == Scale::Paper {
+        assert!(
+            rand_speedup >= 1.5,
+            "arena randomization sweep must be >= 1.5x the row sweep at {scale:?} scale \
+             (got {rand_speedup:.2}x)"
+        );
+    }
 
     // Availability: the churn grid (4 rates × 4 policies × 2 querier
     // reactions) over the filtered caches, every cell's SearchHealth
@@ -155,7 +263,7 @@ fn main() {
             edonkey_semsearch::QueryPolicy::no_retry(),
             edonkey_semsearch::QueryPolicy::retry_evict(),
         ];
-        let (cells, ms) = timed(|| {
+        let (cells, m) = timed(|| {
             experiment::churn_grid(
                 &caches,
                 n_files,
@@ -169,13 +277,14 @@ fn main() {
         });
         let attempts: u64 = cells.iter().map(|c| c.health.attempted).sum();
         eprintln!(
-            "[bench_report] churn_sweep: {ms:.1} ms, {} cells, {attempts} attempts",
+            "[bench_report] churn_sweep: {:.1} ms, {} cells, {attempts} attempts",
+            m.ms,
             cells.len()
         );
         entries.push(Entry {
             name: "churn_sweep",
-            wall_ms: ms,
-            throughput: attempts as f64 / (ms / 1e3),
+            meas: m,
+            throughput: attempts as f64 / (m.ms / 1e3),
             config: format!(
                 "query attempts/s over {} churn cells (rates 0/100/250/500 permille, \
                  4 policies, no_retry vs retry_evict), list size 20",
@@ -215,7 +324,7 @@ fn main() {
             retry: edonkey_netsim::RetryPolicy::backoff(),
             ..base
         };
-        let ((faulted, report), ms) = timed(|| {
+        let ((faulted, report), m) = timed(|| {
             edonkey_netsim::run_crawl_full(
                 &crawl_pop,
                 edonkey_netsim::NetConfig::default(),
@@ -231,12 +340,12 @@ fn main() {
         eprintln!(
             "[bench_report] crawl_fault_sweep: {:.1} ms, recovery {recovery:.1}% \
              ({} attempts, {} retries, {} timeouts)",
-            ms, report.health.attempted, report.health.retries, report.health.timeouts
+            m.ms, report.health.attempted, report.health.retries, report.health.timeouts
         );
         entries.push(Entry {
             name: "crawl_fault_sweep",
-            wall_ms: ms,
-            throughput: report.health.attempted as f64 / (ms / 1e3),
+            meas: m,
+            throughput: report.health.attempted as f64 / (m.ms / 1e3),
             config: format!(
                 "attempts/s at 25% transient faults with retry+backoff over {crawl_peers} peers, \
                  recovery {recovery:.1}% of fault-free snapshots, \
@@ -246,17 +355,55 @@ fn main() {
         });
     }
 
-    // Trace pipeline.
-    let (_, ms) = timed(|| {
+    // Trace pipeline: the legacy row path is the oracle; the report's
+    // entry times the arena-native CSR path, derived traces diffed
+    // exactly (kept set and every snapshot).
+    let (row_derived, m_row) = timed(|| {
         let filtered = filter(&w.full);
         extrapolate(&filtered.trace, ExtrapolateConfig::default())
     });
+    let full_arena = TraceArena::from_trace(&w.full);
+    let (arena_derived, m_arena) = timed(|| {
+        let filtered = filter_arena(&full_arena);
+        extrapolate_arena(&filtered.arena, ExtrapolateConfig::default())
+    });
+    let derived = arena_derived.to_derived_trace();
+    assert_eq!(
+        derived.kept, row_derived.kept,
+        "arena pipeline must keep the same regular clients as the row pipeline"
+    );
+    assert_eq!(
+        derived.trace, row_derived.trace,
+        "arena pipeline must derive the identical extrapolated trace"
+    );
+    let pipeline_speedup = m_row.ms / m_arena.ms;
+    eprintln!(
+        "[bench_report] trace_pipeline: row {:.1} ms, arena {:.1} ms \
+         ({pipeline_speedup:.2}x, derived traces identical)",
+        m_row.ms, m_arena.ms
+    );
     entries.push(Entry {
         name: "trace_pipeline",
-        wall_ms: ms,
-        throughput: w.full.snapshot_count() as f64 / (ms / 1e3),
-        config: "snapshots/s through filter + extrapolate".to_string(),
+        meas: m_arena,
+        throughput: w.full.snapshot_count() as f64 / (m_arena.ms / 1e3),
+        config: "snapshots/s through arena-native filter + extrapolate".to_string(),
     });
+    entries.push(Entry {
+        name: "pipeline_par",
+        meas: m_arena,
+        throughput: w.full.snapshot_count() as f64 / (m_arena.ms / 1e3),
+        config: format!(
+            "snapshots/s, CSR filter/extrapolate with sharded per-client fill, \
+             speedup {pipeline_speedup:.2}x vs legacy row pipeline, derived_equal true"
+        ),
+    });
+    if scale == Scale::Repro || scale == Scale::Paper {
+        assert!(
+            pipeline_speedup >= 3.0,
+            "arena pipeline must be >= 3x the row pipeline at {scale:?} scale \
+             (got {pipeline_speedup:.2}x)"
+        );
+    }
 
     // Trace I/O: the full trace through the JSON and binary codecs.
     let dir = std::env::temp_dir().join(format!("edonkey_bench_io_{SEED}"));
@@ -264,19 +411,20 @@ fn main() {
     let json_path = dir.join("full.json");
     let bin_path = dir.join("full.etrc");
 
-    let (_, json_write_ms) = timed(|| io::save_json(&w.full, &json_path).expect("save_json"));
-    let (json_loaded, json_read_ms) = timed(|| io::load_json(&json_path).expect("load_json"));
+    let (_, m_json_write) = timed(|| io::save_json(&w.full, &json_path).expect("save_json"));
+    let (json_loaded, m_json_read) = timed(|| io::load_json(&json_path).expect("load_json"));
     assert_eq!(json_loaded, w.full, "JSON round trip must be lossless");
-    let (_, bin_write_ms) = timed(|| io::save_bin(&w.full, &bin_path).expect("save_bin"));
-    let (bin_loaded, bin_read_ms) = timed(|| io::load_bin(&bin_path).expect("load_bin"));
+    let (_, m_bin_write) = timed(|| io::save_bin(&w.full, &bin_path).expect("save_bin"));
+    let (bin_loaded, m_bin_read) = timed(|| io::load_bin(&bin_path).expect("load_bin"));
     assert_eq!(bin_loaded, w.full, "binary round trip must be lossless");
 
     let json_bytes = std::fs::metadata(&json_path).expect("stat json").len();
     let bin_bytes = std::fs::metadata(&bin_path).expect("stat bin").len();
-    let read_speedup = json_read_ms / bin_read_ms;
+    let read_speedup = m_json_read.ms / m_bin_read.ms;
     eprintln!(
-        "[bench_report] trace io: json {json_bytes} B read {json_read_ms:.1} ms, \
-         bin {bin_bytes} B read {bin_read_ms:.1} ms ({read_speedup:.1}x)"
+        "[bench_report] trace io: json {json_bytes} B read {:.1} ms, \
+         bin {bin_bytes} B read {:.1} ms ({read_speedup:.1}x)",
+        m_json_read.ms, m_bin_read.ms
     );
     if scale == Scale::Repro || scale == Scale::Paper {
         assert!(
@@ -289,26 +437,26 @@ fn main() {
 
     entries.push(Entry {
         name: "trace_io_json_write",
-        wall_ms: json_write_ms,
-        throughput: json_bytes as f64 / (json_write_ms / 1e3),
+        meas: m_json_write,
+        throughput: json_bytes as f64 / (m_json_write.ms / 1e3),
         config: format!("bytes/s writing {json_bytes} B of JSON"),
     });
     entries.push(Entry {
         name: "trace_io_json_read",
-        wall_ms: json_read_ms,
-        throughput: json_bytes as f64 / (json_read_ms / 1e3),
+        meas: m_json_read,
+        throughput: json_bytes as f64 / (m_json_read.ms / 1e3),
         config: format!("bytes/s reading {json_bytes} B of JSON, round trip lossless"),
     });
     entries.push(Entry {
         name: "trace_io_bin_write",
-        wall_ms: bin_write_ms,
-        throughput: bin_bytes as f64 / (bin_write_ms / 1e3),
+        meas: m_bin_write,
+        throughput: bin_bytes as f64 / (m_bin_write.ms / 1e3),
         config: format!("bytes/s writing {bin_bytes} B of binary columnar v1"),
     });
     entries.push(Entry {
         name: "trace_io_bin_read",
-        wall_ms: bin_read_ms,
-        throughput: bin_bytes as f64 / (bin_read_ms / 1e3),
+        meas: m_bin_read,
+        throughput: bin_bytes as f64 / (m_bin_read.ms / 1e3),
         config: format!(
             "bytes/s reading {bin_bytes} B of binary columnar v1, round trip lossless, \
              {read_speedup:.1}x faster than JSON read"
@@ -322,7 +470,8 @@ fn main() {
     eprintln!("[bench_report] wrote {path}");
 }
 
-/// `{bench_name: {wall_ms, throughput, config}}` plus a `_meta` record.
+/// `{bench_name: {wall_ms, throughput, alloc_count, alloc_bytes,
+/// peak_rss_kb, config}}` plus a `_meta` record.
 fn render_json(entries: &[Entry], scale: Scale, n_peers: usize, n_files: usize) -> String {
     let mut out = String::from("{\n");
     write!(
@@ -334,10 +483,15 @@ fn render_json(entries: &[Entry], scale: Scale, n_peers: usize, n_files: usize) 
     for e in entries {
         write!(
             out,
-            ",\n  \"{}\": {{\"wall_ms\": {:.3}, \"throughput\": {:.1}, \"config\": \"{}\"}}",
+            ",\n  \"{}\": {{\"wall_ms\": {:.3}, \"throughput\": {:.1}, \
+             \"alloc_count\": {}, \"alloc_bytes\": {}, \"peak_rss_kb\": {}, \
+             \"config\": \"{}\"}}",
             e.name,
-            e.wall_ms,
+            e.meas.ms,
             e.throughput,
+            e.meas.alloc_count,
+            e.meas.alloc_bytes,
+            e.meas.peak_rss_kb,
             e.config.replace('"', "'")
         )
         .expect("string write");

@@ -3,6 +3,7 @@
 use edonkey_semsearch::experiment;
 use edonkey_semsearch::neighbours::PolicyKind;
 use edonkey_semsearch::sim::{simulate, SimConfig};
+use edonkey_trace::compact::CacheArena;
 use edonkey_trace::model::FileRef;
 use edonkey_trace::randomize::recommended_iterations;
 
@@ -121,7 +122,9 @@ pub fn fig21(w: &Workload) {
         .iter()
         .map(|&x| (x * full as f64) as u64)
         .collect();
-    for point in experiment::randomization_sweep(&caches, n_files, 10, &checkpoints, SEED) {
+    let arena = CacheArena::from_caches(&caches, n_files);
+    let run = experiment::randomization_sweep_arena(&arena, 10, &checkpoints, SEED);
+    for point in run.points {
         e.row([point.swaps.to_string(), f(100.0 * point.hit_rate, 2)]);
     }
     e.comment(&format!(

@@ -7,6 +7,7 @@
 //! a TSV emitter that writes both to stdout and to `EXPERIMENTS-data/`.
 
 pub mod ablations;
+pub mod alloc;
 pub mod figures_cluster;
 pub mod figures_measure;
 pub mod figures_search;
@@ -14,9 +15,15 @@ pub mod figures_search;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
+use edonkey_trace::compact::TraceArena;
 use edonkey_trace::model::Trace;
-use edonkey_trace::pipeline::{extrapolate, filter, ExtrapolateConfig};
+use edonkey_trace::pipeline::{extrapolate_arena, filter_arena, ExtrapolateConfig};
 use edonkey_workload::{generate_trace, Population, WorkloadConfig};
+
+/// Every bench binary allocates through the counting wrapper so
+/// `BENCH_report.json` entries can carry heap-traffic fields.
+#[global_allocator]
+static GLOBAL_ALLOC: alloc::CountingAlloc = alloc::CountingAlloc;
 
 /// Workload scale for regeneration runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -140,8 +147,14 @@ impl Workload {
             full.files.len(),
             full.days.len()
         );
-        let filtered = filter(&full).trace;
-        let extrapolated = extrapolate(&filtered, ExtrapolateConfig::default()).trace;
+        // Arena-native derivation: filter and extrapolate run on CSR
+        // buffers, row tables are materialized once at the end.
+        let arena = TraceArena::from_trace(&full);
+        let filtered_arena = filter_arena(&arena).arena;
+        let filtered = filtered_arena.to_trace();
+        let extrapolated = extrapolate_arena(&filtered_arena, ExtrapolateConfig::default())
+            .arena
+            .to_trace();
         eprintln!(
             "[bench] filtered: {} peers; extrapolated: {} peers",
             filtered.peers.len(),

@@ -4,7 +4,7 @@
 
 use edonkey_trace::compact::CacheArena;
 use edonkey_trace::model::FileRef;
-use edonkey_trace::randomize::Shuffler;
+use edonkey_trace::randomize::{ArenaShuffler, ShuffleCheckpoint, Shuffler};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -53,6 +53,37 @@ pub fn sweep_list_sizes(
             result: simulate_arena_with_scratch(&arena, &config, scratch),
         }
     })
+}
+
+/// Sequential oracle for [`sweep_list_sizes`]: same cells, one thread,
+/// one scratch. The bench harness diffs the two to prove the parallel
+/// sweep is bit-identical.
+pub fn sweep_list_sizes_seq(
+    caches: &[Vec<FileRef>],
+    n_files: usize,
+    policy: PolicyKind,
+    list_sizes: &[usize],
+    two_hop: bool,
+    seed: u64,
+) -> Vec<SweepPoint> {
+    let arena = CacheArena::from_caches(caches, n_files);
+    let mut scratch = SimScratch::new();
+    list_sizes
+        .iter()
+        .map(|&list_size| {
+            let config = SimConfig {
+                list_size,
+                policy,
+                two_hop,
+                seed,
+                availability: AvailabilityConfig::none(),
+            };
+            SweepPoint {
+                list_size,
+                result: simulate_arena_with_scratch(&arena, &config, &mut scratch),
+            }
+        })
+        .collect()
 }
 
 /// Fig. 18: LRU vs History vs Random across list sizes.
@@ -192,6 +223,89 @@ pub fn randomization_sweep(
     })
 }
 
+/// A finished (or partial) arena randomization sweep: the measured
+/// points plus a [`ShuffleCheckpoint`] at the last applied swap count,
+/// from which [`randomization_sweep_resume`] extends the sweep without
+/// re-shuffling the prefix.
+#[derive(Clone, Debug)]
+pub struct RandomizationRun {
+    /// One point per requested checkpoint, in order.
+    pub points: Vec<RandomizationPoint>,
+    /// Swap state frozen after the last checkpoint.
+    pub checkpoint: ShuffleCheckpoint,
+}
+
+/// Arena-native [`randomization_sweep`]: same RNG draw sequence and
+/// byte-identical shuffled caches, but swap state lives in a flat CSR
+/// arena ([`ArenaShuffler`]) and each checkpoint snapshot is a flat
+/// buffer copy instead of a per-peer `Vec` clone + re-sort.
+///
+/// Returns the points plus a resumable checkpoint — the decay sweep can
+/// extend its x-axis later without replaying the shared prefix.
+pub fn randomization_sweep_arena(
+    arena: &CacheArena,
+    list_size: usize,
+    checkpoints: &[u64],
+    seed: u64,
+) -> RandomizationRun {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let shuffler = ArenaShuffler::new(arena);
+    sweep_from(shuffler, &mut rng, list_size, checkpoints, seed)
+}
+
+/// Continues an arena sweep from a [`ShuffleCheckpoint`]: `checkpoints`
+/// are cumulative swap-attempt counts and must start at or after the
+/// checkpoint's own count. Producing points `[a, b]` here after a run
+/// that ended at `a` is byte-identical to one uninterrupted sweep over
+/// `[..., a, b]`.
+pub fn randomization_sweep_resume(
+    from: &ShuffleCheckpoint,
+    list_size: usize,
+    checkpoints: &[u64],
+    seed: u64,
+) -> RandomizationRun {
+    let (shuffler, mut rng) = from.resume();
+    if let Some(&first) = checkpoints.first() {
+        assert!(
+            first >= shuffler.stats().attempted,
+            "cannot rewind a checkpoint: first target {} < {} already applied",
+            first,
+            shuffler.stats().attempted
+        );
+    }
+    sweep_from(shuffler, &mut rng, list_size, checkpoints, seed)
+}
+
+fn sweep_from(
+    mut shuffler: ArenaShuffler,
+    rng: &mut StdRng,
+    list_size: usize,
+    checkpoints: &[u64],
+    seed: u64,
+) -> RandomizationRun {
+    assert!(
+        checkpoints.windows(2).all(|w| w[0] <= w[1]),
+        "checkpoints must be non-decreasing"
+    );
+    let mut applied = shuffler.stats().attempted;
+    let mut snapshots: Vec<(u64, CacheArena)> = Vec::with_capacity(checkpoints.len());
+    for &target in checkpoints {
+        shuffler.run(target - applied, rng);
+        applied = target;
+        snapshots.push((target, shuffler.snapshot_arena()));
+    }
+    let checkpoint = shuffler.checkpoint(rng);
+    let points = parallel_map_init(&snapshots, SimScratch::new, |scratch, (swaps, arena)| {
+        let result =
+            simulate_arena_with_scratch(arena, &SimConfig::lru(list_size).with_seed(seed), scratch);
+        RandomizationPoint {
+            swaps: *swaps,
+            hit_rate: result.hit_rate(),
+        }
+    });
+    RandomizationRun { points, checkpoint }
+}
+
 /// One cell of the churn ablation grid: a churn rate × policy × query
 /// policy combination with its result and availability ledger.
 #[derive(Clone, Debug)]
@@ -269,78 +383,10 @@ pub fn churn_grid(
     )
 }
 
-/// Maps `items` in parallel with scoped threads, preserving order.
-///
-/// The sweeps here are CPU-bound and independent; a simple chunked
-/// fan-out over `available_parallelism` threads is all that is needed.
-pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
-    parallel_map_init(items, || (), |(), item| f(item))
-}
-
-/// [`parallel_map`] with per-worker state: `init` runs once on each
-/// worker thread and the resulting value is threaded through every call
-/// that worker makes, so scratch allocations (e.g. simulation buffers)
-/// are reused across sweep points instead of rebuilt per item.
-///
-/// Threads are spawned once and pull work off a shared atomic cursor in
-/// small chunks; results carry their item index, so output order always
-/// matches input order regardless of scheduling. A panic in `f` is
-/// re-raised on the caller's thread (after remaining workers drain)
-/// rather than poisoning a lock or deadlocking.
-pub fn parallel_map_init<T: Sync, S, R: Send>(
-    items: &[T],
-    init: impl Fn() -> S + Sync,
-    f: impl Fn(&mut S, &T) -> R + Sync,
-) -> Vec<R> {
-    if items.is_empty() {
-        return Vec::new();
-    }
-    let threads = std::thread::available_parallelism()
-        .map_or(4, |n| n.get())
-        .min(items.len());
-    // Chunked claiming keeps cursor contention negligible for large item
-    // counts while still load-balancing uneven per-item cost.
-    let chunk = (items.len() / (threads * 8)).max(1);
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let partials: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut state = init();
-                    let mut out = Vec::new();
-                    loop {
-                        let start = next.fetch_add(chunk, std::sync::atomic::Ordering::Relaxed);
-                        if start >= items.len() {
-                            break;
-                        }
-                        let end = (start + chunk).min(items.len());
-                        for (i, item) in items[start..end].iter().enumerate() {
-                            out.push((start + i, f(&mut state, item)));
-                        }
-                    }
-                    out
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| match h.join() {
-                Ok(v) => v,
-                // Re-raise the worker's panic payload; the enclosing scope
-                // still joins the remaining workers on unwind.
-                Err(payload) => std::panic::resume_unwind(payload),
-            })
-            .collect()
-    });
-    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-    for (i, r) in partials.into_iter().flatten() {
-        slots[i] = Some(r);
-    }
-    slots
-        .into_iter()
-        .map(|r| r.expect("cursor covers every index"))
-        .collect()
-}
+// The parallel runner lives in `edonkey_trace::par` since the derivation
+// pipeline needs it too; re-exported here for the sweeps (and for the
+// callers that always imported it from this module).
+pub use edonkey_trace::par::{parallel_map, parallel_map_init, parallel_map_init_threads};
 
 #[cfg(test)]
 mod tests {
@@ -486,5 +532,70 @@ mod tests {
     fn decreasing_checkpoints_rejected() {
         let (caches, n) = workload();
         let _ = randomization_sweep(&caches, n, 5, &[10, 5], 1);
+    }
+
+    fn points_equal(a: &[RandomizationPoint], b: &[RandomizationPoint]) -> bool {
+        a.len() == b.len()
+            && a.iter()
+                .zip(b)
+                .all(|(x, y)| x.swaps == y.swaps && x.hit_rate == y.hit_rate)
+    }
+
+    #[test]
+    fn arena_sweep_matches_row_sweep_exactly() {
+        let (caches, n) = workload();
+        let checkpoints = [0u64, 500, 2000, 8000];
+        let row = randomization_sweep(&caches, n, 8, &checkpoints, 2);
+        let arena = CacheArena::from_caches(&caches, n);
+        let run = randomization_sweep_arena(&arena, 8, &checkpoints, 2);
+        assert!(
+            points_equal(&row, &run.points),
+            "row {row:?} vs arena {:?}",
+            run.points
+        );
+        assert_eq!(run.checkpoint.stats().attempted, 8000);
+    }
+
+    #[test]
+    fn resumed_sweep_matches_uninterrupted_sweep() {
+        let (caches, n) = workload();
+        let arena = CacheArena::from_caches(&caches, n);
+        let full = randomization_sweep_arena(&arena, 8, &[0, 500, 2000, 8000], 2);
+        let prefix = randomization_sweep_arena(&arena, 8, &[0, 500], 2);
+        let suffix = randomization_sweep_resume(&prefix.checkpoint, 8, &[2000, 8000], 2);
+        let stitched: Vec<RandomizationPoint> = prefix
+            .points
+            .iter()
+            .chain(&suffix.points)
+            .cloned()
+            .collect();
+        assert!(
+            points_equal(&full.points, &stitched),
+            "full {:?} vs stitched {stitched:?}",
+            full.points
+        );
+        assert_eq!(suffix.checkpoint.stats(), full.checkpoint.stats());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot rewind")]
+    fn resume_rejects_rewinding_targets() {
+        let (caches, n) = workload();
+        let arena = CacheArena::from_caches(&caches, n);
+        let run = randomization_sweep_arena(&arena, 5, &[1000], 1);
+        let _ = randomization_sweep_resume(&run.checkpoint, 5, &[10], 1);
+    }
+
+    #[test]
+    fn sequential_sweep_is_bit_identical_to_parallel() {
+        let (caches, n) = workload();
+        let sizes = [2usize, 5, 8, 16, 32];
+        let par = sweep_list_sizes(&caches, n, PolicyKind::Lru, &sizes, false, 1);
+        let seq = sweep_list_sizes_seq(&caches, n, PolicyKind::Lru, &sizes, false, 1);
+        assert_eq!(par.len(), seq.len());
+        for (p, s) in par.iter().zip(&seq) {
+            assert_eq!(p.list_size, s.list_size);
+            assert_eq!(p.result, s.result);
+        }
     }
 }

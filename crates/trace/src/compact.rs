@@ -23,7 +23,7 @@
 
 use std::sync::OnceLock;
 
-use crate::model::{DaySnapshot, FileRef, Trace};
+use crate::model::{DaySnapshot, FileInfo, FileRef, PeerId, PeerInfo, Trace};
 
 /// All peer caches in one flat, sorted, columnar allocation.
 ///
@@ -130,6 +130,30 @@ impl CacheArena {
             n_files,
             holders: OnceLock::new(),
         })
+    }
+
+    /// [`CacheArena::from_csr_parts`] for in-crate callers that uphold
+    /// the invariants themselves (the shuffler's per-checkpoint
+    /// snapshots, which only permute validated rows): full validation
+    /// in debug builds only.
+    pub(crate) fn from_csr_parts_trusted(
+        files: Vec<FileRef>,
+        offsets: Vec<u32>,
+        n_files: usize,
+    ) -> Self {
+        #[cfg(debug_assertions)]
+        {
+            Self::from_csr_parts(files, offsets, n_files).expect("caller-validated CSR parts")
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            CacheArena {
+                files,
+                offsets,
+                n_files,
+                holders: OnceLock::new(),
+            }
+        }
     }
 
     fn build<'a>(
@@ -254,6 +278,197 @@ impl CacheArena {
     pub fn to_caches(&self) -> Vec<Vec<FileRef>> {
         self.iter().map(<[FileRef]>::to_vec).collect()
     }
+
+    /// The raw CSR parts `(entries, offsets)` — for consumers (like the
+    /// arena shuffler) that adopt the layout wholesale instead of going
+    /// through per-peer slices.
+    pub fn as_csr_parts(&self) -> (&[FileRef], &[u32]) {
+        (&self.files, &self.offsets)
+    }
+}
+
+/// One day's observations in CSR form: the arena equivalent of
+/// [`DaySnapshot`].
+///
+/// `peers[i]` is the i-th observed peer (strictly increasing), and its
+/// cache is `entries[offsets[i]..offsets[i + 1]]` (sorted,
+/// deduplicated). This is exactly the layout of a binary-format day
+/// section (`io::bin`), so streaming consumers can decode into it
+/// without one allocation per cache.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DayArena {
+    /// Absolute day number.
+    pub day: u32,
+    /// Observed peer ids, strictly increasing.
+    pub peers: Vec<u32>,
+    /// `offsets[i]..offsets[i + 1]` delimits row `i`. Length `peers.len() + 1`.
+    pub offsets: Vec<u32>,
+    /// Concatenated cache rows, each sorted and deduplicated.
+    pub entries: Vec<FileRef>,
+}
+
+impl DayArena {
+    /// Creates an empty day.
+    pub fn new(day: u32) -> Self {
+        DayArena {
+            day,
+            peers: Vec::new(),
+            offsets: vec![0],
+            entries: Vec::new(),
+        }
+    }
+
+    /// Converts a row-oriented snapshot (one `Vec` per cache) into CSR.
+    pub fn from_snapshot(snapshot: &DaySnapshot) -> Self {
+        let total: usize = snapshot.caches.iter().map(|(_, c)| c.len()).sum();
+        let mut peers = Vec::with_capacity(snapshot.caches.len());
+        let mut offsets = Vec::with_capacity(snapshot.caches.len() + 1);
+        let mut entries = Vec::with_capacity(total);
+        offsets.push(0u32);
+        for (peer, cache) in &snapshot.caches {
+            peers.push(peer.0);
+            entries.extend_from_slice(cache);
+            offsets.push(entries.len() as u32);
+        }
+        DayArena {
+            day: snapshot.day,
+            peers,
+            offsets,
+            entries,
+        }
+    }
+
+    /// Materializes the row-oriented snapshot (one allocation per cache).
+    pub fn to_snapshot(&self) -> DaySnapshot {
+        DaySnapshot {
+            day: self.day,
+            caches: (0..self.peers.len())
+                .map(|i| (PeerId(self.peers[i]), self.row(i).to_vec()))
+                .collect(),
+        }
+    }
+
+    /// Number of observed peers.
+    pub fn peer_count(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Row `i`'s cache slice (row index, not peer id).
+    pub fn row(&self, i: usize) -> &[FileRef] {
+        &self.entries[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Iterates `(peer_id, cache)` pairs in peer order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = (u32, &[FileRef])> + '_ {
+        (0..self.peers.len()).map(move |i| (self.peers[i], self.row(i)))
+    }
+
+    /// Validates the CSR invariants, mirroring what
+    /// [`Trace::check_invariants`] checks per snapshot.
+    pub fn check_invariants(&self, n_peers: usize, n_files: usize) -> Result<(), String> {
+        if self.offsets.first() != Some(&0) || self.offsets.len() != self.peers.len() + 1 {
+            return Err(format!("day {}: malformed offset table", self.day));
+        }
+        if *self.offsets.last().expect("non-empty") as usize != self.entries.len() {
+            return Err(format!("day {}: final offset mismatch", self.day));
+        }
+        if self.offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(format!("day {}: offsets must be non-decreasing", self.day));
+        }
+        if self.peers.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(format!("day {}: peers not strictly increasing", self.day));
+        }
+        if let Some(&p) = self.peers.last() {
+            if p as usize >= n_peers {
+                return Err(format!("day {}: peer p{p} out of range", self.day));
+            }
+        }
+        for i in 0..self.peers.len() {
+            let row = self.row(i);
+            if row.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(format!(
+                    "day {}: row of p{} not sorted/deduped",
+                    self.day, self.peers[i]
+                ));
+            }
+            if let Some(f) = row.last() {
+                if f.index() >= n_files {
+                    return Err(format!("day {}: file {f} out of range", self.day));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A whole trace in CSR form: intern tables plus one [`DayArena`] per
+/// observed day — the arena-native counterpart of [`Trace`] that the
+/// derivation pipeline (`pipeline::filter_arena` and friends) transforms
+/// without ever materializing per-cache `Vec`s.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceArena {
+    /// Distinct files, indexed by [`FileRef`].
+    pub files: Vec<FileInfo>,
+    /// Distinct peers, indexed by [`PeerId`].
+    pub peers: Vec<PeerInfo>,
+    /// Daily CSR snapshots, sorted by day.
+    pub days: Vec<DayArena>,
+}
+
+impl TraceArena {
+    /// Converts a row-oriented trace.
+    pub fn from_trace(trace: &Trace) -> Self {
+        TraceArena {
+            files: trace.files.clone(),
+            peers: trace.peers.clone(),
+            days: trace.days.iter().map(DayArena::from_snapshot).collect(),
+        }
+    }
+
+    /// Materializes the row-oriented trace (for consumers not yet ported
+    /// to CSR slices).
+    pub fn to_trace(&self) -> Trace {
+        let trace = Trace {
+            files: self.files.clone(),
+            peers: self.peers.clone(),
+            days: self.days.iter().map(DayArena::to_snapshot).collect(),
+        };
+        debug_assert_eq!(trace.check_invariants(), Ok(()));
+        trace
+    }
+
+    /// Total `(peer, day)` snapshots, like [`Trace::snapshot_count`].
+    pub fn snapshot_count(&self) -> usize {
+        self.days.iter().map(DayArena::peer_count).sum()
+    }
+
+    /// The static (union-over-days) caches as a [`CacheArena`] — the
+    /// arena equivalent of [`Trace::static_caches`].
+    pub fn static_arena(&self) -> CacheArena {
+        let mut per_peer: Vec<Vec<FileRef>> = vec![Vec::new(); self.peers.len()];
+        for day in &self.days {
+            for (peer, row) in day.iter() {
+                per_peer[peer as usize].extend_from_slice(row);
+            }
+        }
+        CacheArena::from_caches(&per_peer, self.files.len())
+    }
+
+    /// Validates internal invariants; mirrors [`Trace::check_invariants`].
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for w in self.days.windows(2) {
+            if w[0].day >= w[1].day {
+                return Err(format!(
+                    "days not strictly sorted: {} {}",
+                    w[0].day, w[1].day
+                ));
+            }
+        }
+        for day in &self.days {
+            day.check_invariants(self.peers.len(), self.files.len())?;
+        }
+        Ok(())
+    }
 }
 
 impl Clone for CacheArena {
@@ -354,6 +569,81 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn rejects_out_of_range_refs() {
         CacheArena::from_caches(&[vec![f(9)]], 3);
+    }
+
+    #[test]
+    fn day_arena_round_trips_snapshot() {
+        let mut snap = DaySnapshot::new(9);
+        snap.insert(PeerId(2), vec![f(1), f(3)]);
+        snap.insert(PeerId(5), vec![]);
+        snap.insert(PeerId(7), vec![f(0)]);
+        let day = DayArena::from_snapshot(&snap);
+        assert_eq!(day.peer_count(), 3);
+        assert_eq!(day.row(0), &[f(1), f(3)]);
+        assert_eq!(day.row(1), &[] as &[FileRef]);
+        assert_eq!(day.row(2), &[f(0)]);
+        assert_eq!(day.check_invariants(8, 4), Ok(()));
+        assert_eq!(day.to_snapshot(), snap);
+        assert_eq!(
+            day.iter().map(|(p, r)| (p, r.len())).collect::<Vec<_>>(),
+            vec![(2, 2), (5, 0), (7, 1)]
+        );
+    }
+
+    #[test]
+    fn day_arena_invariants_catch_corruption() {
+        let mut snap = DaySnapshot::new(9);
+        snap.insert(PeerId(0), vec![f(1)]);
+        let good = DayArena::from_snapshot(&snap);
+        assert!(good.check_invariants(1, 1).is_err(), "file out of range");
+        assert!(good.check_invariants(0, 2).is_err(), "peer out of range");
+        let mut bad = good.clone();
+        bad.offsets = vec![0, 2];
+        assert!(bad.check_invariants(1, 2).is_err());
+        let mut bad = good.clone();
+        bad.peers = vec![0, 0];
+        assert!(bad.check_invariants(1, 2).is_err());
+    }
+
+    #[test]
+    fn trace_arena_round_trips_and_counts() {
+        use crate::model::{CountryCode, FileInfo, PeerInfo};
+        use edonkey_proto::md4::Md4;
+        use edonkey_proto::query::FileKind;
+
+        let files = (0..3u64)
+            .map(|n| FileInfo {
+                id: Md4::digest(&n.to_le_bytes()),
+                size: 1,
+                kind: FileKind::Audio,
+            })
+            .collect();
+        let peers = (0..2u64)
+            .map(|n| PeerInfo {
+                uid: Md4::digest(format!("p{n}").as_bytes()),
+                ip: n as u32,
+                country: CountryCode::new("FR"),
+                asn: 1,
+            })
+            .collect();
+        let mut a = DaySnapshot::new(1);
+        a.insert(PeerId(0), vec![f(0), f(2)]);
+        a.insert(PeerId(1), vec![f(1)]);
+        let mut b = DaySnapshot::new(3);
+        b.insert(PeerId(1), vec![f(2)]);
+        let trace = Trace {
+            files,
+            peers,
+            days: vec![a, b],
+        };
+        assert_eq!(trace.check_invariants(), Ok(()));
+        let arena = TraceArena::from_trace(&trace);
+        assert_eq!(arena.check_invariants(), Ok(()));
+        assert_eq!(arena.snapshot_count(), 3);
+        assert_eq!(arena.to_trace(), trace);
+        let back = arena.static_arena();
+        assert_eq!(back.cache(0), &[f(0), f(2)]);
+        assert_eq!(back.cache(1), &[f(1), f(2)]);
     }
 
     #[test]

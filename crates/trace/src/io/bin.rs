@@ -60,7 +60,8 @@ use edonkey_proto::md4::Digest;
 use edonkey_proto::query::FileKind;
 
 use super::TraceIoError;
-use crate::model::{CountryCode, DaySnapshot, FileInfo, FileRef, PeerId, PeerInfo, Trace};
+use crate::compact::DayArena;
+use crate::model::{CountryCode, DaySnapshot, FileInfo, FileRef, PeerInfo, Trace};
 
 /// The 8-byte file magic. The `0x89` lead byte and embedded newline make
 /// accidental text-format collisions impossible, like PNG's magic.
@@ -190,48 +191,67 @@ impl<W: Write + Seek> TraceWriter<W> {
     /// the snapshot's own invariants (caches sorted by peer, entries
     /// sorted and deduplicated) are re-checked during encoding.
     pub fn write_day(&mut self, snapshot: &DaySnapshot) -> Result<(), TraceIoError> {
+        self.write_day_arena(&DayArena::from_snapshot(snapshot))
+    }
+
+    /// Appends one day section from its CSR form — byte-identical to
+    /// [`TraceWriter::write_day`] on the equivalent snapshot, without
+    /// materializing per-cache `Vec`s (a DAY section's wire layout *is*
+    /// lengths plus concatenated delta-coded rows).
+    pub fn write_day_arena(&mut self, day: &DayArena) -> Result<(), TraceIoError> {
         if let Some(last) = self.last_day {
-            if snapshot.day <= last {
+            if day.day <= last {
                 return Err(TraceIoError::Invalid(format!(
                     "day {} written after day {last} (days must be strictly increasing)",
-                    snapshot.day
+                    day.day
                 )));
             }
         }
-        let n_caches = u32::try_from(snapshot.caches.len())
+        if day.offsets.len() != day.peers.len() + 1
+            || day.offsets.first() != Some(&0)
+            || day.offsets.last().copied().unwrap_or(0) as usize != day.entries.len()
+            || day.offsets.windows(2).any(|w| w[0] > w[1])
+        {
+            return Err(TraceIoError::Invalid(format!(
+                "day {}: malformed CSR offset table",
+                day.day
+            )));
+        }
+        let n_caches = u32::try_from(day.peers.len())
             .map_err(|_| TraceIoError::Invalid("more than u32::MAX caches in a day".into()))?;
-        let mut payload = Vec::with_capacity(16 + 2 * snapshot.caches.len());
-        payload.extend_from_slice(&snapshot.day.to_le_bytes());
+        let mut payload = Vec::with_capacity(16 + 2 * day.peers.len());
+        payload.extend_from_slice(&day.day.to_le_bytes());
         payload.extend_from_slice(&n_caches.to_le_bytes());
         let mut prev_peer: Option<u32> = None;
-        for (peer, _) in &snapshot.caches {
+        for &peer in &day.peers {
             let delta = match prev_peer {
-                None => peer.0 as u64,
-                Some(prev) if peer.0 > prev => (peer.0 - prev) as u64,
+                None => peer as u64,
+                Some(prev) if peer > prev => (peer - prev) as u64,
                 Some(prev) => {
                     return Err(TraceIoError::Invalid(format!(
-                        "day {}: peer {peer} after p{prev}, not sorted",
-                        snapshot.day
+                        "day {}: peer p{peer} after p{prev}, not sorted",
+                        day.day
                     )))
                 }
             };
             push_varint(&mut payload, delta);
-            self.max_peer = Some(self.max_peer.unwrap_or(0).max(peer.0));
-            prev_peer = Some(peer.0);
+            self.max_peer = Some(self.max_peer.unwrap_or(0).max(peer));
+            prev_peer = Some(peer);
         }
-        for (_, cache) in &snapshot.caches {
-            push_varint(&mut payload, cache.len() as u64);
+        for w in day.offsets.windows(2) {
+            push_varint(&mut payload, (w[1] - w[0]) as u64);
         }
-        for (peer, cache) in &snapshot.caches {
+        for i in 0..day.peers.len() {
+            let peer = day.peers[i];
             let mut prev: Option<u32> = None;
-            for f in cache {
+            for f in day.row(i) {
                 let delta = match prev {
                     None => f.0 as u64,
                     Some(prev) if f.0 > prev => (f.0 - prev) as u64,
                     Some(prev) => {
                         return Err(TraceIoError::Invalid(format!(
-                            "day {}: cache of {peer} not sorted/deduped (f{} after f{prev})",
-                            snapshot.day, f.0
+                            "day {}: cache of p{peer} not sorted/deduped (f{} after f{prev})",
+                            day.day, f.0
                         )))
                     }
                 };
@@ -242,7 +262,7 @@ impl<W: Write + Seek> TraceWriter<W> {
         }
         self.write_section(TAG_DAY, &payload)?;
         self.days_written += 1;
-        self.last_day = Some(snapshot.day);
+        self.last_day = Some(day.day);
         Ok(())
     }
 
@@ -451,6 +471,15 @@ impl<R: Read + Seek> TraceReader<R> {
     /// Each snapshot is validated in full (day order, peer order and
     /// range, entry order and range) before it is returned.
     pub fn next_day(&mut self) -> Result<Option<DaySnapshot>, TraceIoError> {
+        Ok(self.next_day_arena()?.map(|d| d.to_snapshot()))
+    }
+
+    /// Decodes the next day section straight into CSR form, or `None`
+    /// after the last one — the allocation-lean path streaming
+    /// transforms (e.g. `pipeline::filter_streaming`) consume: one flat
+    /// entry buffer per day instead of one `Vec` per cache. Validation
+    /// is identical to [`TraceReader::next_day`].
+    pub fn next_day_arena(&mut self) -> Result<Option<DayArena>, TraceIoError> {
         if self.pos == self.table_offset {
             if self.days_read != self.declared_days {
                 return Err(err(
@@ -464,15 +493,12 @@ impl<R: Read + Seek> TraceReader<R> {
             return Ok(None);
         }
         let payload = read_section(&mut self.src, &mut self.pos, self.table_offset, TAG_DAY)?;
-        let snapshot = decode_day(&payload, self.peers.len(), self.files.len(), self.pos)?;
+        let day = decode_day_arena(&payload, self.peers.len(), self.files.len(), self.pos)?;
         if let Some(last) = self.last_day {
-            if snapshot.day <= last {
+            if day.day <= last {
                 return Err(err(
                     self.pos,
-                    format!(
-                        "day {} after day {last}: not strictly increasing",
-                        snapshot.day
-                    ),
+                    format!("day {} after day {last}: not strictly increasing", day.day),
                 ));
             }
         }
@@ -483,8 +509,8 @@ impl<R: Read + Seek> TraceReader<R> {
                 format!("more day sections than the declared {}", self.declared_days),
             ));
         }
-        self.last_day = Some(snapshot.day);
-        Ok(Some(snapshot))
+        self.last_day = Some(day.day);
+        Ok(Some(day))
     }
 
     /// Drains the remaining days into a complete [`Trace`].
@@ -700,12 +726,12 @@ fn decode_peers(
     Ok(peers)
 }
 
-fn decode_day(
+fn decode_day_arena(
     payload: &[u8],
     n_peers: usize,
     n_files: usize,
     section_end: u64,
-) -> Result<DaySnapshot, TraceIoError> {
+) -> Result<DayArena, TraceIoError> {
     let mut c = PayloadCursor::new(payload, section_end);
     let day = c.u32()?;
     let n_caches = c.u32()? as usize;
@@ -715,7 +741,7 @@ fn decode_day(
             "day section too small for {n_caches} declared caches"
         )));
     }
-    let mut peer_ids = Vec::with_capacity(n_caches);
+    let mut peers = Vec::with_capacity(n_caches);
     let mut prev: Option<u32> = None;
     for _ in 0..n_caches {
         let delta = c.varint32("peer id delta")?;
@@ -733,9 +759,10 @@ fn decode_day(
             return Err(c.err(format!("peer p{peer} out of range ({n_peers} peers)")));
         }
         prev = Some(peer);
-        peer_ids.push(peer);
+        peers.push(peer);
     }
-    let mut lens = Vec::with_capacity(n_caches);
+    let mut offsets = Vec::with_capacity(n_caches + 1);
+    offsets.push(0u32);
     let mut total: u64 = 0;
     for _ in 0..n_caches {
         let len = c.varint32("cache length")?;
@@ -747,13 +774,13 @@ fn decode_day(
                 "declared cache entries ({total}) exceed the section payload"
             )));
         }
-        lens.push(len as usize);
+        offsets.push(total as u32);
     }
-    let mut caches = Vec::with_capacity(n_caches);
-    for (peer, len) in peer_ids.iter().zip(&lens) {
-        let mut cache = Vec::with_capacity(*len);
+    let mut entries = Vec::with_capacity(total as usize);
+    for i in 0..peers.len() {
+        let len = (offsets[i + 1] - offsets[i]) as usize;
         let mut prev: Option<u32> = None;
-        for _ in 0..*len {
+        for _ in 0..len {
             let delta = c.varint32("file ref delta")?;
             let f = match prev {
                 None => delta,
@@ -769,12 +796,16 @@ fn decode_day(
                 return Err(c.err(format!("file f{f} out of range ({n_files} files)")));
             }
             prev = Some(f);
-            cache.push(FileRef(f));
+            entries.push(FileRef(f));
         }
-        caches.push((PeerId(*peer), cache));
     }
     c.finish()?;
-    Ok(DaySnapshot { day, caches })
+    Ok(DayArena {
+        day,
+        peers,
+        offsets,
+        entries,
+    })
 }
 
 // --- whole-trace conveniences -----------------------------------------
@@ -997,5 +1028,48 @@ mod tests {
         let buf = [0x80u8; 11];
         let mut c = PayloadCursor::new(&buf, buf.len() as u64 + 8);
         assert!(c.varint().is_err());
+    }
+
+    #[test]
+    fn arena_write_path_is_byte_identical_to_row_path() {
+        let trace = sample_trace();
+        let arena = crate::compact::TraceArena::from_trace(&trace);
+        let mut writer = TraceWriter::new(Cursor::new(Vec::new())).unwrap();
+        for day in &arena.days {
+            writer.write_day_arena(day).unwrap();
+        }
+        let bytes = writer
+            .finish(&trace.files, &trace.peers)
+            .unwrap()
+            .into_inner();
+        assert_eq!(bytes, to_bin(&trace));
+    }
+
+    #[test]
+    fn arena_read_path_yields_csr_days() {
+        let trace = sample_trace();
+        let bytes = to_bin(&trace);
+        let mut reader = TraceReader::new(Cursor::new(&bytes[..])).unwrap();
+        for day in &trace.days {
+            let got = reader.next_day_arena().unwrap().unwrap();
+            assert_eq!(got, DayArena::from_snapshot(day));
+            got.check_invariants(trace.peers.len(), trace.files.len())
+                .unwrap();
+        }
+        assert!(reader.next_day_arena().unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_arena_csr_is_rejected_by_writer() {
+        let mut day = DayArena::new(350);
+        day.peers.push(0);
+        day.offsets.push(5); // declares 5 entries, but `entries` is empty
+        let mut writer = TraceWriter::new(Cursor::new(Vec::new())).unwrap();
+        match writer.write_day_arena(&day) {
+            Err(TraceIoError::Invalid(message)) => {
+                assert!(message.contains("CSR"), "{message}");
+            }
+            other => panic!("expected Invalid, got {other:?}"),
+        }
     }
 }

@@ -38,13 +38,20 @@ pub mod compact;
 pub mod io;
 pub mod model;
 pub mod ops;
+pub mod par;
 pub mod pipeline;
 pub mod randomize;
 
-pub use compact::CacheArena;
+pub use compact::{CacheArena, DayArena, TraceArena};
 pub use io::{load_auto, TraceIoError, TraceReader, TraceWriter};
 pub use model::{
     CountryCode, DaySnapshot, FileInfo, FileRef, PeerId, PeerInfo, Trace, TraceBuilder,
 };
-pub use pipeline::{extrapolate, filter, filter_streaming, DerivedTrace, ExtrapolateConfig};
-pub use randomize::{randomize_caches, recommended_iterations, Shuffler, SwapStats};
+pub use par::{parallel_map, parallel_map_init, parallel_map_init_threads};
+pub use pipeline::{
+    extrapolate, extrapolate_arena, filter, filter_arena, filter_streaming, retain_peers_arena,
+    DerivedArena, DerivedTrace, ExtrapolateConfig,
+};
+pub use randomize::{
+    randomize_caches, recommended_iterations, ArenaShuffler, ShuffleCheckpoint, Shuffler, SwapStats,
+};

@@ -9,8 +9,9 @@
 
 use std::collections::HashSet;
 
+use crate::compact::{DayArena, TraceArena};
 use crate::model::{CountryCode, DaySnapshot, FileRef, PeerId, Trace};
-use crate::pipeline::{retain_peers, DerivedTrace};
+use crate::pipeline::{retain_peers, retain_peers_arena, DerivedArena, DerivedTrace};
 
 /// Restricts a trace to an inclusive day window.
 ///
@@ -43,9 +44,32 @@ pub fn window_days(trace: &Trace, first: u32, last: u32) -> Trace {
     windowed
 }
 
+/// Arena-native [`window_days`]: clones only the day arenas in range;
+/// intern tables are shared-layout copies, no per-row allocation.
+pub fn window_days_arena(arena: &TraceArena, first: u32, last: u32) -> TraceArena {
+    let days: Vec<DayArena> = arena
+        .days
+        .iter()
+        .filter(|d| (first..=last).contains(&d.day))
+        .cloned()
+        .collect();
+    let windowed = TraceArena {
+        files: arena.files.clone(),
+        peers: arena.peers.clone(),
+        days,
+    };
+    debug_assert_eq!(windowed.check_invariants(), Ok(()));
+    windowed
+}
+
 /// Restricts a trace to the peers of one country (re-indexing peers).
 pub fn restrict_to_country(trace: &Trace, country: CountryCode) -> DerivedTrace {
     retain_peers(trace, |p| trace.peers[p.index()].country == country)
+}
+
+/// Arena-native [`restrict_to_country`].
+pub fn restrict_to_country_arena(arena: &TraceArena, country: CountryCode) -> DerivedArena {
+    retain_peers_arena(arena, |p| arena.peers[p.index()].country == country)
 }
 
 /// Restricts a trace to the peers of one autonomous system.
@@ -87,10 +111,43 @@ pub fn drop_files(trace: &Trace, files: &HashSet<FileRef>) -> Trace {
     out
 }
 
+/// Arena-native [`drop_files`]: rebuilds each day's CSR entry block with
+/// one linear pass, never materializing per-peer rows.
+pub fn drop_files_arena(arena: &TraceArena, files: &HashSet<FileRef>) -> TraceArena {
+    let days = arena
+        .days
+        .iter()
+        .map(|day| {
+            let mut out = DayArena::new(day.day);
+            out.peers = day.peers.clone();
+            out.offsets.reserve(day.peers.len());
+            out.entries.reserve(day.entries.len());
+            for (_, row) in day.iter() {
+                out.entries
+                    .extend(row.iter().copied().filter(|f| !files.contains(f)));
+                out.offsets.push(out.entries.len() as u32);
+            }
+            out
+        })
+        .collect();
+    let out = TraceArena {
+        files: arena.files.clone(),
+        peers: arena.peers.clone(),
+        days,
+    };
+    debug_assert_eq!(out.check_invariants(), Ok(()));
+    out
+}
+
 /// Keeps only the peers in `keep` (re-indexing) — the building block for
 /// sampled sub-traces.
 pub fn subset_peers(trace: &Trace, keep: &HashSet<PeerId>) -> DerivedTrace {
     retain_peers(trace, |p| keep.contains(&p))
+}
+
+/// Arena-native [`subset_peers`].
+pub fn subset_peers_arena(arena: &TraceArena, keep: &HashSet<PeerId>) -> DerivedArena {
+    retain_peers_arena(arena, |p| keep.contains(&p))
 }
 
 /// Splits a trace into per-country sub-traces for the countries with at
@@ -198,5 +255,38 @@ mod tests {
         assert_eq!(split[0].0, CountryCode::new("FR"), "largest first");
         let split = split_by_country(&trace, 2);
         assert_eq!(split.len(), 1);
+    }
+
+    #[test]
+    fn arena_ops_match_row_ops() {
+        let trace = build();
+        let arena = TraceArena::from_trace(&trace);
+
+        assert_eq!(
+            window_days_arena(&arena, 10, 11).to_trace(),
+            window_days(&trace, 10, 11)
+        );
+        assert_eq!(
+            window_days_arena(&arena, 50, 60).to_trace(),
+            window_days(&trace, 50, 60)
+        );
+
+        let cc = CountryCode::new("FR");
+        let row = restrict_to_country(&trace, cc);
+        let csr = restrict_to_country_arena(&arena, cc);
+        assert_eq!(csr.kept, row.kept);
+        assert_eq!(csr.to_derived_trace().trace, row.trace);
+
+        let dropped: HashSet<FileRef> = [FileRef(0), FileRef(2)].into_iter().collect();
+        assert_eq!(
+            drop_files_arena(&arena, &dropped).to_trace(),
+            drop_files(&trace, &dropped)
+        );
+
+        let keep: HashSet<PeerId> = [PeerId(0)].into_iter().collect();
+        let row = subset_peers(&trace, &keep);
+        let csr = subset_peers_arena(&arena, &keep);
+        assert_eq!(csr.kept, row.kept);
+        assert_eq!(csr.to_derived_trace().trace, row.trace);
     }
 }

@@ -1,0 +1,143 @@
+//! Order-preserving parallel map over slices.
+//!
+//! The workspace's sweeps and derivations are CPU-bound and
+//! embarrassingly parallel; this module provides the one fan-out
+//! primitive they all share. It lives in the trace crate (the bottom of
+//! the dependency stack) so the derivation pipeline can shard work per
+//! client without pulling in the simulation crates; `edonkey-semsearch`
+//! re-exports it for its experiment harnesses.
+
+/// Maps `items` in parallel with scoped threads, preserving order.
+///
+/// Uses `available_parallelism` threads; see [`parallel_map_init`] for
+/// the scheduling contract.
+pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    parallel_map_init(items, || (), |(), item| f(item))
+}
+
+/// [`parallel_map`] with per-worker state: `init` runs once on each
+/// worker thread and the resulting value is threaded through every call
+/// that worker makes, so scratch allocations (e.g. simulation buffers)
+/// are reused across sweep points instead of rebuilt per item.
+///
+/// Threads are spawned once and pull work off a shared atomic cursor in
+/// small chunks; results carry their item index, so output order always
+/// matches input order regardless of scheduling. A panic in `f` is
+/// re-raised on the caller's thread (after remaining workers drain)
+/// rather than poisoning a lock or deadlocking.
+pub fn parallel_map_init<T: Sync, S, R: Send>(
+    items: &[T],
+    init: impl Fn() -> S + Sync,
+    f: impl Fn(&mut S, &T) -> R + Sync,
+) -> Vec<R> {
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    parallel_map_init_threads(items, threads, init, f)
+}
+
+/// [`parallel_map_init`] with an explicit worker count — the hook the
+/// determinism tests use to prove results are bit-identical for any
+/// thread count.
+pub fn parallel_map_init_threads<T: Sync, S, R: Send>(
+    items: &[T],
+    threads: usize,
+    init: impl Fn() -> S + Sync,
+    f: impl Fn(&mut S, &T) -> R + Sync,
+) -> Vec<R> {
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, items.len());
+    // Chunked claiming keeps cursor contention negligible for large item
+    // counts while still load-balancing uneven per-item cost.
+    let chunk = (items.len() / (threads * 8)).max(1);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let partials: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut state = init();
+                    let mut out = Vec::new();
+                    loop {
+                        let start = next.fetch_add(chunk, std::sync::atomic::Ordering::Relaxed);
+                        if start >= items.len() {
+                            break;
+                        }
+                        let end = (start + chunk).min(items.len());
+                        for (i, item) in items[start..end].iter().enumerate() {
+                            out.push((start + i, f(&mut state, item)));
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                // Re-raise the worker's panic payload; the enclosing scope
+                // still joins the remaining workers on unwind.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for (i, r) in partials.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|r| r.expect("cursor covers every index"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = parallel_map(&items, |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        assert!(parallel_map(&[] as &[usize], |&x| x).is_empty());
+    }
+
+    #[test]
+    fn explicit_thread_counts_agree() {
+        let items: Vec<usize> = (0..257).collect();
+        let expect: Vec<usize> = items.iter().map(|&x| x * x).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let out = parallel_map_init_threads(&items, threads, || (), |(), &x| x * x);
+            assert_eq!(out, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn init_state_is_per_worker() {
+        let items: Vec<usize> = (0..64).collect();
+        let out = parallel_map_init(&items, Vec::new, |scratch: &mut Vec<usize>, &x| {
+            scratch.push(x);
+            (x, scratch.len())
+        });
+        assert_eq!(out.len(), 64);
+        for (i, (x, seen)) in out.iter().enumerate() {
+            assert_eq!(*x, i);
+            assert!(*seen >= 1);
+        }
+    }
+
+    #[test]
+    fn propagates_worker_panics() {
+        let items: Vec<usize> = (0..64).collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            parallel_map(&items, |&x| {
+                if x == 13 {
+                    panic!("boom at {x}");
+                }
+                x
+            })
+        }));
+        assert!(result.is_err(), "worker panic must propagate to the caller");
+    }
+}

@@ -13,9 +13,11 @@
 use std::collections::HashMap;
 use std::path::Path;
 
+use crate::compact::{DayArena, TraceArena};
 use crate::io::bin::{TraceReader, TraceWriter};
 use crate::io::TraceIoError;
 use crate::model::{DaySnapshot, FileRef, PeerId, PeerInfo, Trace};
+use crate::par::parallel_map_init_threads;
 
 /// Knobs for [`extrapolate`], defaulting to the paper's values.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -89,6 +91,310 @@ pub fn retain_peers(trace: &Trace, keep: impl Fn(PeerId) -> bool) -> DerivedTrac
     DerivedTrace { trace, kept }
 }
 
+/// Result of an arena-native pipeline stage: the derived CSR trace plus
+/// the peer mapping, mirroring [`DerivedTrace`] for the row path.
+#[derive(Clone, Debug)]
+pub struct DerivedArena {
+    /// The derived trace in CSR form, with peers re-indexed densely.
+    pub arena: TraceArena,
+    /// `kept[i]` is the source-trace id of the derived trace's peer `i`.
+    pub kept: Vec<PeerId>,
+}
+
+impl DerivedArena {
+    /// Materializes the row-oriented [`DerivedTrace`] (one allocation per
+    /// cache) for consumers not yet ported to CSR slices.
+    pub fn to_derived_trace(&self) -> DerivedTrace {
+        DerivedTrace {
+            trace: self.arena.to_trace(),
+            kept: self.kept.clone(),
+        }
+    }
+}
+
+/// Arena-native [`retain_peers`]: restricts a CSR trace to a subset of
+/// its peers, re-indexing densely.
+///
+/// No intermediate row materialization: the peer remap is a flat array
+/// (no hashing), each output day is sized exactly from one counting
+/// pass, and surviving cache rows are copied as slices.
+pub fn retain_peers_arena(arena: &TraceArena, keep: impl Fn(PeerId) -> bool) -> DerivedArena {
+    const DROPPED: u32 = u32::MAX;
+    let mut kept = Vec::new();
+    let mut remap: Vec<u32> = vec![DROPPED; arena.peers.len()];
+    for (idx, slot) in remap.iter_mut().enumerate() {
+        let old = PeerId(idx as u32);
+        if keep(old) {
+            *slot = kept.len() as u32;
+            kept.push(old);
+        }
+    }
+    let peers = kept
+        .iter()
+        .map(|p| arena.peers[p.index()].clone())
+        .collect();
+    let mut days = Vec::with_capacity(arena.days.len());
+    for day in &arena.days {
+        let mut n_rows = 0usize;
+        let mut n_entries = 0usize;
+        for i in 0..day.peers.len() {
+            if remap[day.peers[i] as usize] != DROPPED {
+                n_rows += 1;
+                n_entries += day.row(i).len();
+            }
+        }
+        let mut out = DayArena {
+            day: day.day,
+            peers: Vec::with_capacity(n_rows),
+            offsets: Vec::with_capacity(n_rows + 1),
+            entries: Vec::with_capacity(n_entries),
+        };
+        out.offsets.push(0);
+        for i in 0..day.peers.len() {
+            let new = remap[day.peers[i] as usize];
+            if new != DROPPED {
+                // Dense remapping preserves relative order, so the output
+                // rows stay sorted by the new ids.
+                out.peers.push(new);
+                out.entries.extend_from_slice(day.row(i));
+                out.offsets.push(out.entries.len() as u32);
+            }
+        }
+        days.push(out);
+    }
+    let arena = TraceArena {
+        files: arena.files.clone(),
+        peers,
+        days,
+    };
+    debug_assert_eq!(arena.check_invariants(), Ok(()));
+    DerivedArena { arena, kept }
+}
+
+/// Arena-native [`filter`]: emits the filtered trace as CSR parts
+/// directly, keeping exactly the peers the row-path oracle keeps.
+pub fn filter_arena(arena: &TraceArena) -> DerivedArena {
+    // "Ever shared?" needs no union materialization in CSR form: one
+    // pass over the day rows flips a bit per peer.
+    let mut shared = vec![false; arena.peers.len()];
+    for day in &arena.days {
+        for (peer, row) in day.iter() {
+            if !row.is_empty() {
+                shared[peer as usize] = true;
+            }
+        }
+    }
+    let mut by_ip: HashMap<u32, u32> = HashMap::new();
+    let mut by_uid: HashMap<[u8; 16], u32> = HashMap::new();
+    for peer in &arena.peers {
+        *by_ip.entry(peer.ip).or_insert(0) += 1;
+        *by_uid.entry(peer.uid.0).or_insert(0) += 1;
+    }
+    retain_peers_arena(arena, |p| {
+        let info = &arena.peers[p.index()];
+        let aliased = by_ip[&info.ip] > 1 || by_uid[&info.uid.0] > 1;
+        !shared[p.index()] || !aliased
+    })
+}
+
+/// One observation in the flattened per-client series: which day, and
+/// where its row lives (day-section index + row index).
+#[derive(Clone, Copy)]
+struct Obs {
+    day: u32,
+    sec: u32,
+    row: u32,
+}
+
+/// Arena-native [`extrapolate`], sharded per client over the parallel
+/// runner. See [`extrapolate_arena_with_threads`] for the determinism
+/// contract.
+pub fn extrapolate_arena(arena: &TraceArena, config: ExtrapolateConfig) -> DerivedArena {
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    extrapolate_arena_with_threads(arena, config, threads)
+}
+
+/// [`extrapolate_arena`] with an explicit worker count.
+///
+/// Each client's day-intersection chain is independent, so clients are
+/// sharded in fixed-size chunks over the parallel runner; every worker
+/// reuses one intersection scratch buffer across its chunks instead of
+/// allocating per gap. Chunk boundaries depend only on the client count
+/// and results are assembled in client order, so the output is
+/// bit-identical to the sequential row path for any thread count.
+pub fn extrapolate_arena_with_threads(
+    arena: &TraceArena,
+    config: ExtrapolateConfig,
+    threads: usize,
+) -> DerivedArena {
+    // Eligibility thresholds, computed in one pass over the day rows.
+    let n_input = arena.peers.len();
+    let mut count = vec![0u32; n_input];
+    let mut first_obs = vec![u32::MAX; n_input];
+    let mut last_obs = vec![0u32; n_input];
+    for day in &arena.days {
+        for &p in &day.peers {
+            let p = p as usize;
+            count[p] += 1;
+            if first_obs[p] == u32::MAX {
+                first_obs[p] = day.day;
+            }
+            last_obs[p] = day.day;
+        }
+    }
+    let eligible = retain_peers_arena(arena, |p| {
+        let i = p.index();
+        let span = if count[i] == 0 {
+            0
+        } else {
+            last_obs[i] - first_obs[i]
+        };
+        count[i] as usize >= config.min_snapshots && span >= config.min_span_days
+    });
+
+    let et = &eligible.arena;
+    let (Some(first), Some(last)) = (
+        et.days.first().map(|d| d.day),
+        et.days.last().map(|d| d.day),
+    ) else {
+        return eligible; // No snapshots at all; nothing to extrapolate.
+    };
+
+    // Flatten the per-client observation series (client-major, day
+    // order) with a counting layout — no per-client Vec.
+    let n = et.peers.len();
+    let mut series_off = vec![0u32; n + 1];
+    for day in &et.days {
+        for &p in &day.peers {
+            series_off[p as usize + 1] += 1;
+        }
+    }
+    for i in 1..series_off.len() {
+        series_off[i] += series_off[i - 1];
+    }
+    let mut obs = vec![
+        Obs {
+            day: 0,
+            sec: 0,
+            row: 0
+        };
+        series_off[n] as usize
+    ];
+    let mut cursor = series_off.clone();
+    for (sec, day) in et.days.iter().enumerate() {
+        for (row, &p) in day.peers.iter().enumerate() {
+            let slot = cursor[p as usize];
+            obs[slot as usize] = Obs {
+                day: day.day,
+                sec: sec as u32,
+                row: row as u32,
+            };
+            cursor[p as usize] += 1;
+        }
+    }
+
+    // Shard clients into fixed-size chunks (a function of the client
+    // count only — never of the thread count) and fill each chunk's
+    // rows independently. Rows are `(client, day_idx, len)` with the
+    // cache bytes appended to the chunk's entry buffer in the same
+    // order.
+    let chunk_size = (n / 128).max(1);
+    let chunks: Vec<(usize, usize)> = (0..n)
+        .step_by(chunk_size)
+        .map(|s| (s, (s + chunk_size).min(n)))
+        .collect();
+    struct FillChunk {
+        rows: Vec<(u32, u32, u32)>,
+        entries: Vec<FileRef>,
+    }
+    let fills: Vec<FillChunk> = parallel_map_init_threads(
+        &chunks,
+        threads,
+        Vec::new,
+        |scratch: &mut Vec<FileRef>, &(lo, hi)| {
+            let mut chunk = FillChunk {
+                rows: Vec::new(),
+                entries: Vec::new(),
+            };
+            for p in lo..hi {
+                let series = &obs[series_off[p] as usize..series_off[p + 1] as usize];
+                for pair in series.windows(2) {
+                    let (a, b) = (pair[0], pair[1]);
+                    if b.day - a.day < 2 {
+                        continue;
+                    }
+                    // Pessimistic fill: the intersection of the two
+                    // surrounding observations, computed once per gap
+                    // into the worker's reusable scratch.
+                    let cache_a = et.days[a.sec as usize].row(a.row as usize);
+                    let cache_b = et.days[b.sec as usize].row(b.row as usize);
+                    sorted_intersection_into(cache_a, cache_b, scratch);
+                    for day in a.day + 1..b.day {
+                        chunk
+                            .rows
+                            .push((p as u32, day - first, scratch.len() as u32));
+                        chunk.entries.extend_from_slice(scratch);
+                    }
+                }
+                for o in series {
+                    let row = et.days[o.sec as usize].row(o.row as usize);
+                    chunk.rows.push((p as u32, o.day - first, row.len() as u32));
+                    chunk.entries.extend_from_slice(row);
+                }
+            }
+            chunk
+        },
+    );
+
+    // Sequential assembly in chunk (= client) order: count rows and
+    // entries per output day, size each day exactly, then place. Each
+    // client contributes at most one row per day, so per-day rows come
+    // out sorted by peer id by construction.
+    let n_days = (last - first + 1) as usize;
+    let mut day_rows = vec![0usize; n_days];
+    let mut day_entries = vec![0usize; n_days];
+    for chunk in &fills {
+        for &(_, d, len) in &chunk.rows {
+            day_rows[d as usize] += 1;
+            day_entries[d as usize] += len as usize;
+        }
+    }
+    let mut days: Vec<DayArena> = (0..n_days)
+        .map(|i| {
+            let mut day = DayArena {
+                day: first + i as u32,
+                peers: Vec::with_capacity(day_rows[i]),
+                offsets: Vec::with_capacity(day_rows[i] + 1),
+                entries: Vec::with_capacity(day_entries[i]),
+            };
+            day.offsets.push(0);
+            day
+        })
+        .collect();
+    for chunk in &fills {
+        let mut taken = 0usize;
+        for &(p, d, len) in &chunk.rows {
+            let day = &mut days[d as usize];
+            day.peers.push(p);
+            day.entries
+                .extend_from_slice(&chunk.entries[taken..taken + len as usize]);
+            day.offsets.push(day.entries.len() as u32);
+            taken += len as usize;
+        }
+    }
+
+    let arena = TraceArena {
+        files: et.files.clone(),
+        peers: et.peers.clone(),
+        days,
+    };
+    debug_assert_eq!(arena.check_invariants(), Ok(()));
+    DerivedArena {
+        arena,
+        kept: eligible.kept,
+    }
+}
+
 /// Produces the paper's **filtered trace**: drops every *sharing* client
 /// whose IP or user id collides with another client's, keeping
 /// free-riders.
@@ -140,14 +446,16 @@ pub struct StreamedFilter {
 /// [`DaySnapshot`], not the trace: the paper-scale bottleneck was
 /// holding all 56 days × 1.16 M caches at once.
 pub fn filter_streaming(input: &Path, output: &Path) -> Result<StreamedFilter, TraceIoError> {
+    const DROPPED: u32 = u32::MAX;
     // Pass 1: who ever shared? (The alias counts come from the peer
-    // table, which the reader loads up front.)
+    // table, which the reader loads up front.) Days stream through in
+    // CSR form — no per-cache allocations on either pass.
     let mut pass1 = TraceReader::open(input)?;
     let mut shared = vec![false; pass1.peers().len()];
-    while let Some(day) = pass1.next_day()? {
-        for (peer, cache) in &day.caches {
-            if !cache.is_empty() {
-                shared[peer.index()] = true;
+    while let Some(day) = pass1.next_day_arena()? {
+        for (peer, row) in day.iter() {
+            if !row.is_empty() {
+                shared[peer as usize] = true;
             }
         }
     }
@@ -159,34 +467,41 @@ pub fn filter_streaming(input: &Path, output: &Path) -> Result<StreamedFilter, T
         *by_uid.entry(peer.uid.0).or_insert(0) += 1;
     }
     let mut kept: Vec<PeerId> = Vec::new();
-    let mut remap: Vec<Option<PeerId>> = vec![None; pass1.peers().len()];
+    let mut remap: Vec<u32> = vec![DROPPED; pass1.peers().len()];
     let mut peers: Vec<PeerInfo> = Vec::new();
     for (idx, info) in pass1.peers().iter().enumerate() {
         let aliased = by_ip[&info.ip] > 1 || by_uid[&info.uid.0] > 1;
         if !shared[idx] || !aliased {
-            remap[idx] = Some(PeerId(kept.len() as u32));
+            remap[idx] = kept.len() as u32;
             kept.push(PeerId(idx as u32));
             peers.push(info.clone());
         }
     }
 
-    // Pass 2: remap and stream out. Dense remapping preserves relative
-    // order, so each filtered snapshot stays sorted by the new ids.
+    // Pass 2: remap each CSR day and stream it out. Dense remapping
+    // preserves relative order, so each filtered day stays sorted by
+    // the new ids.
     let files = pass1.files().to_vec();
     drop(pass1);
     let mut pass2 = TraceReader::open(input)?;
     let mut writer = TraceWriter::create(output)?;
     let mut days = 0u32;
-    while let Some(day) = pass2.next_day()? {
-        let caches: Vec<(PeerId, Vec<FileRef>)> = day
-            .caches
-            .iter()
-            .filter_map(|(p, c)| remap[p.index()].map(|np| (np, c.clone())))
-            .collect();
-        writer.write_day(&DaySnapshot {
-            day: day.day,
-            caches,
-        })?;
+    let mut out = DayArena::new(0);
+    while let Some(day) = pass2.next_day_arena()? {
+        out.day = day.day;
+        out.peers.clear();
+        out.entries.clear();
+        out.offsets.clear();
+        out.offsets.push(0);
+        for i in 0..day.peers.len() {
+            let new = remap[day.peers[i] as usize];
+            if new != DROPPED {
+                out.peers.push(new);
+                out.entries.extend_from_slice(day.row(i));
+                out.offsets.push(out.entries.len() as u32);
+            }
+        }
+        writer.write_day_arena(&out)?;
         days += 1;
     }
     writer.finish(&files, &peers)?;
@@ -256,6 +571,15 @@ pub fn extrapolate(trace: &Trace, config: ExtrapolateConfig) -> DerivedTrace {
 /// Merge-intersects two sorted, deduplicated slices.
 pub fn sorted_intersection(a: &[FileRef], b: &[FileRef]) -> Vec<FileRef> {
     let mut out = Vec::new();
+    sorted_intersection_into(a, b, &mut out);
+    out
+}
+
+/// Merge-intersects two sorted, deduplicated slices into a caller-owned
+/// buffer (cleared first) — the allocation-free form the extrapolation
+/// hot path threads through its per-worker scratch.
+pub fn sorted_intersection_into(a: &[FileRef], b: &[FileRef], out: &mut Vec<FileRef>) {
+    out.clear();
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
         match a[i].cmp(&b[j]) {
@@ -268,7 +592,6 @@ pub fn sorted_intersection(a: &[FileRef], b: &[FileRef]) -> Vec<FileRef> {
             }
         }
     }
-    out
 }
 
 /// Counts elements common to two sorted, deduplicated slices without
@@ -519,5 +842,101 @@ mod tests {
         assert_eq!(sorted_intersection_len(&a, &b), 2);
         assert_eq!(sorted_intersection_len(&a, &[]), 0);
         assert_eq!(sorted_intersection(&[], &b), Vec::<FileRef>::new());
+    }
+
+    #[test]
+    fn intersection_into_reuses_buffer() {
+        let a = vec![FileRef(1), FileRef(3), FileRef(5)];
+        let b = vec![FileRef(3), FileRef(5), FileRef(7)];
+        let mut scratch = vec![FileRef(99); 8];
+        sorted_intersection_into(&a, &b, &mut scratch);
+        assert_eq!(scratch, vec![FileRef(3), FileRef(5)]);
+        sorted_intersection_into(&a, &[], &mut scratch);
+        assert!(scratch.is_empty());
+    }
+
+    /// A trace exercising every pipeline branch: aliases, free-riders,
+    /// regular and irregular clients, multi-day gaps of both widths.
+    fn mixed_trace() -> Trace {
+        let mut b = TraceBuilder::new();
+        let files: Vec<FileRef> = (0..12).map(|n| b.intern_file(file_info(n))).collect();
+        let regular = b.intern_peer(peer_info(0, 1));
+        observed(
+            &mut b,
+            regular,
+            &[
+                (350, files[0..6].to_vec()),
+                (353, files[2..8].to_vec()),
+                (356, files[2..8].to_vec()),
+                (358, files[4..12].to_vec()),
+                (362, files[4..10].to_vec()),
+            ],
+        );
+        let alias_a = b.intern_peer(peer_info(1, 9));
+        let alias_b = b.intern_peer(peer_info(2, 9));
+        observed(&mut b, alias_a, &[(350, files[0..2].to_vec())]);
+        observed(&mut b, alias_b, &[(351, files[1..3].to_vec())]);
+        let free_rider = b.intern_peer(peer_info(3, 9));
+        observed(&mut b, free_rider, &[(350, vec![]), (355, vec![])]);
+        let irregular = b.intern_peer(peer_info(4, 4));
+        observed(
+            &mut b,
+            irregular,
+            &[(352, files[0..4].to_vec()), (354, files[0..4].to_vec())],
+        );
+        b.finish()
+    }
+
+    #[test]
+    fn arena_filter_matches_row_filter() {
+        let trace = mixed_trace();
+        let arena = TraceArena::from_trace(&trace);
+        let row = filter(&trace);
+        let csr = filter_arena(&arena);
+        assert_eq!(csr.kept, row.kept);
+        assert_eq!(csr.to_derived_trace().trace, row.trace);
+    }
+
+    #[test]
+    fn arena_retain_peers_matches_row() {
+        let trace = mixed_trace();
+        let arena = TraceArena::from_trace(&trace);
+        let keep = |p: PeerId| p.0 % 2 == 0;
+        let row = retain_peers(&trace, keep);
+        let csr = retain_peers_arena(&arena, keep);
+        assert_eq!(csr.kept, row.kept);
+        assert_eq!(csr.to_derived_trace().trace, row.trace);
+    }
+
+    #[test]
+    fn arena_extrapolate_matches_row_for_any_thread_count() {
+        let trace = mixed_trace();
+        let arena = TraceArena::from_trace(&trace);
+        let row = extrapolate(&trace, ExtrapolateConfig::default());
+        for threads in [1, 2, 3, 8] {
+            let csr = extrapolate_arena_with_threads(&arena, ExtrapolateConfig::default(), threads);
+            assert_eq!(csr.kept, row.kept, "threads={threads}");
+            assert_eq!(csr.to_derived_trace().trace, row.trace, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn arena_extrapolate_empty_trace_is_empty() {
+        let arena = TraceArena::from_trace(&Trace::new());
+        let csr = extrapolate_arena(&arena, ExtrapolateConfig::default());
+        assert!(csr.kept.is_empty());
+        assert!(csr.arena.days.is_empty());
+    }
+
+    #[test]
+    fn arena_pipeline_composes_like_row_pipeline() {
+        // filter → extrapolate, both lanes, end to end.
+        let trace = mixed_trace();
+        let row = extrapolate(&filter(&trace).trace, ExtrapolateConfig::default());
+        let arena = TraceArena::from_trace(&trace);
+        let filtered = filter_arena(&arena);
+        let csr = extrapolate_arena(&filtered.arena, ExtrapolateConfig::default());
+        assert_eq!(csr.kept, row.kept);
+        assert_eq!(csr.to_derived_trace().trace, row.trace);
     }
 }

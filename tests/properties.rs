@@ -18,13 +18,16 @@ use edonkey_repro::semsearch::overlay::{
 };
 use edonkey_repro::semsearch::sim::{simulate_arena_with_scratch, simulate_reference, SimScratch};
 use edonkey_repro::semsearch::{simulate, AvailabilityConfig, QueryPolicy, SimConfig};
-use edonkey_repro::trace::compact::CacheArena;
+use edonkey_repro::trace::compact::{CacheArena, TraceArena};
 use edonkey_repro::trace::io;
 use edonkey_repro::trace::model::{
     CountryCode, DaySnapshot, FileInfo, FileRef, PeerId, PeerInfo, Trace,
 };
-use edonkey_repro::trace::pipeline::{sorted_intersection, sorted_intersection_len};
-use edonkey_repro::trace::randomize::Shuffler;
+use edonkey_repro::trace::pipeline::{
+    extrapolate, extrapolate_arena_with_threads, filter, filter_arena, retain_peers,
+    retain_peers_arena, sorted_intersection, sorted_intersection_len, ExtrapolateConfig,
+};
+use edonkey_repro::trace::randomize::{ArenaShuffler, Shuffler};
 use edonkey_repro::workload::{ChurnConfig, ChurnSchedule};
 use proptest::prelude::*;
 
@@ -548,5 +551,115 @@ proptest! {
         let small = simulate(&caches, 24, &SimConfig::lru(2).with_seed(seed));
         let large = simulate(&caches, 24, &SimConfig::lru(12).with_seed(seed));
         prop_assert!(large.hits() + 1 >= small.hits());
+    }
+
+    /// The arena-native derivation pipeline (retain/filter/extrapolate
+    /// over CSR parts) is exactly the legacy row pipeline on arbitrary
+    /// traces — same kept sets, same derived traces for 1, 2 and 8
+    /// worker threads — and the arena-derived traces round-trip all
+    /// three codecs losslessly.
+    #[test]
+    fn arena_pipeline_equals_row_pipeline(trace in arb_trace()) {
+        prop_assert_eq!(trace.check_invariants(), Ok(()));
+        let arena = TraceArena::from_trace(&trace);
+
+        let row_retained = retain_peers(&trace, |p| p.0 % 2 == 0);
+        let arena_retained = retain_peers_arena(&arena, |p| p.0 % 2 == 0);
+        prop_assert_eq!(&arena_retained.kept, &row_retained.kept);
+        prop_assert_eq!(&arena_retained.arena.to_trace(), &row_retained.trace);
+
+        let row_filtered = filter(&trace);
+        let arena_filtered = filter_arena(&arena);
+        prop_assert_eq!(&arena_filtered.kept, &row_filtered.kept);
+        prop_assert_eq!(&arena_filtered.arena.to_trace(), &row_filtered.trace);
+
+        let config = ExtrapolateConfig::default();
+        let row_ext = extrapolate(&row_filtered.trace, config);
+        for threads in [1usize, 2, 8] {
+            let arena_ext =
+                extrapolate_arena_with_threads(&arena_filtered.arena, config, threads);
+            prop_assert_eq!(&arena_ext.kept, &row_ext.kept, "threads {}", threads);
+            prop_assert_eq!(
+                &arena_ext.arena.to_trace(),
+                &row_ext.trace,
+                "threads {}",
+                threads
+            );
+        }
+
+        let derived = extrapolate_arena_with_threads(&arena_filtered.arena, config, 2)
+            .arena
+            .to_trace();
+        prop_assert_eq!(derived.check_invariants(), Ok(()));
+        prop_assert_eq!(
+            io::from_bin(&io::to_bin(&derived)).expect("binary"),
+            derived.clone()
+        );
+        prop_assert_eq!(
+            io::from_json(&io::to_json(&derived)).expect("json"),
+            derived.clone()
+        );
+        prop_assert_eq!(
+            io::from_compact(&io::to_compact(&derived)).expect("compact"),
+            derived
+        );
+    }
+
+    /// The arena shuffler is exactly the row shuffler: same seed and
+    /// swap budget ⇒ identical stats, identical RNG position, and the
+    /// same shuffled caches (rows compared sorted, the arena's
+    /// canonical order).
+    #[test]
+    fn arena_shuffler_equals_row_shuffler(caches in arb_caches(), swaps in 0u64..2_000) {
+        let arena = CacheArena::from_caches(&caches, 64);
+        let mut row = Shuffler::new(caches);
+        let mut row_rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(42);
+        row.run(swaps, &mut row_rng);
+        let row_stats = row.stats();
+        let mut row_caches = row.into_caches();
+        for cache in &mut row_caches {
+            cache.sort_unstable();
+        }
+
+        let mut csr = ArenaShuffler::new(&arena);
+        let mut csr_rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(42);
+        csr.run(swaps, &mut csr_rng);
+        prop_assert_eq!(csr.stats(), row_stats);
+        prop_assert_eq!(csr.snapshot_arena().to_caches(), row_caches);
+        prop_assert_eq!(
+            rand::RngCore::next_u64(&mut csr_rng),
+            rand::RngCore::next_u64(&mut row_rng),
+            "both shufflers consume the same number of draws"
+        );
+    }
+
+    /// Checkpointing the arena shuffler mid-run and resuming is
+    /// bit-identical to running uninterrupted: same stats, same caches,
+    /// same RNG position — the invariant the resumable randomization
+    /// sweep rests on.
+    #[test]
+    fn shuffle_checkpoint_resume_equals_uninterrupted(
+        caches in arb_caches(),
+        prefix in 0u64..1_000,
+        suffix in 0u64..1_000,
+    ) {
+        let arena = CacheArena::from_caches(&caches, 64);
+
+        let mut full = ArenaShuffler::new(&arena);
+        let mut full_rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(9);
+        full.run(prefix + suffix, &mut full_rng);
+
+        let mut head = ArenaShuffler::new(&arena);
+        let mut head_rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(9);
+        head.run(prefix, &mut head_rng);
+        let (mut tail, mut tail_rng) = head.checkpoint(&head_rng).resume();
+        tail.run(suffix, &mut tail_rng);
+
+        prop_assert_eq!(tail.stats(), full.stats());
+        prop_assert_eq!(tail.snapshot_arena().to_caches(), full.snapshot_arena().to_caches());
+        prop_assert_eq!(
+            rand::RngCore::next_u64(&mut tail_rng),
+            rand::RngCore::next_u64(&mut full_rng)
+        );
     }
 }
