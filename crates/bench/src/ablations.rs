@@ -4,7 +4,9 @@
 
 use edonkey_analysis::{semantic, view};
 use edonkey_netsim::{run_crawl_full, CrawlerConfig, FaultConfig, NetConfig, RetryPolicy};
-use edonkey_semsearch::sim::{simulate, QueryPolicy, SimConfig};
+use edonkey_semsearch::sim::{
+    simulate, simulate_arena_with_scratch, QueryPolicy, SimConfig, SimScratch,
+};
 use edonkey_semsearch::{churn_grid, ChurnCell};
 use edonkey_trace::compact::CacheArena;
 use edonkey_trace::randomize::{recommended_iterations, ArenaShuffler};
@@ -161,6 +163,10 @@ pub fn ablation_fault_sweep(scale: Scale) {
     };
     let (clean, _) = crawl(0.0, RetryPolicy::no_retry());
     let clean_snapshots = clean.snapshot_count().max(1);
+    // One scratch pool serves every (rate, policy) row; each row packs
+    // its crawled caches into an arena once and reuses it for all three
+    // list policies.
+    let mut scratch = SimScratch::new();
     for &rate in &[0.0, 0.1, 0.25, 0.5] {
         for (name, retry) in [
             ("no_retry", RetryPolicy::no_retry()),
@@ -174,8 +180,12 @@ pub fn ablation_fault_sweep(scale: Scale) {
             let filtered = edonkey_trace::pipeline::filter(&trace).trace;
             let caches = filtered.static_caches();
             let n_files = filtered.files.len();
-            let hit =
-                |c: SimConfig| 100.0 * simulate(&caches, n_files, &c.with_seed(SEED)).hit_rate();
+            let arena = CacheArena::from_caches(&caches, n_files);
+            let mut hit = |c: SimConfig| {
+                100.0
+                    * simulate_arena_with_scratch(&arena, &c.with_seed(SEED), &mut scratch)
+                        .hit_rate()
+            };
             e.row([
                 f(rate, 2),
                 name.to_string(),
@@ -285,6 +295,9 @@ pub fn ablation_policies(scale: Scale) {
     let filtered = edonkey_trace::pipeline::filter(&trace).trace;
     let caches = filtered.static_caches();
     let n_files = filtered.files.len();
+    // All twelve cells replay the same caches: pack once, pool scratch.
+    let arena = CacheArena::from_caches(&caches, n_files);
+    let mut scratch = SimScratch::new();
     for &size in &[5usize, 20, 100] {
         for config in [
             SimConfig::lru(size),
@@ -292,7 +305,8 @@ pub fn ablation_policies(scale: Scale) {
             SimConfig::random(size),
             SimConfig::rare_lru(size, 10),
         ] {
-            let result = simulate(&caches, n_files, &config.clone().with_seed(SEED));
+            let result =
+                simulate_arena_with_scratch(&arena, &config.clone().with_seed(SEED), &mut scratch);
             e.row([
                 config.policy.name().to_string(),
                 size.to_string(),

@@ -10,15 +10,20 @@
 //!   curves are checked equal before anything is written);
 //! * `arena_build` — packing the caches into a [`CacheArena`];
 //! * `sim_sweep_lru` / `sim_sweep_history` — list-size sweeps over the
-//!   paper's canonical sizes, parallel cells diffed against a
-//!   sequential oracle (`cells_equal`);
-//! * `randomization_sweep` / `randomize_arena` — the Fig. 21
-//!   shuffle-and-simulate loop on the arena shuffler, run as prefix +
-//!   checkpoint-resumed suffix and diffed against the row-shuffler
-//!   oracle (`checkpoint_equal`; ≥ 1.5× asserted at repro scale);
-//! * `trace_pipeline` / `pipeline_par` — filter + extrapolate over the
-//!   full trace on the CSR arena path, diffed against the row pipeline
-//!   (`derived_equal`; ≥ 3× asserted at repro scale);
+//!   paper's canonical sizes on the split-cell work-stealing scheduler,
+//!   diffed against the sequential whole-cell oracle (`cells_equal`;
+//!   `speedup_floor 4x` and a ≥ 10× allocation reduction asserted at
+//!   repro scale), plus a metered pass recording the per-stage
+//!   breakdown (`stage_intersect_ms` / `stage_update_ms` /
+//!   `stage_merge_ms`);
+//! * `randomize_arena` — the Fig. 21 shuffle-and-simulate loop on the
+//!   arena shuffler, run as prefix + checkpoint-resumed suffix and
+//!   diffed against the row-shuffler oracle (`checkpoint_equal`;
+//!   ≥ 1.5× asserted at repro scale; the row baseline is recorded in
+//!   the entry's config);
+//! * `pipeline_par` — filter + extrapolate over the full trace on the
+//!   CSR arena path, diffed against the row pipeline (`derived_equal`;
+//!   ≥ 3× asserted at repro scale; row baseline in the config);
 //! * `trace_io_json_write` / `trace_io_json_read` and
 //!   `trace_io_bin_write` / `trace_io_bin_read` — the full trace saved
 //!   and reloaded through the JSON and binary columnar codecs (the
@@ -68,6 +73,9 @@ struct Entry {
     /// Work units per second (units named in `config`).
     throughput: f64,
     config: String,
+    /// Per-stage breakdown from a separately metered pass (sweep
+    /// entries only).
+    stages: Option<experiment::SweepStages>,
 }
 
 fn timed<R>(f: impl FnOnce() -> R) -> (R, Meas) {
@@ -115,6 +123,7 @@ fn main() {
         meas: m_build,
         throughput: replicas as f64 / (m_build.ms / 1e3),
         config: format!("replicas/s over {replicas} replicas"),
+        stages: None,
     });
 
     // Overlap: sequential seed path vs parallel arena engine.
@@ -140,6 +149,7 @@ fn main() {
         meas: m_seq,
         throughput: seq.pair_count() as f64 / (m_seq.ms / 1e3),
         config: format!("pairs/s, holder cap {HOLDER_CAP}, sequential seed path"),
+        stages: None,
     });
     entries.push(Entry {
         name: "overlap_par",
@@ -150,17 +160,25 @@ fn main() {
              curve_equal true",
             m_seq.ms / m_par.ms
         ),
+        stages: None,
     });
 
-    // Simulation sweeps at the paper's list sizes: the parallel runner
-    // against the one-thread oracle, cell results diffed exactly.
-    for (name, policy) in [
-        ("sim_sweep_lru", PolicyKind::Lru),
-        ("sim_sweep_history", PolicyKind::History),
+    // Simulation sweeps at the paper's list sizes: the split-cell
+    // work-stealing scheduler against the sequential whole-cell
+    // oracle, cell results diffed exactly. A second, separately metered
+    // pass records where the split path spends its time (the metering
+    // reads clocks per request, so the headline timing comes from the
+    // unmetered run). The pooled-scratch rebuild is also held to a
+    // bounded allocation count — the seed harness allocated per cell
+    // (552,916 / 862,793 per sweep); the split path must stay >= 10x
+    // under that at repro scale.
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    for (name, policy, seed_allocs) in [
+        ("sim_sweep_lru", PolicyKind::Lru, 552_916u64),
+        ("sim_sweep_history", PolicyKind::History, 862_793u64),
     ] {
-        let (sweep, m_par) = timed(|| {
-            experiment::sweep_list_sizes(&caches, n_files, policy, &PAPER_LIST_SIZES, false, SEED)
-        });
+        let configs = experiment::sweep_configs(policy, &PAPER_LIST_SIZES, false, SEED);
+        let (sweep, m_split) = timed(|| experiment::sweep_cells(&arena, &configs));
         let (seq_sweep, m_seq) = timed(|| {
             experiment::sweep_list_sizes_seq(
                 &caches,
@@ -176,25 +194,52 @@ fn main() {
                 && sweep
                     .iter()
                     .zip(&seq_sweep)
-                    .all(|(p, s)| p.list_size == s.list_size && p.result == s.result),
-            "{name}: parallel sweep must match the sequential oracle cell for cell"
+                    .all(|((result, _), s)| *result == s.result),
+            "{name}: split-cell sweep must match the sequential oracle cell for cell"
         );
-        let requests: u64 = sweep.iter().map(|p| p.result.requests).sum();
+        let (profiled, stages) =
+            experiment::sweep_cells_threads_profiled(&arena, &configs, threads);
+        assert!(
+            profiled.iter().zip(&sweep).all(|(p, s)| p == s),
+            "{name}: metered sweep pass must reproduce the unmetered cells"
+        );
+        let speedup = m_seq.ms / m_split.ms;
+        let requests: u64 = sweep.iter().map(|(r, _)| r.requests).sum();
         eprintln!(
-            "[bench_report] {name}: par {:.1} ms, seq {:.1} ms ({:.2}x, cells identical)",
-            m_par.ms,
+            "[bench_report] {name}: split {:.1} ms, seq {:.1} ms ({speedup:.2}x, \
+             cells identical; stages intersect {:.1} / update {:.1} / merge {:.1} ms; \
+             {} allocs)",
+            m_split.ms,
             m_seq.ms,
-            m_seq.ms / m_par.ms
+            stages.intersect_ms,
+            stages.update_ms,
+            stages.merge_ms,
+            m_split.alloc_count
         );
+        if scale == Scale::Repro || scale == Scale::Paper {
+            assert!(
+                speedup >= 4.0,
+                "{name}: split-cell sweep must clear the 4x floor over the sequential \
+                 oracle at {scale:?} scale (got {speedup:.2}x)"
+            );
+            assert!(
+                m_split.alloc_count * 10 <= seed_allocs,
+                "{name}: pooled-scratch sweep must allocate >= 10x less than the \
+                 {seed_allocs}-alloc seed harness (got {})",
+                m_split.alloc_count
+            );
+        }
         entries.push(Entry {
             name,
-            meas: m_par,
-            throughput: requests as f64 / (m_par.ms / 1e3),
+            meas: m_split,
+            throughput: requests as f64 / (m_split.ms / 1e3),
             config: format!(
-                "requests/s over list sizes {PAPER_LIST_SIZES:?}, parallel cells, \
-                 speedup {:.2}x vs sequential oracle, cells_equal true",
-                m_seq.ms / m_par.ms
+                "requests/s over list sizes {PAPER_LIST_SIZES:?}, split-cell work stealing \
+                 ({threads} threads), speedup {speedup:.2}x vs sequential oracle \
+                 (speedup_floor 4x), cells_equal true, \
+                 seed harness alloc baseline {seed_allocs}"
             ),
+            stages: Some(stages),
         });
     }
 
@@ -229,23 +274,16 @@ fn main() {
         m_row.ms, m_arena.ms
     );
     entries.push(Entry {
-        name: "randomization_sweep",
-        meas: m_arena,
-        throughput: full as f64 / (m_arena.ms / 1e3),
-        config: format!(
-            "swap attempts/s, checkpoints {checkpoints:?}, list size 10, \
-             arena shuffler resumed from checkpoint after {}",
-            checkpoints[1]
-        ),
-    });
-    entries.push(Entry {
         name: "randomize_arena",
         meas: m_arena,
         throughput: full as f64 / (m_arena.ms / 1e3),
         config: format!(
-            "swap attempts/s, arena swap state + checkpoint resume, \
-             speedup {rand_speedup:.2}x vs row shuffler, checkpoint_equal true"
+            "swap attempts/s, checkpoints {checkpoints:?}, list size 10, arena swap state \
+             resumed from checkpoint after {}, speedup {rand_speedup:.2}x vs row-shuffler \
+             baseline {:.1} ms, checkpoint_equal true",
+            checkpoints[1], m_row.ms
         ),
+        stages: None,
     });
     if scale == Scale::Repro || scale == Scale::Paper {
         assert!(
@@ -277,19 +315,34 @@ fn main() {
         });
         let attempts: u64 = cells.iter().map(|c| c.health.attempted).sum();
         eprintln!(
-            "[bench_report] churn_sweep: {:.1} ms, {} cells, {attempts} attempts",
+            "[bench_report] churn_sweep: {:.1} ms, {} cells, {attempts} attempts, {} allocs",
             m.ms,
-            cells.len()
+            cells.len(),
+            m.alloc_count
         );
+        // The seed harness rebuilt every cell from scratch: 2,258,397
+        // allocations per grid. The pooled split scheduler must hold a
+        // >= 10x reduction.
+        const CHURN_SEED_ALLOCS: u64 = 2_258_397;
+        if scale == Scale::Repro || scale == Scale::Paper {
+            assert!(
+                m.alloc_count * 10 <= CHURN_SEED_ALLOCS,
+                "churn_sweep: pooled grid must allocate >= 10x less than the \
+                 {CHURN_SEED_ALLOCS}-alloc seed harness (got {})",
+                m.alloc_count
+            );
+        }
         entries.push(Entry {
             name: "churn_sweep",
             meas: m,
             throughput: attempts as f64 / (m.ms / 1e3),
             config: format!(
                 "query attempts/s over {} churn cells (rates 0/100/250/500 permille, \
-                 4 policies, no_retry vs retry_evict), list size 20",
+                 4 policies, no_retry vs retry_evict), list size 20, pooled split \
+                 scheduler, seed harness alloc baseline {CHURN_SEED_ALLOCS}",
                 cells.len()
             ),
+            stages: None,
         });
     }
 
@@ -352,6 +405,7 @@ fn main() {
                  {} retries, {} quarantined",
                 report.health.retries, report.health.quarantined
             ),
+            stages: None,
         });
     }
 
@@ -383,19 +437,16 @@ fn main() {
         m_row.ms, m_arena.ms
     );
     entries.push(Entry {
-        name: "trace_pipeline",
-        meas: m_arena,
-        throughput: w.full.snapshot_count() as f64 / (m_arena.ms / 1e3),
-        config: "snapshots/s through arena-native filter + extrapolate".to_string(),
-    });
-    entries.push(Entry {
         name: "pipeline_par",
         meas: m_arena,
         throughput: w.full.snapshot_count() as f64 / (m_arena.ms / 1e3),
         config: format!(
             "snapshots/s, CSR filter/extrapolate with sharded per-client fill, \
-             speedup {pipeline_speedup:.2}x vs legacy row pipeline, derived_equal true"
+             speedup {pipeline_speedup:.2}x vs legacy row-pipeline baseline {:.1} ms, \
+             derived_equal true",
+            m_row.ms
         ),
+        stages: None,
     });
     if scale == Scale::Repro || scale == Scale::Paper {
         assert!(
@@ -440,18 +491,21 @@ fn main() {
         meas: m_json_write,
         throughput: json_bytes as f64 / (m_json_write.ms / 1e3),
         config: format!("bytes/s writing {json_bytes} B of JSON"),
+        stages: None,
     });
     entries.push(Entry {
         name: "trace_io_json_read",
         meas: m_json_read,
         throughput: json_bytes as f64 / (m_json_read.ms / 1e3),
         config: format!("bytes/s reading {json_bytes} B of JSON, round trip lossless"),
+        stages: None,
     });
     entries.push(Entry {
         name: "trace_io_bin_write",
         meas: m_bin_write,
         throughput: bin_bytes as f64 / (m_bin_write.ms / 1e3),
         config: format!("bytes/s writing {bin_bytes} B of binary columnar v1"),
+        stages: None,
     });
     entries.push(Entry {
         name: "trace_io_bin_read",
@@ -461,6 +515,7 @@ fn main() {
             "bytes/s reading {bin_bytes} B of binary columnar v1, round trip lossless, \
              {read_speedup:.1}x faster than JSON read"
         ),
+        stages: None,
     });
 
     let path =
@@ -471,7 +526,8 @@ fn main() {
 }
 
 /// `{bench_name: {wall_ms, throughput, alloc_count, alloc_bytes,
-/// peak_rss_kb, config}}` plus a `_meta` record.
+/// peak_rss_kb, [stage_*_ms,] config}}` plus a `_meta` record. Sweep
+/// entries carry the per-stage breakdown from their metered pass.
 fn render_json(entries: &[Entry], scale: Scale, n_peers: usize, n_files: usize) -> String {
     let mut out = String::from("{\n");
     write!(
@@ -484,17 +540,25 @@ fn render_json(entries: &[Entry], scale: Scale, n_peers: usize, n_files: usize) 
         write!(
             out,
             ",\n  \"{}\": {{\"wall_ms\": {:.3}, \"throughput\": {:.1}, \
-             \"alloc_count\": {}, \"alloc_bytes\": {}, \"peak_rss_kb\": {}, \
-             \"config\": \"{}\"}}",
+             \"alloc_count\": {}, \"alloc_bytes\": {}, \"peak_rss_kb\": {}, ",
             e.name,
             e.meas.ms,
             e.throughput,
             e.meas.alloc_count,
             e.meas.alloc_bytes,
             e.meas.peak_rss_kb,
-            e.config.replace('"', "'")
         )
         .expect("string write");
+        if let Some(s) = &e.stages {
+            write!(
+                out,
+                "\"stage_intersect_ms\": {:.3}, \"stage_update_ms\": {:.3}, \
+                 \"stage_merge_ms\": {:.3}, ",
+                s.intersect_ms, s.update_ms, s.merge_ms
+            )
+            .expect("string write");
+        }
+        write!(out, "\"config\": \"{}\"}}", e.config.replace('"', "'")).expect("string write");
     }
     out.push_str("\n}\n");
     out

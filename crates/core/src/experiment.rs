@@ -8,11 +8,14 @@ use edonkey_trace::randomize::{ArenaShuffler, ShuffleCheckpoint, Shuffler};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use std::time::Instant;
+
 use crate::filters::{remove_top_files, remove_top_uploaders};
 use crate::neighbours::PolicyKind;
 use crate::sim::{
-    simulate_arena_health_with_scratch, simulate_arena_with_scratch, AvailabilityConfig,
-    QueryPolicy, SearchHealth, SimConfig, SimResult, SimScratch,
+    merge_partials, simulate_arena_health_with_scratch, simulate_arena_with_scratch,
+    simulate_cell_range, split_eligible, AvailabilityConfig, CellPartial, QueryPolicy,
+    SearchHealth, SimConfig, SimResult, SimScratch, SplitScratch, SweepPrecomp,
 };
 
 /// One sweep point: a list size and its simulation result.
@@ -27,8 +30,199 @@ pub struct SweepPoint {
 /// The paper's canonical sweep sizes (x-axes of Figs. 18–20, 23).
 pub const PAPER_LIST_SIZES: [usize; 8] = [5, 10, 20, 40, 60, 100, 150, 200];
 
-/// Runs one policy across several list sizes, in parallel (one thread
-/// per point, capped by the machine).
+/// Wall-clock spent per stage of a profiled sweep
+/// ([`sweep_cells_threads_profiled`]), for the benchmark report's
+/// per-stage breakdown. Worker stage times are summed across subtasks
+/// (they overlap in wall-clock when threads > 1); the merge is timed on
+/// the orchestrating thread.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SweepStages {
+    /// Hit checks (sharer-prefix scans / member-major probes / mark
+    /// walks), milliseconds.
+    pub intersect_ms: f64,
+    /// Policy updates and message settling, milliseconds.
+    pub update_ms: f64,
+    /// Deterministic partial merge, milliseconds.
+    pub merge_ms: f64,
+}
+
+/// One schedulable unit of a sweep: either a whole split-ineligible
+/// cell, or one querier range of a split-eligible cell.
+enum SweepTask {
+    Whole {
+        cell: usize,
+    },
+    Split {
+        cell: usize,
+        pre: usize,
+        lo: u32,
+        hi: u32,
+    },
+}
+
+enum SweepTaskOut {
+    Whole(Box<(SimResult, SearchHealth)>),
+    Part(CellPartial),
+}
+
+/// Per-worker scratch covering both task kinds.
+#[derive(Default)]
+struct SweepWorker {
+    whole: SimScratch,
+    split: SplitScratch,
+}
+
+/// Runs a batch of simulation cells over one arena with cell-splitting
+/// work stealing: split-eligible cells (see
+/// [`crate::sim::split_eligible`]) are cut into querier-range subtasks
+/// that any worker can steal, so a single expensive cell (list size
+/// 200) no longer serializes the sweep tail; ineligible cells run
+/// whole. Results are merged deterministically and are bit-identical to
+/// running every cell sequentially, for any thread count.
+///
+/// Uses `available_parallelism` threads; see [`sweep_cells_threads`].
+pub fn sweep_cells(arena: &CacheArena, configs: &[SimConfig]) -> Vec<(SimResult, SearchHealth)> {
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    sweep_cells_threads(arena, configs, threads)
+}
+
+/// [`sweep_cells`] with an explicit worker count — the hook the
+/// determinism tests use.
+pub fn sweep_cells_threads(
+    arena: &CacheArena,
+    configs: &[SimConfig],
+    threads: usize,
+) -> Vec<(SimResult, SearchHealth)> {
+    run_sweep_cells(arena, configs, threads, false).0
+}
+
+/// [`sweep_cells_threads`] that additionally meters per-stage time.
+/// The metering reads two clocks per request, so benchmark headline
+/// timings should come from the unmetered variant.
+pub fn sweep_cells_threads_profiled(
+    arena: &CacheArena,
+    configs: &[SimConfig],
+    threads: usize,
+) -> (Vec<(SimResult, SearchHealth)>, SweepStages) {
+    run_sweep_cells(arena, configs, threads, true)
+}
+
+fn run_sweep_cells(
+    arena: &CacheArena,
+    configs: &[SimConfig],
+    threads: usize,
+    profile: bool,
+) -> (Vec<(SimResult, SearchHealth)>, SweepStages) {
+    // One precomputation per distinct seed serves every split-eligible
+    // cell of the batch (the shuffled stream and arrival ranks are
+    // policy- and list-size-independent).
+    let mut precomps: Vec<(u64, SweepPrecomp)> = Vec::new();
+    for config in configs.iter().filter(|c| split_eligible(c)) {
+        if !precomps.iter().any(|(s, _)| *s == config.seed) {
+            precomps.push((config.seed, SweepPrecomp::new(arena, config.seed)));
+        }
+    }
+
+    // Cut each eligible cell into roughly request-balanced querier
+    // ranges; a couple of subtasks per worker keeps the stealing queue
+    // busy without drowning in merge overhead.
+    let chunks = (threads * 2).max(2);
+    let mut tasks: Vec<SweepTask> = Vec::new();
+    let mut weights: Vec<u64> = Vec::new();
+    for (cell, config) in configs.iter().enumerate() {
+        match precomps.iter().position(|(s, _)| *s == config.seed) {
+            Some(pre) if split_eligible(config) => {
+                for (lo, hi) in precomps[pre].1.peer_ranges(chunks) {
+                    weights.push(precomps[pre].1.requests_in(lo, hi).max(1));
+                    tasks.push(SweepTask::Split { cell, pre, lo, hi });
+                }
+            }
+            _ => {
+                weights.push(arena.replica_count() as u64 * 2);
+                tasks.push(SweepTask::Whole { cell });
+            }
+        }
+    }
+
+    let outs = parallel_map_weighted(
+        &tasks,
+        &weights,
+        threads,
+        SweepWorker::default,
+        |worker, task| match *task {
+            SweepTask::Whole { cell } => SweepTaskOut::Whole(Box::new(
+                simulate_arena_health_with_scratch(arena, &configs[cell], &mut worker.whole),
+            )),
+            SweepTask::Split { cell, pre, lo, hi } => SweepTaskOut::Part(simulate_cell_range(
+                arena,
+                &precomps[pre].1,
+                &configs[cell],
+                (lo, hi),
+                &mut worker.split,
+                profile,
+            )),
+        },
+    );
+
+    // Deterministic merge: partials regroup per cell in subtask order
+    // (every merged quantity is a plain sum over disjoint querier sets,
+    // so any order reproduces the sequential run bit-for-bit).
+    let merge_start = Instant::now();
+    let mut stages = SweepStages::default();
+    let mut parts: Vec<Vec<CellPartial>> = configs.iter().map(|_| Vec::new()).collect();
+    let mut results: Vec<Option<(SimResult, SearchHealth)>> =
+        configs.iter().map(|_| None).collect();
+    for (task, out) in tasks.iter().zip(outs) {
+        match (task, out) {
+            (SweepTask::Whole { cell }, SweepTaskOut::Whole(whole)) => {
+                results[*cell] = Some(*whole);
+            }
+            (SweepTask::Split { cell, .. }, SweepTaskOut::Part(part)) => {
+                stages.intersect_ms += part.intersect_ns as f64 / 1e6;
+                stages.update_ms += part.update_ns as f64 / 1e6;
+                parts[*cell].push(part);
+            }
+            _ => unreachable!("task and output kinds always agree"),
+        }
+    }
+    for (cell, config) in configs.iter().enumerate() {
+        if results[cell].is_none() {
+            let pre = precomps
+                .iter()
+                .position(|(s, _)| *s == config.seed)
+                .expect("split cells built a precomp above");
+            results[cell] = Some(merge_partials(&precomps[pre].1, &parts[cell]));
+        }
+    }
+    stages.merge_ms = merge_start.elapsed().as_secs_f64() * 1e3;
+    let results = results
+        .into_iter()
+        .map(|r| r.expect("every cell produced a result"))
+        .collect();
+    (results, stages)
+}
+
+/// The cell configurations of a list-size sweep.
+pub fn sweep_configs(
+    policy: PolicyKind,
+    list_sizes: &[usize],
+    two_hop: bool,
+    seed: u64,
+) -> Vec<SimConfig> {
+    list_sizes
+        .iter()
+        .map(|&list_size| SimConfig {
+            list_size,
+            policy,
+            two_hop,
+            seed,
+            availability: AvailabilityConfig::none(),
+        })
+        .collect()
+}
+
+/// Runs one policy across several list sizes via the split-cell
+/// work-stealing scheduler ([`sweep_cells`]).
 pub fn sweep_list_sizes(
     caches: &[Vec<FileRef>],
     n_files: usize,
@@ -37,22 +231,25 @@ pub fn sweep_list_sizes(
     two_hop: bool,
     seed: u64,
 ) -> Vec<SweepPoint> {
-    // Pack the caches once; every sweep point reads the same arena and
-    // each worker thread reuses one set of simulation buffers.
+    // Pack the caches once; every sweep point reads the same arena.
     let arena = CacheArena::from_caches(caches, n_files);
-    parallel_map_init(list_sizes, SimScratch::new, |scratch, &list_size| {
-        let config = SimConfig {
-            list_size,
-            policy,
-            two_hop,
-            seed,
-            availability: AvailabilityConfig::none(),
-        };
-        SweepPoint {
-            list_size,
-            result: simulate_arena_with_scratch(&arena, &config, scratch),
-        }
-    })
+    sweep_list_sizes_arena(&arena, policy, list_sizes, two_hop, seed)
+}
+
+/// Arena-native [`sweep_list_sizes`].
+pub fn sweep_list_sizes_arena(
+    arena: &CacheArena,
+    policy: PolicyKind,
+    list_sizes: &[usize],
+    two_hop: bool,
+    seed: u64,
+) -> Vec<SweepPoint> {
+    let configs = sweep_configs(policy, list_sizes, two_hop, seed);
+    sweep_cells(arena, &configs)
+        .into_iter()
+        .zip(list_sizes)
+        .map(|((result, _), &list_size)| SweepPoint { list_size, result })
+        .collect()
 }
 
 /// Sequential oracle for [`sweep_list_sizes`]: same cells, one thread,
@@ -355,20 +552,25 @@ pub fn churn_grid(
             }
         }
     }
-    parallel_map_init(
-        &cells,
-        SimScratch::new,
-        |scratch, &(rate, policy, query)| {
-            let config = SimConfig {
-                list_size,
-                policy,
-                two_hop: false,
-                seed,
-                availability: AvailabilityConfig::churn(churn_seed, rate)
-                    .with_query(query)
-                    .with_outages(outage_days.to_vec()),
-            };
-            let (result, health) = simulate_arena_health_with_scratch(&arena, &config, scratch);
+    // Adaptive-policy cells without outages ride the split-cell
+    // scheduler; Random and outage cells fall back to whole-cell runs
+    // inside the same work-stealing pass.
+    let configs: Vec<SimConfig> = cells
+        .iter()
+        .map(|&(rate, policy, query)| SimConfig {
+            list_size,
+            policy,
+            two_hop: false,
+            seed,
+            availability: AvailabilityConfig::churn(churn_seed, rate)
+                .with_query(query)
+                .with_outages(outage_days.to_vec()),
+        })
+        .collect();
+    cells
+        .into_iter()
+        .zip(sweep_cells(&arena, &configs))
+        .map(|((rate, policy, query), (result, health))| {
             health
                 .check_against(&result)
                 .expect("SearchHealth must reconcile in every churn cell");
@@ -379,14 +581,16 @@ pub fn churn_grid(
                 result,
                 health,
             }
-        },
-    )
+        })
+        .collect()
 }
 
 // The parallel runner lives in `edonkey_trace::par` since the derivation
 // pipeline needs it too; re-exported here for the sweeps (and for the
 // callers that always imported it from this module).
-pub use edonkey_trace::par::{parallel_map, parallel_map_init, parallel_map_init_threads};
+pub use edonkey_trace::par::{
+    parallel_map, parallel_map_init, parallel_map_init_threads, parallel_map_weighted,
+};
 
 #[cfg(test)]
 mod tests {
@@ -597,5 +801,80 @@ mod tests {
             assert_eq!(p.list_size, s.list_size);
             assert_eq!(p.result, s.result);
         }
+    }
+
+    #[test]
+    fn split_cells_match_whole_cells_for_any_thread_count() {
+        let (caches, n) = workload();
+        let arena = CacheArena::from_caches(&caches, n);
+        // A mixed batch: quiet adaptive cells (split, both hit-check
+        // modes), a Random cell (whole), churn cells with and without
+        // retries (split), and an outage cell (whole).
+        let configs = vec![
+            SimConfig::lru(3).with_seed(7),
+            SimConfig::history(16).with_seed(7),
+            SimConfig::rare_lru(5, 3).with_seed(7),
+            SimConfig::random(5).with_seed(7),
+            SimConfig::lru(5)
+                .with_seed(7)
+                .with_availability(AvailabilityConfig::churn(11, 250)),
+            SimConfig::history(5).with_seed(7).with_availability(
+                AvailabilityConfig::churn(11, 250).with_query(QueryPolicy::retry_evict()),
+            ),
+            SimConfig::lru(5).with_seed(7).with_availability(
+                AvailabilityConfig::churn(11, 250)
+                    .with_query(QueryPolicy::retry_evict())
+                    .with_outages(vec![2, 3]),
+            ),
+        ];
+        let mut scratch = SimScratch::new();
+        let oracle: Vec<(SimResult, SearchHealth)> = configs
+            .iter()
+            .map(|c| simulate_arena_health_with_scratch(&arena, c, &mut scratch))
+            .collect();
+        for threads in [1, 2, 3, 8] {
+            let (split, stages) = sweep_cells_threads_profiled(&arena, &configs, threads);
+            assert_eq!(split, oracle, "threads = {threads}");
+            assert!(stages.merge_ms >= 0.0);
+        }
+        // The unprofiled path must agree too (profiling only meters).
+        assert_eq!(sweep_cells_threads(&arena, &configs, 2), oracle);
+    }
+
+    #[test]
+    fn churn_grid_rides_the_split_scheduler_unchanged() {
+        let (caches, n) = workload();
+        // The grid result must be independent of the machine's thread
+        // count: cross-check one cell against a direct simulation.
+        let grid = churn_grid(
+            &caches,
+            n,
+            5,
+            &[0, 250],
+            &[QueryPolicy::no_retry()],
+            &[],
+            13,
+            1,
+        );
+        assert_eq!(grid.len(), 2 * CHURN_POLICIES.len());
+        for cell in &grid {
+            cell.health.check_against(&cell.result).unwrap();
+        }
+        let direct = simulate_arena_health_with_scratch(
+            &CacheArena::from_caches(&caches, n),
+            &SimConfig {
+                list_size: 5,
+                policy: PolicyKind::Lru,
+                two_hop: false,
+                seed: 1,
+                availability: AvailabilityConfig::churn(13, 250),
+            },
+            &mut SimScratch::new(),
+        );
+        let cell = grid
+            .iter()
+            .find(|c| c.churn_permille == 250 && c.policy == PolicyKind::Lru)
+            .unwrap();
+        assert_eq!((cell.result.clone(), cell.health), direct);
     }
 }

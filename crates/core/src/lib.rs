@@ -46,8 +46,9 @@ pub mod overlay;
 pub mod sim;
 
 pub use experiment::{
-    churn_grid, policy_comparison, randomization_sweep, sweep_list_sizes, ChurnCell,
-    RandomizationPoint, SweepPoint, CHURN_POLICIES, PAPER_LIST_SIZES,
+    churn_grid, policy_comparison, randomization_sweep, sweep_cells, sweep_cells_threads,
+    sweep_cells_threads_profiled, sweep_configs, sweep_list_sizes, sweep_list_sizes_arena,
+    ChurnCell, RandomizationPoint, SweepPoint, SweepStages, CHURN_POLICIES, PAPER_LIST_SIZES,
 };
 pub use filters::{remove_top_files, remove_top_uploaders};
 pub use gossip::{build_overlay, overlay_hit_rate, GossipConfig, SemanticOverlay};
@@ -59,6 +60,6 @@ pub use overlay::{
     OverlayDayStats,
 };
 pub use sim::{
-    simulate, simulate_health, AvailabilityConfig, ChurnConfig, ChurnSchedule, QueryPolicy,
-    SearchHealth, SimConfig, SimResult,
+    simulate, simulate_health, split_eligible, AvailabilityConfig, ChurnConfig, ChurnSchedule,
+    QueryPolicy, SearchHealth, SimConfig, SimResult, SweepPrecomp,
 };

@@ -117,20 +117,43 @@ impl Lru {
             false
         }
     }
-}
 
-impl NeighbourPolicy for Lru {
-    fn record_upload(&mut self, uploader: Peer) {
+    /// Clears the list in place to the empty state of `Lru::new
+    /// (capacity)`, keeping the allocations — the pooled-scratch sweeps
+    /// renew one instance per querier instead of constructing one per
+    /// peer.
+    pub fn reset(&mut self, capacity: usize) {
+        assert!(capacity > 0, "neighbour list capacity must be positive");
+        self.list.clear();
+        self.members.clear();
+        self.capacity = capacity;
+    }
+
+    /// [`NeighbourPolicy::record_upload`] that also reports the
+    /// membership delta `(added, removed)` — the hook the sweeps'
+    /// interval-based message accounting needs to know when a peer
+    /// enters or leaves the list without re-walking it.
+    pub fn record_upload_delta(&mut self, uploader: Peer) -> (Option<Peer>, Option<Peer>) {
+        let mut delta = (None, None);
         if let Some(pos) = self.list.iter().position(|&p| p == uploader) {
             self.list.remove(pos);
         } else {
             self.members.insert(uploader);
+            delta.0 = Some(uploader);
             if self.list.len() == self.capacity {
                 let evicted = self.list.pop().expect("list is at capacity > 0");
                 self.members.remove(&evicted);
+                delta.1 = Some(evicted);
             }
         }
         self.list.insert(0, uploader);
+        delta
+    }
+}
+
+impl NeighbourPolicy for Lru {
+    fn record_upload(&mut self, uploader: Peer) {
+        let _ = self.record_upload_delta(uploader);
     }
 
     fn neighbours(&self) -> &[Peer] {
@@ -224,13 +247,28 @@ impl History {
         self.list.insert(pos, peer);
         true
     }
-}
 
-impl NeighbourPolicy for History {
-    fn record_upload(&mut self, uploader: Peer) {
+    /// Clears all history in place to the empty state of `History::new
+    /// (capacity)`, keeping the allocations (see [`Lru::reset`]).
+    pub fn reset(&mut self, capacity: usize) {
+        assert!(capacity > 0, "neighbour list capacity must be positive");
+        self.counts.clear();
+        self.clock = 0;
+        self.last_seen.clear();
+        self.list.clear();
+        self.members.clear();
+        self.capacity = capacity;
+    }
+
+    /// [`NeighbourPolicy::record_upload`] reporting the membership
+    /// delta `(added, removed)` (see [`Lru::record_upload_delta`]).
+    /// Note the counter and recency updates happen even when the
+    /// newcomer is rejected — rejection only skips the *list* change.
+    pub fn record_upload_delta(&mut self, uploader: Peer) -> (Option<Peer>, Option<Peer>) {
         self.clock += 1;
         *self.counts.entry(uploader).or_insert(0) += 1;
         self.last_seen.insert(uploader, self.clock);
+        let mut delta = (None, None);
         if self.members.contains(&uploader) {
             // Re-sort its position upward.
             let pos = self
@@ -243,13 +281,15 @@ impl NeighbourPolicy for History {
             // Replace the tail only if the newcomer now outranks it.
             let tail = *self.list.last().expect("at capacity > 0");
             if self.key(uploader) <= self.key(tail) {
-                return;
+                return delta;
             }
             self.list.pop();
             self.members.remove(&tail);
             self.members.insert(uploader);
+            delta = (Some(uploader), Some(tail));
         } else {
             self.members.insert(uploader);
+            delta = (Some(uploader), None);
         }
         let key = self.key(uploader);
         let pos = self
@@ -258,6 +298,13 @@ impl NeighbourPolicy for History {
             .position(|&p| self.key(p) < key)
             .unwrap_or(self.list.len());
         self.list.insert(pos, uploader);
+        delta
+    }
+}
+
+impl NeighbourPolicy for History {
+    fn record_upload(&mut self, uploader: Peer) {
+        let _ = self.record_upload_delta(uploader);
     }
 
     fn neighbours(&self) -> &[Peer] {
@@ -294,25 +341,43 @@ impl RandomList {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize, owner: Peer, candidates: &[Peer], rng: &mut impl Rng) -> Self {
         assert!(capacity > 0, "neighbour list capacity must be positive");
-        let mut members = HashSet::new();
-        let mut list = Vec::with_capacity(capacity);
+        let mut fresh = RandomList {
+            list: Vec::with_capacity(capacity),
+            members: HashSet::new(),
+            owner,
+            capacity,
+        };
+        fresh.refill(capacity, owner, candidates, rng);
+        fresh
+    }
+
+    /// Re-draws the list in place with exactly the RNG draw sequence of
+    /// `RandomList::new(capacity, owner, candidates, rng)`, keeping the
+    /// allocations — the pooled-scratch sweeps renew instances across
+    /// runs instead of constructing fresh ones.
+    pub fn refill(
+        &mut self,
+        capacity: usize,
+        owner: Peer,
+        candidates: &[Peer],
+        rng: &mut impl Rng,
+    ) {
+        assert!(capacity > 0, "neighbour list capacity must be positive");
+        self.list.clear();
+        self.members.clear();
+        self.owner = owner;
+        self.capacity = capacity;
         // Rejection sampling; candidate pools are far larger than lists
         // in every experiment, so this terminates fast. Bounded anyway.
         let mut guard = 0usize;
-        while list.len() < capacity.min(candidates.len().saturating_sub(1))
+        while self.list.len() < capacity.min(candidates.len().saturating_sub(1))
             && guard < 100 * capacity + 1000
         {
             guard += 1;
             let pick = candidates[rng.gen_range(0..candidates.len())];
-            if pick != owner && members.insert(pick) {
-                list.push(pick);
+            if pick != owner && self.members.insert(pick) {
+                self.list.push(pick);
             }
-        }
-        RandomList {
-            list,
-            members,
-            owner,
-            capacity,
         }
     }
 
@@ -395,6 +460,26 @@ impl RareLru {
     pub fn evict(&mut self, peer: Peer) -> bool {
         self.inner.evict(peer)
     }
+
+    /// Clears the list in place (see [`Lru::reset`]).
+    pub fn reset(&mut self, capacity: usize, max_sources: u32) {
+        self.inner.reset(capacity);
+        self.max_sources = max_sources;
+    }
+
+    /// Membership-delta recording (see [`Lru::record_upload_delta`]);
+    /// popular uploads change nothing.
+    pub fn record_upload_delta(
+        &mut self,
+        uploader: Peer,
+        sources: u32,
+    ) -> (Option<Peer>, Option<Peer>) {
+        if sources <= self.max_sources {
+            self.inner.record_upload_delta(uploader)
+        } else {
+            (None, None)
+        }
+    }
 }
 
 impl NeighbourPolicy for RareLru {
@@ -452,6 +537,7 @@ impl PolicyKind {
 }
 
 /// A boxed policy instance, one per simulated peer.
+#[derive(Clone, Debug)]
 pub enum AnyPolicy {
     /// LRU instance.
     Lru(Lru),
@@ -481,6 +567,89 @@ impl AnyPolicy {
             PolicyKind::RareLru { max_sources } => {
                 AnyPolicy::RareLru(RareLru::new(capacity, max_sources))
             }
+        }
+    }
+
+    /// Re-initializes this instance to exactly the state
+    /// `AnyPolicy::new(kind, capacity, owner, candidates, rng)` would
+    /// produce — including the RNG draw sequence for Random lists — but
+    /// reusing the existing allocations whenever the policy kind is
+    /// unchanged. This is what lets a sweep worker keep one pooled
+    /// policy (or one pooled per-peer vector) across runs instead of
+    /// re-allocating per peer per cell.
+    pub fn renew(
+        &mut self,
+        kind: PolicyKind,
+        capacity: usize,
+        owner: Peer,
+        candidates: &[Peer],
+        rng: &mut impl Rng,
+    ) {
+        match (self, kind) {
+            (AnyPolicy::Lru(p), PolicyKind::Lru) => p.reset(capacity),
+            (AnyPolicy::History(p), PolicyKind::History) => p.reset(capacity),
+            (AnyPolicy::Random(p), PolicyKind::Random) => {
+                p.refill(capacity, owner, candidates, rng)
+            }
+            (AnyPolicy::RareLru(p), PolicyKind::RareLru { max_sources }) => {
+                p.reset(capacity, max_sources)
+            }
+            (other, kind) => *other = AnyPolicy::new(kind, capacity, owner, candidates, rng),
+        }
+    }
+
+    /// [`AnyPolicy::new`] for the adaptive kinds, which ignore the
+    /// owner, candidate pool and RNG — the constructor the split-cell
+    /// sweep path uses (it excludes the Random policy precisely so no
+    /// sequential RNG draws are needed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is [`PolicyKind::Random`].
+    pub fn new_adaptive(kind: PolicyKind, capacity: usize) -> Self {
+        match kind {
+            PolicyKind::Lru => AnyPolicy::Lru(Lru::new(capacity)),
+            PolicyKind::History => AnyPolicy::History(History::new(capacity)),
+            PolicyKind::RareLru { max_sources } => {
+                AnyPolicy::RareLru(RareLru::new(capacity, max_sources))
+            }
+            PolicyKind::Random => panic!("random lists need the construction RNG"),
+        }
+    }
+
+    /// [`AnyPolicy::renew`] for the adaptive kinds (see
+    /// [`AnyPolicy::new_adaptive`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is [`PolicyKind::Random`].
+    pub fn renew_adaptive(&mut self, kind: PolicyKind, capacity: usize) {
+        match (self, kind) {
+            (AnyPolicy::Lru(p), PolicyKind::Lru) => p.reset(capacity),
+            (AnyPolicy::History(p), PolicyKind::History) => p.reset(capacity),
+            (AnyPolicy::RareLru(p), PolicyKind::RareLru { max_sources }) => {
+                p.reset(capacity, max_sources)
+            }
+            (other, kind) => *other = AnyPolicy::new_adaptive(kind, capacity),
+        }
+    }
+
+    /// [`NeighbourPolicy::record_upload_with_popularity`] reporting the
+    /// membership delta `(added, removed)` — see
+    /// [`Lru::record_upload_delta`]. Random lists never change.
+    pub fn record_upload_with_popularity_delta(
+        &mut self,
+        uploader: Peer,
+        sources: u32,
+    ) -> (Option<Peer>, Option<Peer>) {
+        match self {
+            AnyPolicy::Lru(p) => p.record_upload_delta(uploader),
+            AnyPolicy::History(p) => p.record_upload_delta(uploader),
+            AnyPolicy::Random(p) => {
+                p.record_upload_with_popularity(uploader, sources);
+                (None, None)
+            }
+            AnyPolicy::RareLru(p) => p.record_upload_delta(uploader, sources),
         }
     }
 
@@ -762,6 +931,114 @@ mod tests {
         // Non-members are untouched even with a replacement on offer.
         assert_eq!(p.handle_stale(stale, Some(fresh)), StaleReaction::Kept);
         check_invariants(&p);
+    }
+
+    #[test]
+    fn lru_delta_reports_membership_changes() {
+        let mut lru = Lru::new(2);
+        assert_eq!(lru.record_upload_delta(1), (Some(1), None));
+        assert_eq!(lru.record_upload_delta(2), (Some(2), None));
+        // Refresh: no membership change.
+        assert_eq!(lru.record_upload_delta(1), (None, None));
+        // At capacity: newcomer in, LRU tail out.
+        assert_eq!(lru.record_upload_delta(3), (Some(3), Some(2)));
+        assert_eq!(lru.neighbours(), &[3, 1]);
+    }
+
+    #[test]
+    fn history_delta_reports_membership_changes() {
+        let mut h = History::new(2);
+        for _ in 0..3 {
+            h.record_upload(1);
+        }
+        for _ in 0..2 {
+            h.record_upload(2);
+        }
+        // Rejected newcomer: counters move, membership does not.
+        assert_eq!(h.record_upload_delta(3), (None, None));
+        assert_eq!(h.neighbours(), &[1, 2]);
+        // Its count now reaches 2's count with newer recency: replaces.
+        assert_eq!(h.record_upload_delta(3), (Some(3), Some(2)));
+        assert!(h.contains(3) && !h.contains(2));
+        // Member re-sort: no membership change.
+        assert_eq!(h.record_upload_delta(3), (None, None));
+    }
+
+    #[test]
+    fn reset_matches_fresh_instance() {
+        let mut lru = Lru::new(3);
+        for p in [1, 2, 3, 4] {
+            lru.record_upload(p);
+        }
+        lru.reset(2);
+        assert!(lru.neighbours().is_empty());
+        assert!(!lru.contains(4));
+        lru.record_upload(9);
+        assert_eq!((lru.neighbours(), lru.capacity()), (&[9][..], 2));
+
+        let mut h = History::new(3);
+        for p in [1, 1, 2] {
+            h.record_upload(p);
+        }
+        h.reset(3);
+        let mut fresh = History::new(3);
+        // Same uploads replayed into reset and fresh must agree exactly
+        // (a leaked count or clock would reorder the tie-break).
+        for p in [5, 6, 6, 5] {
+            h.record_upload(p);
+            fresh.record_upload(p);
+        }
+        assert_eq!(h.neighbours(), fresh.neighbours());
+
+        let mut rare = RareLru::new(2, 5);
+        rare.record_upload_with_popularity(1, 2);
+        rare.reset(2, 0);
+        assert!(rare.neighbours().is_empty());
+        assert_eq!(rare.record_upload_delta(1, 1), (None, None), "cutoff 0");
+    }
+
+    #[test]
+    fn renew_replays_the_construction_draw_sequence() {
+        let candidates: Vec<Peer> = (0..80).collect();
+        for kind in [
+            PolicyKind::Lru,
+            PolicyKind::History,
+            PolicyKind::Random,
+            PolicyKind::RareLru { max_sources: 4 },
+        ] {
+            // A dirtied pooled instance renewed with rng state R must
+            // equal a fresh instance built from the same R — including
+            // which draws Random consumes.
+            let mut pooled = AnyPolicy::new(kind, 6, 1, &candidates, &mut StdRng::seed_from_u64(9));
+            pooled.record_upload_with_popularity(7, 1);
+            pooled.record_upload_with_popularity(8, 1);
+            let mut rng_a = StdRng::seed_from_u64(42);
+            let mut rng_b = StdRng::seed_from_u64(42);
+            pooled.renew(kind, 5, 2, &candidates, &mut rng_a);
+            let fresh = AnyPolicy::new(kind, 5, 2, &candidates, &mut rng_b);
+            assert_eq!(pooled.neighbours(), fresh.neighbours(), "{kind:?}");
+            assert_eq!(pooled.capacity(), fresh.capacity(), "{kind:?}");
+            // And the rng must end in the same state.
+            use rand::RngCore;
+            assert_eq!(rng_a.next_u64(), rng_b.next_u64(), "{kind:?}");
+        }
+        // Kind changes fall back to fresh construction.
+        let mut p = AnyPolicy::new(
+            PolicyKind::Lru,
+            3,
+            0,
+            &candidates,
+            &mut StdRng::seed_from_u64(1),
+        );
+        p.renew(
+            PolicyKind::History,
+            4,
+            0,
+            &candidates,
+            &mut StdRng::seed_from_u64(1),
+        );
+        assert!(matches!(p, AnyPolicy::History(_)));
+        assert_eq!(p.capacity(), 4);
     }
 
     #[test]

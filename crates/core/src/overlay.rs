@@ -15,6 +15,7 @@
 //! list learned yesterday keeps answering today. The per-day hit-rate
 //! series shows the overlay warming up and then *staying* warm.
 
+use edonkey_trace::compact::RowBits;
 use edonkey_trace::model::FileRef;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -158,6 +159,9 @@ pub fn simulate_overlay_health(
     // Per-request consecutive-timeout streaks (see `SimScratch`).
     let mut stale_prev: Vec<(Peer, u32)> = Vec::new();
     let mut stale_cur: Vec<(Peer, u32)> = Vec::new();
+    // Reused bitset for the popular-file membership probe.
+    let mut member_bits = RowBits::new();
+    member_bits.ensure(n_peers);
 
     let mut stats = Vec::with_capacity(days.len());
     stats.push(OverlayDayStats {
@@ -265,11 +269,25 @@ pub fn simulate_overlay_health(
                     std::mem::swap(&mut stale_prev, &mut stale_cur);
                 }
 
+                // Membership probe over the *post-staleness* list. For
+                // popular files the list is stamped into a word-level
+                // bitset once and each source probes a single bit; rare
+                // files keep the direct membership test. The scan order
+                // is the same either way, so the answer is too.
                 let policy = &policies[peer as usize];
-                let uploader = sources
-                    .iter()
-                    .copied()
-                    .find(|&s| policy.contains(s) && (quiet || !schedule.offline(s, day, milli)));
+                let uploader = if sources.len() * 4 >= policy.neighbours().len() {
+                    member_bits.clear();
+                    for &m in policy.neighbours() {
+                        member_bits.insert(m);
+                    }
+                    sources.iter().copied().find(|&s| {
+                        member_bits.contains(s) && (quiet || !schedule.offline(s, day, milli))
+                    })
+                } else {
+                    sources.iter().copied().find(|&s| {
+                        policy.contains(s) && (quiet || !schedule.offline(s, day, milli))
+                    })
+                };
 
                 if uploader.is_some() || !saw_timeout || attempt >= query.max_retries {
                     break (uploader, day);

@@ -33,14 +33,34 @@
 //! pre-availability simulator ([`simulate_reference`] is the pinned
 //! oracle).
 
-use edonkey_trace::compact::CacheArena;
+use edonkey_trace::compact::{CacheArena, RowBits};
 use edonkey_trace::model::FileRef;
 pub use edonkey_workload::churn::{ChurnConfig, ChurnSchedule, QueryPolicy};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
+use std::time::Instant;
 
 use crate::neighbours::{AnyPolicy, NeighbourPolicy, Peer, PolicyKind, StaleReaction};
+
+/// Stateless server-fallback pick: which of the `len` current sharers
+/// uploads on a miss at stream position `t`, drawn by a splitmix64
+/// finalizer over `(seed, t)` — the same construction the churn
+/// schedule uses for its replacement draws.
+///
+/// Being a pure function of the stream position (instead of a draw from
+/// the simulation's sequential RNG) is what lets the split-cell sweep
+/// replay any querier's requests independently and still agree
+/// bit-for-bit with [`simulate_reference`].
+#[inline]
+fn fallback_index(seed: u64, t: u64, len: usize) -> usize {
+    debug_assert!(len > 0);
+    let mut z = seed ^ t.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    (z % len as u64) as usize
+}
 
 /// The availability regime a simulation runs under.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -366,7 +386,15 @@ pub fn simulate_arena(arena: &CacheArena, config: &SimConfig) -> SimResult {
 #[derive(Debug, Default)]
 pub struct SimScratch {
     stream: Vec<(u32, FileRef)>,
-    sharers: Vec<Vec<Peer>>,
+    /// Arrival-ordered sharers per file, flat CSR: `sharer_heads` holds
+    /// row offsets into `sharer_flat`, `sharer_len` the live widths.
+    /// Every replica in the stream eventually lands in its file's row,
+    /// so the final row widths are the per-file replica counts — known
+    /// before the run starts. Three pooled buffers replace one heap
+    /// `Vec` per shared file.
+    sharer_heads: Vec<u32>,
+    sharer_len: Vec<u32>,
+    sharer_flat: Vec<Peer>,
     /// `mark[p] == generation` ⇔ peer `p` is an *online, queried*
     /// neighbour of the current requester. Stale entries are
     /// invalidated by the generation bump — never by clearing the
@@ -380,6 +408,14 @@ pub struct SimScratch {
     /// the previous attempt's and the one being walked.
     stale_prev: Vec<(Peer, u32)>,
     stale_cur: Vec<(Peer, u32)>,
+    /// Pooled per-peer neighbour policies, renewed in place each run
+    /// ([`AnyPolicy::renew`] replays the construction draw sequence, so
+    /// reuse is invisible to the RNG stream).
+    policies: Vec<AnyPolicy>,
+    /// Pooled candidate pool (the non-free-riders) for random lists.
+    sharer_pool: Vec<Peer>,
+    /// Pooled relay-list bitset for the two-hop probe.
+    relay_bits: RowBits,
 }
 
 impl SimScratch {
@@ -423,21 +459,28 @@ pub fn simulate_arena_health_with_scratch(
     let n_files = arena.n_files();
     let mut rng = StdRng::seed_from_u64(config.seed);
 
-    // Sharers (non-free-riders) are the candidate pool for random lists.
-    let sharer_pool: Vec<Peer> = (0..n_peers)
-        .filter(|&p| !arena.cache(p).is_empty())
-        .map(|p| p as Peer)
-        .collect();
-
     let SimScratch {
         stream,
-        sharers,
+        sharer_heads,
+        sharer_len,
+        sharer_flat,
         mark,
         generation,
         query_buf,
         stale_prev,
         stale_cur,
+        policies,
+        sharer_pool,
+        relay_bits,
     } = scratch;
+
+    // Sharers (non-free-riders) are the candidate pool for random lists.
+    sharer_pool.clear();
+    sharer_pool.extend(
+        (0..n_peers)
+            .filter(|&p| !arena.cache(p).is_empty())
+            .map(|p| p as Peer),
+    );
 
     // Request stream: a uniformly shuffled multiset of (peer, file).
     stream.clear();
@@ -447,24 +490,43 @@ pub fn simulate_arena_health_with_scratch(
     }
     shuffle(stream, &mut rng);
 
-    // Mutable simulation state.
-    let mut policies: Vec<AnyPolicy> = (0..n_peers)
-        .map(|p| {
-            AnyPolicy::new(
-                config.policy,
-                config.list_size,
-                p as Peer,
-                &sharer_pool,
-                &mut rng,
-            )
-        })
-        .collect();
-    if sharers.len() < n_files {
-        sharers.resize_with(n_files, Vec::new);
+    // Mutable simulation state: renew the pooled policies in place (in
+    // peer order, so the construction RNG draws replay exactly), extend
+    // the pool if this arena has more peers than the last run.
+    policies.truncate(n_peers);
+    for (p, policy) in policies.iter_mut().enumerate() {
+        policy.renew(
+            config.policy,
+            config.list_size,
+            p as Peer,
+            sharer_pool,
+            &mut rng,
+        );
     }
-    for s in &mut sharers[..n_files] {
-        s.clear();
+    for p in policies.len()..n_peers {
+        policies.push(AnyPolicy::new(
+            config.policy,
+            config.list_size,
+            p as Peer,
+            sharer_pool,
+            &mut rng,
+        ));
     }
+    // CSR sharer table: bucket-count the stream into row offsets, then
+    // prefix-sum. Zeroing the counters is the same O(n_files) cost the
+    // per-file `Vec::clear` walk used to pay, without its allocations.
+    sharer_heads.clear();
+    sharer_heads.resize(n_files + 1, 0);
+    for &(_, f) in stream.iter() {
+        sharer_heads[f.index() + 1] += 1;
+    }
+    for i in 0..n_files {
+        sharer_heads[i + 1] += sharer_heads[i];
+    }
+    sharer_len.clear();
+    sharer_len.resize(n_files, 0);
+    sharer_flat.clear();
+    sharer_flat.resize(stream.len(), 0);
     if mark.len() < n_peers {
         mark.resize(n_peers, 0);
     }
@@ -491,10 +553,13 @@ pub fn simulate_arena_health_with_scratch(
 
     for (t, &(peer, file)) in stream.iter().enumerate() {
         let peer_idx = peer as usize;
-        if sharers[file.index()].is_empty() {
+        let head = sharer_heads[file.index()] as usize;
+        let f_len = sharer_len[file.index()] as usize;
+        if f_len == 0 {
             // Original contributor.
             result.contributor_seeds += 1;
-            sharers[file.index()].push(peer);
+            sharer_flat[head] = peer;
+            sharer_len[file.index()] = 1;
             continue;
         }
         result.requests += 1;
@@ -565,7 +630,7 @@ pub fn simulate_arena_health_with_scratch(
             // queried neighbours? Iterating sharers (popularity-sized)
             // beats iterating the list for rare files, and is
             // equivalent.
-            let file_sharers = &sharers[file.index()];
+            let file_sharers = &sharer_flat[head..head + f_len];
             let mut uploader: Option<Peer> = file_sharers
                 .iter()
                 .copied()
@@ -573,20 +638,44 @@ pub fn simulate_arena_health_with_scratch(
             let mut hop = 1;
 
             // Two-hop: query each online neighbour's neighbours; the
-            // second-hop holder must itself be online to answer.
+            // second-hop holder must itself be online to answer. For
+            // popular files the per-relay membership probes dominate, so
+            // the relay's list is stamped into a word-level bitset once
+            // and the sharers probe single bits; rare files keep the
+            // direct membership test. Either way the scan order — and
+            // therefore the answer — is identical.
             if uploader.is_none() && config.two_hop {
+                relay_bits.ensure(n_peers);
                 'outer: for &n in query_buf.iter() {
                     if mark[n as usize] != *generation {
                         continue; // offline relay: its list is unreachable
                     }
-                    for &s in file_sharers {
-                        if s != peer
-                            && policies[n as usize].contains(s)
-                            && (quiet || !schedule.offline(s, day, milli))
-                        {
-                            uploader = Some(s);
-                            hop = 2;
-                            break 'outer;
+                    let relay = &policies[n as usize];
+                    if file_sharers.len() * 4 >= relay.neighbours().len() {
+                        relay_bits.clear();
+                        for &m in relay.neighbours() {
+                            relay_bits.insert(m);
+                        }
+                        for &s in file_sharers {
+                            if s != peer
+                                && relay_bits.contains(s)
+                                && (quiet || !schedule.offline(s, day, milli))
+                            {
+                                uploader = Some(s);
+                                hop = 2;
+                                break 'outer;
+                            }
+                        }
+                    } else {
+                        for &s in file_sharers {
+                            if s != peer
+                                && relay.contains(s)
+                                && (quiet || !schedule.offline(s, day, milli))
+                            {
+                                uploader = Some(s);
+                                hop = 2;
+                                break 'outer;
+                            }
                         }
                     }
                 }
@@ -621,30 +710,33 @@ pub fn simulate_arena_health_with_scratch(
                     health.stranded += 1;
                     continue;
                 }
-                // Server fallback: a uniformly random current sharer
-                // uploads the file. The server queues uploads from
-                // currently-offline sharers, so the pick ranges over
-                // all of them — which is also exactly the pre-churn
-                // draw, keeping quiet runs bit-identical.
-                let file_sharers = &sharers[file.index()];
-                let pick = file_sharers[rng.gen_range(0..file_sharers.len())];
+                // Server fallback: a uniform current sharer uploads the
+                // file, picked statelessly from the stream position (see
+                // [`fallback_index`]). The server queues uploads from
+                // currently-offline sharers, so the pick ranges over all
+                // of them — which is also exactly the quiet-regime draw,
+                // keeping quiet runs bit-identical to the reference.
+                let pick = sharer_flat[head + fallback_index(config.seed, t as u64, f_len)];
                 health.server_fallback += 1;
                 uploader = Some(pick);
             }
         }
 
         let uploader = uploader.expect("an uploader always exists here");
-        let sources = sharers[file.index()].len() as u32;
-        policies[peer_idx].record_upload_with_popularity(uploader, sources);
-        sharers[file.index()].push(peer);
+        policies[peer_idx].record_upload_with_popularity(uploader, f_len as u32);
+        sharer_flat[head + f_len] = peer;
+        sharer_len[file.index()] += 1;
     }
 
     (result, health)
 }
 
-/// The original (pre-arena) implementation, kept verbatim as a
-/// correctness oracle: `deterministic_under_seed`, the property tests
-/// and the benchmark harness all compare the arena path against it.
+/// The original (pre-arena) implementation, kept structurally intact as
+/// a correctness oracle: `deterministic_under_seed`, the property tests
+/// and the benchmark harness all compare the arena and split-cell paths
+/// against it. The only change since the seed version is the server
+/// fallback, which is now drawn statelessly from the stream position
+/// (see [`fallback_index`]) in lockstep with the optimised paths.
 pub fn simulate_reference(
     caches: &[Vec<FileRef>],
     n_files: usize,
@@ -693,7 +785,7 @@ pub fn simulate_reference(
         messages_per_peer: vec![0; caches.len()],
     };
 
-    for (peer, file) in stream {
+    for (t, (peer, file)) in stream.into_iter().enumerate() {
         let peer_idx = peer as usize;
         let file_sharers = &sharers[file.index()];
         if file_sharers.is_empty() {
@@ -734,9 +826,9 @@ pub fn simulate_reference(
             Some(_) if hop == 1 => result.one_hop_hits += 1,
             Some(_) => result.two_hop_hits += 1,
             None => {
-                // Server fallback: a uniformly random current sharer
-                // uploads the file.
-                let pick = file_sharers[rng.gen_range(0..file_sharers.len())];
+                // Server fallback: a uniform current sharer uploads the
+                // file, picked statelessly from the stream position.
+                let pick = file_sharers[fallback_index(config.seed, t as u64, file_sharers.len())];
                 uploader = Some(pick);
             }
         }
@@ -749,6 +841,797 @@ pub fn simulate_reference(
     }
 
     result
+}
+
+/// True iff a cell can run on the split-cell path
+/// ([`simulate_cell_range`]): queriers are mutually independent only
+/// when no server outage can strand a request (every request then pushes
+/// its peer onto the sharer list, making arrivals policy-independent),
+/// the policy draws nothing from the sequential RNG (excludes Random)
+/// and relays never matter (no two-hop).
+pub fn split_eligible(config: &SimConfig) -> bool {
+    !config.two_hop
+        && !matches!(config.policy, PolicyKind::Random)
+        && config.availability.churn.outage_days.is_empty()
+}
+
+/// One request of a querier's stream, fully resolved at precomp time:
+/// stream position, file, arrival rank, and the file's arrival-CSR base
+/// offset — one 16-byte load where the hot loop would otherwise chase
+/// three parallel arrays.
+#[derive(Clone, Copy, Debug)]
+struct QueryRec {
+    t: u32,
+    file: FileRef,
+    rank: u32,
+    off: u32,
+}
+
+/// Policy-independent precomputation shared by every split-eligible
+/// cell of a sweep that uses the same `(arena, seed)`.
+///
+/// The key observation: without server outages every consumed stream
+/// entry `(p, f)` ends with `p` sharing `f`, so the sharer list of each
+/// file — and hence every request's candidate uploader set — depends
+/// only on the shuffled stream, never on the policy under test. One
+/// pass over the stream therefore fixes, for all cells at once:
+///
+/// * which entries are contributor seeds (rank 0) vs requests;
+/// * each file's sharers *in arrival order* (`arrivals`), of which the
+///   first `rank` entries are exactly the file's sharer list at the
+///   moment a rank-`rank` request is consumed;
+/// * each querier's request positions (`queries`), the unit the
+///   work-stealing scheduler splits cells by.
+pub struct SweepPrecomp {
+    seed: u64,
+    stream: Vec<(u32, FileRef)>,
+    /// Arrival-ordered sharers per file (CSR over files; each
+    /// [`QueryRec`] carries its own row offset, so the offsets table is
+    /// consumed during construction rather than stored).
+    arrivals: Vec<Peer>,
+    /// Fully-resolved requests per querier (CSR over peers); the
+    /// offsets double as prefix sums of per-peer request counts.
+    queries: Vec<QueryRec>,
+    queries_off: Vec<u32>,
+    /// Arrival rank per arena CSR entry: `rank_by[k]` is the arrival
+    /// rank of peer `p` for file `f` where `k` indexes `(p, f)` in the
+    /// arena's own CSR layout — the member-major hit check's O(1)
+    /// "when did member `m` start sharing `f`" lookup.
+    rank_by: Vec<u32>,
+    requests: u64,
+    contributor_seeds: u64,
+    n_peers: usize,
+}
+
+impl SweepPrecomp {
+    /// Builds the precomputation: one shuffle plus two linear passes.
+    pub fn new(arena: &CacheArena, seed: u64) -> Self {
+        let n_peers = arena.n_peers();
+        let n_files = arena.n_files();
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        let mut stream: Vec<(u32, FileRef)> = Vec::with_capacity(arena.replica_count());
+        for p in 0..n_peers {
+            stream.extend(arena.cache(p).iter().map(|&f| (p as u32, f)));
+        }
+        shuffle(&mut stream, &mut rng);
+
+        // Arrival CSR offsets: per-file replica counts, prefix-summed.
+        let mut arrivals_off = vec![0u32; n_files + 1];
+        for &(_, f) in &stream {
+            arrivals_off[f.index() + 1] += 1;
+        }
+        for i in 0..n_files {
+            arrivals_off[i + 1] += arrivals_off[i];
+        }
+
+        // Single pass: per-entry rank, arrival-ordered sharers, per-peer
+        // request counts.
+        let mut cursor: Vec<u32> = arrivals_off[..n_files].to_vec();
+        let mut rank = vec![0u32; stream.len()];
+        let mut arrivals = vec![0 as Peer; stream.len()];
+        let mut per_peer = vec![0u32; n_peers];
+        let mut requests = 0u64;
+        for (t, &(p, f)) in stream.iter().enumerate() {
+            let fi = f.index();
+            let r = cursor[fi] - arrivals_off[fi];
+            rank[t] = r;
+            arrivals[cursor[fi] as usize] = p;
+            cursor[fi] += 1;
+            if r > 0 {
+                per_peer[p as usize] += 1;
+                requests += 1;
+            }
+        }
+        let contributor_seeds = stream.len() as u64 - requests;
+
+        // Request positions per querier (CSR over peers).
+        let mut queries_off = vec![0u32; n_peers + 1];
+        for p in 0..n_peers {
+            queries_off[p + 1] = queries_off[p] + per_peer[p];
+        }
+        let mut qcursor: Vec<u32> = queries_off[..n_peers].to_vec();
+        let mut queries = vec![
+            QueryRec {
+                t: 0,
+                file: FileRef(0),
+                rank: 0,
+                off: 0
+            };
+            requests as usize
+        ];
+        for (t, &(p, f)) in stream.iter().enumerate() {
+            if rank[t] > 0 {
+                queries[qcursor[p as usize] as usize] = QueryRec {
+                    t: t as u32,
+                    file: f,
+                    rank: rank[t],
+                    off: arrivals_off[f.index()],
+                };
+                qcursor[p as usize] += 1;
+            }
+        }
+
+        // Arrival rank per arena CSR entry, for the member-major probe.
+        let (entries, offsets) = arena.as_csr_parts();
+        let mut rank_by = vec![0u32; entries.len()];
+        for (t, &(p, f)) in stream.iter().enumerate() {
+            let row = arena.cache(p as usize);
+            let pos = row
+                .binary_search(&f)
+                .expect("stream entries come from arena rows");
+            rank_by[offsets[p as usize] as usize + pos] = rank[t];
+        }
+
+        SweepPrecomp {
+            seed,
+            stream,
+            arrivals,
+            queries,
+            queries_off,
+            rank_by,
+            requests,
+            contributor_seeds,
+            n_peers,
+        }
+    }
+
+    /// The seed this precomputation was built for.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Requests issued by queriers in `[lo, hi)` — the scheduler's cost
+    /// estimate for a subtask.
+    pub fn requests_in(&self, lo: u32, hi: u32) -> u64 {
+        u64::from(self.queries_off[hi as usize]) - u64::from(self.queries_off[lo as usize])
+    }
+
+    /// Splits the peer space into at most `chunks` contiguous ranges of
+    /// roughly equal request counts. Any partition yields bit-identical
+    /// sweep results (queriers are independent); this one just balances
+    /// the work-stealing queue.
+    pub fn peer_ranges(&self, chunks: usize) -> Vec<(u32, u32)> {
+        let n = self.n_peers as u32;
+        if n == 0 {
+            return Vec::new();
+        }
+        let target = self.requests.div_ceil(chunks.max(1) as u64).max(1);
+        let mut ranges = Vec::new();
+        let mut lo = 0u32;
+        while lo < n {
+            let mut hi = lo + 1;
+            while hi < n && self.requests_in(lo, hi) < target {
+                hi += 1;
+            }
+            ranges.push((lo, hi));
+            lo = hi;
+        }
+        ranges
+    }
+}
+
+/// Per-worker scratch for [`simulate_cell_range`]: one pooled policy
+/// (renewed per querier), the churn-path walk buffers, and the quiet
+/// path's interval ledger.
+#[derive(Debug, Default)]
+pub struct SplitScratch {
+    policy: Option<AnyPolicy>,
+    /// Quiet path: `start_of[p]` is the request index at which member
+    /// `p` became queryable — messages are settled per *interval* on
+    /// eviction instead of per request. Only meaningful while `p` is
+    /// marked with the current generation.
+    start_of: Vec<u32>,
+    /// Membership marks: `mark[p] == generation` ⇔ `p` is currently a
+    /// list member (quiet path) or an online, queried neighbour (churn
+    /// path). Maintained incrementally from the policy's upload deltas
+    /// on the quiet path, so the hot hit check is one array load.
+    mark: Vec<u64>,
+    generation: u64,
+    query_buf: Vec<Peer>,
+    stale_prev: Vec<(Peer, u32)>,
+    stale_cur: Vec<(Peer, u32)>,
+    quiet: QuietState,
+}
+
+impl SplitScratch {
+    /// Creates empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Sentinel for "no peer" in [`QuietState`]'s intrusive links.
+const NO_PEER: u32 = u32::MAX;
+
+/// Peer-indexed policy state for the quiet split path.
+///
+/// The `neighbours` policies hash every membership test and `memmove`
+/// every head insert; amortised over ~10⁵ requests per cell that is
+/// most of a sweep's runtime. This mirror keeps the identical delta
+/// semantics (pinned by the split determinism tests) with O(1) LRU
+/// updates over intrusive recency links and generation-stamped History
+/// counters — no hashing, no per-querier clearing. All per-peer arrays
+/// are valid only where stamped with the scratch's current generation.
+#[derive(Debug, Default)]
+struct QuietState {
+    /// Membership bitset over peers — ~2.5 KB at repro scale, so the
+    /// hot prefix scan probes L1 instead of a peer-indexed word array.
+    /// All-zero between queriers (members are unset during settling).
+    bits: Vec<u64>,
+    /// Recency links (head = most recently used), LRU kinds only.
+    next: Vec<u32>,
+    prev: Vec<u32>,
+    head: u32,
+    tail: u32,
+    len: usize,
+    /// History upload counters, valid iff `seen[p] == generation`.
+    counts: Vec<u64>,
+    /// History recency tie-break clocks, valid with `counts`.
+    last: Vec<u64>,
+    seen: Vec<u64>,
+    clock: u64,
+    /// History's member list, sorted by `(count, recency)` descending —
+    /// exactly [`History`]'s list order.
+    list: Vec<Peer>,
+}
+
+impl QuietState {
+    /// Resets to the empty-list state for the next querier. The
+    /// membership bits were already cleared during the previous
+    /// querier's settling and the counter arrays are invalidated by the
+    /// caller's generation bump, so this is O(1) after the first call.
+    fn reset(&mut self, n_peers: usize) {
+        if self.next.len() < n_peers {
+            self.next.resize(n_peers, NO_PEER);
+            self.prev.resize(n_peers, NO_PEER);
+            self.counts.resize(n_peers, 0);
+            self.last.resize(n_peers, 0);
+            self.seen.resize(n_peers, 0);
+            self.bits.resize(n_peers.div_ceil(64), 0);
+        }
+        self.head = NO_PEER;
+        self.tail = NO_PEER;
+        self.len = 0;
+        self.clock = 0;
+        self.list.clear();
+    }
+
+    #[inline]
+    fn is_member(&self, p: u32) -> bool {
+        self.bits[(p >> 6) as usize] & (1u64 << (p & 63)) != 0
+    }
+
+    #[inline]
+    fn set_member(&mut self, p: u32) {
+        self.bits[(p >> 6) as usize] |= 1u64 << (p & 63);
+    }
+
+    #[inline]
+    fn unset_member(&mut self, p: u32) {
+        self.bits[(p >> 6) as usize] &= !(1u64 << (p & 63));
+    }
+
+    #[inline]
+    fn push_front(&mut self, u: u32) {
+        self.prev[u as usize] = NO_PEER;
+        self.next[u as usize] = self.head;
+        if self.head == NO_PEER {
+            self.tail = u;
+        } else {
+            self.prev[self.head as usize] = u;
+        }
+        self.head = u;
+        self.len += 1;
+    }
+
+    #[inline]
+    fn unlink(&mut self, u: u32) {
+        let (p, n) = (self.prev[u as usize], self.next[u as usize]);
+        if p == NO_PEER {
+            self.head = n;
+        } else {
+            self.next[p as usize] = n;
+        }
+        if n == NO_PEER {
+            self.tail = p;
+        } else {
+            self.prev[n as usize] = p;
+        }
+        self.len -= 1;
+    }
+
+    /// [`Lru::record_upload_delta`] over the intrusive links: the tail
+    /// is the least recently used member, evicted before the insert,
+    /// exactly like the Vec policy's `pop`-then-`insert(0, ..)`.
+    #[inline]
+    fn lru_record(&mut self, u: u32, cap: usize) -> Delta {
+        if self.is_member(u) {
+            if self.head != u {
+                self.unlink(u);
+                self.push_front(u);
+            }
+            (None, None)
+        } else {
+            let removed = if self.len == cap {
+                let t = self.tail;
+                self.unlink(t);
+                self.unset_member(t);
+                Some(t)
+            } else {
+                None
+            };
+            self.push_front(u);
+            self.set_member(u);
+            (Some(u), removed)
+        }
+    }
+
+    #[inline]
+    fn hist_key(&self, p: u32, gen: u64) -> (u64, u64) {
+        if self.seen[p as usize] == gen {
+            (self.counts[p as usize], self.last[p as usize])
+        } else {
+            (0, 0)
+        }
+    }
+
+    /// [`History::record_upload_delta`] with the hash maps replaced by
+    /// generation-stamped arrays; the sorted member list and its
+    /// rejection/placement rules are verbatim.
+    fn hist_record(&mut self, u: u32, cap: usize, gen: u64) -> Delta {
+        self.clock += 1;
+        let ui = u as usize;
+        if self.seen[ui] == gen {
+            self.counts[ui] += 1;
+        } else {
+            self.seen[ui] = gen;
+            self.counts[ui] = 1;
+        }
+        self.last[ui] = self.clock;
+        let mut delta = (None, None);
+        if self.is_member(u) {
+            let pos = self.list.iter().position(|&p| p == u).expect("member");
+            self.list.remove(pos);
+        } else if self.list.len() == cap {
+            let tail = *self.list.last().expect("at capacity > 0");
+            if self.hist_key(u, gen) <= self.hist_key(tail, gen) {
+                return delta;
+            }
+            self.list.pop();
+            self.unset_member(tail);
+            self.set_member(u);
+            delta = (Some(u), Some(tail));
+        } else {
+            self.set_member(u);
+            delta = (Some(u), None);
+        }
+        let key = self.hist_key(u, gen);
+        let pos = self
+            .list
+            .iter()
+            .position(|&p| self.hist_key(p, gen) < key)
+            .unwrap_or(self.list.len());
+        self.list.insert(pos, u);
+        delta
+    }
+
+    /// Number of current list members.
+    #[inline]
+    fn member_count(&self, kind: QuietKind) -> usize {
+        match kind {
+            QuietKind::History => self.list.len(),
+            _ => self.len,
+        }
+    }
+
+    /// Visits every current member (order is irrelevant to callers:
+    /// min-rank probes and interval settling are order-free).
+    #[inline]
+    fn for_each_member(&self, kind: QuietKind, mut f: impl FnMut(u32)) {
+        match kind {
+            QuietKind::History => self.list.iter().for_each(|&m| f(m)),
+            _ => {
+                let mut m = self.head;
+                while m != NO_PEER {
+                    f(m);
+                    m = self.next[m as usize];
+                }
+            }
+        }
+    }
+
+    /// End-of-querier settling walk: visits every member while clearing
+    /// its membership bit, restoring the all-zero invariant `reset`
+    /// relies on.
+    fn settle_members(&mut self, kind: QuietKind, mut f: impl FnMut(u32)) {
+        match kind {
+            QuietKind::History => {
+                for i in 0..self.list.len() {
+                    let m = self.list[i];
+                    self.unset_member(m);
+                    f(m);
+                }
+            }
+            _ => {
+                let mut m = self.head;
+                while m != NO_PEER {
+                    self.unset_member(m);
+                    f(m);
+                    m = self.next[m as usize];
+                }
+            }
+        }
+    }
+}
+
+/// Membership delta of one policy update: `(added, removed)`.
+type Delta = (Option<Peer>, Option<Peer>);
+
+/// The split-eligible policy kinds, with the rare-file cutoff resolved.
+#[derive(Clone, Copy, Debug)]
+enum QuietKind {
+    Lru,
+    History,
+    RareLru { max_sources: u32 },
+}
+
+/// One subtask's contribution to a cell: every field merges by plain
+/// summation, in any grouping, so [`merge_partials`] is exact.
+#[derive(Clone, Debug)]
+pub struct CellPartial {
+    /// One-hop hits by queriers in this range (split cells never
+    /// answer at two hops).
+    pub one_hop_hits: u64,
+    /// Messages received per peer from this range's queriers.
+    pub messages: Vec<u64>,
+    /// Availability ledger restricted to this range's requests.
+    pub health: SearchHealth,
+    /// Nanoseconds in the hit check (only when profiling).
+    pub intersect_ns: u64,
+    /// Nanoseconds in policy updates + message settling (profiling).
+    pub update_ns: u64,
+}
+
+/// Simulates queriers `peers.0 .. peers.1` of one split-eligible cell.
+///
+/// Replays exactly the per-querier slice of what
+/// [`simulate_arena_health_with_scratch`] would do: the same request
+/// order (a querier's requests keep their global stream order), the
+/// same policy updates, the same stateless fallback picks. Because
+/// split-eligible queriers never observe each other's lists, the
+/// concatenation of any partition's partials is bit-identical to the
+/// sequential run — the property the sweep determinism tests pin down.
+///
+/// `profile` additionally meters the hit-check and update stages into
+/// the partial (off the sweeps' timed path; the metered run is a
+/// separate pass).
+pub fn simulate_cell_range(
+    arena: &CacheArena,
+    pre: &SweepPrecomp,
+    config: &SimConfig,
+    peers: (u32, u32),
+    scratch: &mut SplitScratch,
+    profile: bool,
+) -> CellPartial {
+    debug_assert!(split_eligible(config), "cell must be split-eligible");
+    debug_assert_eq!(config.seed, pre.seed, "precomp seed must match the cell");
+    let mut part = CellPartial {
+        one_hop_hits: 0,
+        messages: vec![0; pre.n_peers],
+        health: SearchHealth::default(),
+        intersect_ns: 0,
+        update_ns: 0,
+    };
+    let quiet = config.availability.is_quiet();
+    for p in peers.0..peers.1 {
+        let lo = pre.queries_off[p as usize] as usize;
+        let hi = pre.queries_off[p as usize + 1] as usize;
+        if lo == hi {
+            continue;
+        }
+        let requests = &pre.queries[lo..hi];
+        if quiet {
+            simulate_querier_quiet(arena, pre, config, requests, scratch, profile, &mut part);
+        } else {
+            simulate_querier_churn(pre, config, requests, scratch, profile, &mut part);
+        }
+    }
+    part
+}
+
+/// Renews the pooled split-path policy for the next querier. Split
+/// cells exclude the Random policy, so construction never draws RNG.
+fn renew_split_policy<'a>(
+    slot: &'a mut Option<AnyPolicy>,
+    config: &SimConfig,
+) -> &'a mut AnyPolicy {
+    match slot {
+        Some(policy) => policy.renew_adaptive(config.policy, config.list_size),
+        None => *slot = Some(AnyPolicy::new_adaptive(config.policy, config.list_size)),
+    }
+    slot.as_mut().expect("slot was just filled")
+}
+
+/// Member-major hit check cutoff: prefer probing the (≤ list-size)
+/// members against the arena when the file's sharer prefix is this many
+/// times longer than the list. Purely a cost heuristic — both probes
+/// return the member with the minimal arrival rank, i.e. the same
+/// uploader the sequential sharer-order scan finds.
+const MEMBER_MAJOR_CUTOFF: usize = 128;
+
+/// Quiet-regime querier replay: interval-settled messages, rank-based
+/// hit checks, no walk buffers.
+fn simulate_querier_quiet(
+    arena: &CacheArena,
+    pre: &SweepPrecomp,
+    config: &SimConfig,
+    requests: &[QueryRec],
+    scratch: &mut SplitScratch,
+    profile: bool,
+    part: &mut CellPartial,
+) {
+    let SplitScratch {
+        start_of,
+        generation,
+        quiet,
+        ..
+    } = scratch;
+    let kind = match config.policy {
+        PolicyKind::Lru => QuietKind::Lru,
+        PolicyKind::History => QuietKind::History,
+        PolicyKind::RareLru { max_sources } => QuietKind::RareLru { max_sources },
+        PolicyKind::Random => unreachable!("Random cells are split-ineligible"),
+    };
+    let cap = config.list_size;
+    let (arena_files, arena_offsets) = arena.as_csr_parts();
+    if start_of.len() < pre.n_peers {
+        start_of.resize(pre.n_peers, 0);
+    }
+    quiet.reset(pre.n_peers);
+    *generation += 1;
+    let generation = *generation;
+    for (q, rec) in requests.iter().enumerate() {
+        let q = q as u32;
+        let file = rec.file;
+        let r = rec.rank as usize;
+        let prefix = &pre.arrivals[rec.off as usize..rec.off as usize + r];
+
+        // One-hop hit: the member with the minimal arrival rank below
+        // `r` — identical to scanning the sharer list (which *is*
+        // `prefix`) for the first member. Popular files probe
+        // member-major via the arena; rare files scan the prefix, with
+        // membership one array load (the marks mirror the list via the
+        // upload deltas below).
+        let t0 = profile.then(Instant::now);
+        let uploader = if r > MEMBER_MAJOR_CUTOFF * quiet.member_count(kind).max(1) {
+            let mut best: Option<(u32, Peer)> = None;
+            quiet.for_each_member(kind, |m| {
+                let row_lo = arena_offsets[m as usize] as usize;
+                let row_hi = arena_offsets[m as usize + 1] as usize;
+                if let Ok(pos) = arena_files[row_lo..row_hi].binary_search(&file) {
+                    let rk = pre.rank_by[row_lo + pos];
+                    if (rk as usize) < r && best.is_none_or(|(b, _)| rk < b) {
+                        best = Some((rk, m));
+                    }
+                }
+            });
+            best.map(|(_, m)| m)
+        } else {
+            prefix.iter().copied().find(|&s| quiet.is_member(s))
+        };
+        if let Some(t0) = t0 {
+            part.intersect_ns += t0.elapsed().as_nanos() as u64;
+        }
+
+        part.health.attempted += 1;
+        let uploader = match uploader {
+            Some(u) => {
+                part.one_hop_hits += 1;
+                part.health.answered += 1;
+                u
+            }
+            None => {
+                part.health.server_fallback += 1;
+                prefix[fallback_index(pre.seed, u64::from(rec.t), r)]
+            }
+        };
+
+        // Policy update + interval settling: a member evicted after
+        // request `q` was queried during `[start, q]`.
+        let t0 = profile.then(Instant::now);
+        let (added, removed) = match kind {
+            QuietKind::Lru => quiet.lru_record(uploader, cap),
+            QuietKind::History => quiet.hist_record(uploader, cap, generation),
+            QuietKind::RareLru { max_sources } => {
+                if r as u32 <= max_sources {
+                    quiet.lru_record(uploader, cap)
+                } else {
+                    (None, None)
+                }
+            }
+        };
+        if let Some(rm) = removed {
+            part.messages[rm as usize] += u64::from(q + 1 - start_of[rm as usize]);
+        }
+        if let Some(ad) = added {
+            start_of[ad as usize] = q + 1;
+        }
+        if let Some(t0) = t0 {
+            part.update_ns += t0.elapsed().as_nanos() as u64;
+        }
+    }
+    // Settle members still listed at the end of the querier's stream,
+    // clearing their membership bits for the next querier.
+    let total = requests.len() as u32;
+    quiet.settle_members(kind, |m| {
+        part.messages[m as usize] += u64::from(total - start_of[m as usize]);
+    });
+}
+
+/// Churn-regime querier replay: the full timeout/retry/staleness walk of
+/// the whole-cell path, restricted to one querier. Message accounting is
+/// immediate (attempts differ per request, so intervals don't apply);
+/// hit checks consult the mark array stamped during the walk, exactly
+/// like the sequential path.
+fn simulate_querier_churn(
+    pre: &SweepPrecomp,
+    config: &SimConfig,
+    requests: &[QueryRec],
+    scratch: &mut SplitScratch,
+    profile: bool,
+    part: &mut CellPartial,
+) {
+    let policy = renew_split_policy(&mut scratch.policy, config);
+    if scratch.mark.len() < pre.n_peers {
+        scratch.mark.resize(pre.n_peers, 0);
+    }
+    let availability = &config.availability;
+    let schedule = ChurnSchedule::new(availability.churn.clone());
+    let query = availability.query;
+    let span_millis = u64::from(availability.virtual_days.max(1)) * 1000;
+    let stream_len = pre.stream.len().max(1) as u64;
+
+    for rec in requests {
+        let t = rec.t;
+        let r = rec.rank as usize;
+        let prefix = &pre.arrivals[rec.off as usize..rec.off as usize + r];
+
+        let base_millis = u64::from(t) * span_millis / stream_len;
+        let mut elapsed = 0u64;
+        let mut attempt = 0u32;
+        scratch.stale_prev.clear();
+
+        let uploader = loop {
+            part.health.attempted += 1;
+            if attempt > 0 {
+                part.health.retried += 1;
+            }
+            let now = base_millis + elapsed;
+            let day = (now / 1000) as u32;
+            let milli = (now % 1000) as u32;
+
+            scratch.generation += 1;
+            let mut saw_timeout = false;
+            scratch.query_buf.clear();
+            scratch.query_buf.extend_from_slice(policy.neighbours());
+            scratch.stale_cur.clear();
+            let t0 = profile.then(Instant::now);
+            for &n in scratch.query_buf.iter() {
+                if schedule.offline(n, day, milli) {
+                    saw_timeout = true;
+                    part.health.timed_out += 1;
+                    if query.handle_stale {
+                        let streak = scratch
+                            .stale_prev
+                            .iter()
+                            .find(|&&(p, _)| p == n)
+                            .map_or(1, |&(_, s)| s + 1);
+                        scratch.stale_cur.push((n, streak));
+                        if streak >= query.stale_after.max(1) {
+                            // Random is split-ineligible, so no
+                            // replacement is ever drawn here.
+                            match policy.handle_stale(n, None) {
+                                StaleReaction::Evicted | StaleReaction::Replaced => {
+                                    part.health.evicted_stale += 1;
+                                }
+                                StaleReaction::Probed => part.health.probed_stale += 1,
+                                StaleReaction::Kept => {}
+                            }
+                        }
+                    }
+                } else {
+                    part.messages[n as usize] += 1;
+                    scratch.mark[n as usize] = scratch.generation;
+                }
+            }
+            std::mem::swap(&mut scratch.stale_prev, &mut scratch.stale_cur);
+            let uploader: Option<Peer> = prefix
+                .iter()
+                .copied()
+                .find(|&s| scratch.mark[s as usize] == scratch.generation);
+            if let Some(t0) = t0 {
+                part.intersect_ns += t0.elapsed().as_nanos() as u64;
+            }
+
+            if uploader.is_some() || !saw_timeout || attempt >= query.max_retries {
+                break uploader;
+            }
+            elapsed += query.backoff_for(attempt);
+            attempt += 1;
+        };
+
+        let uploader = match uploader {
+            Some(u) => {
+                part.one_hop_hits += 1;
+                part.health.answered += 1;
+                u
+            }
+            None => {
+                // No outage days on the split path, so the fallback
+                // server is always up: nothing strands.
+                part.health.server_fallback += 1;
+                prefix[fallback_index(pre.seed, u64::from(t), r)]
+            }
+        };
+        let t0 = profile.then(Instant::now);
+        let _ = policy.record_upload_with_popularity_delta(uploader, r as u32);
+        if let Some(t0) = t0 {
+            part.update_ns += t0.elapsed().as_nanos() as u64;
+        }
+    }
+}
+
+/// Merges a split cell's subtask partials back into the sequential
+/// result: totals and per-peer loads are sums over disjoint querier
+/// sets, so addition in any order reproduces the whole-cell run
+/// bit-for-bit; the stream-level totals (requests, contributor seeds)
+/// come from the precomputation.
+pub fn merge_partials(pre: &SweepPrecomp, parts: &[CellPartial]) -> (SimResult, SearchHealth) {
+    let mut result = SimResult {
+        requests: pre.requests,
+        one_hop_hits: 0,
+        two_hop_hits: 0,
+        contributor_seeds: pre.contributor_seeds,
+        messages_per_peer: vec![0; pre.n_peers],
+    };
+    let mut health = SearchHealth::default();
+    for part in parts {
+        result.one_hop_hits += part.one_hop_hits;
+        for (dst, &src) in result.messages_per_peer.iter_mut().zip(&part.messages) {
+            *dst += src;
+        }
+        health.attempted += part.health.attempted;
+        health.answered += part.health.answered;
+        health.timed_out += part.health.timed_out;
+        health.retried += part.health.retried;
+        health.evicted_stale += part.health.evicted_stale;
+        health.probed_stale += part.health.probed_stale;
+        health.server_fallback += part.health.server_fallback;
+        health.stranded += part.health.stranded;
+        health.recovered += part.health.recovered;
+    }
+    (result, health)
 }
 
 /// Fisher–Yates shuffle (kept local: `rand`'s `SliceRandom` would work,

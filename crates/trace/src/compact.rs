@@ -483,6 +483,63 @@ impl Clone for CacheArena {
     }
 }
 
+/// A reusable u64-word membership bitset over a dense id space.
+///
+/// The simulators repeatedly materialize one *hot row* — a neighbour
+/// list, a relay's list — and probe many candidates against it. A
+/// `HashSet` probe costs a hash plus a bucket chase per candidate; this
+/// is one shift, one mask and one indexed load. The trick that makes it
+/// reusable across millions of rows is *touched-word clearing*: only
+/// the words dirtied since the last [`RowBits::clear`] are zeroed, so a
+/// sparse row (≤ 200 set bits) costs O(row) to stamp and O(row) to
+/// clear, never O(universe / 64).
+#[derive(Clone, Debug, Default)]
+pub struct RowBits {
+    words: Vec<u64>,
+    /// Indices of words with at least one set bit, each recorded once.
+    touched: Vec<u32>,
+}
+
+impl RowBits {
+    /// Creates an empty bitset; the word table grows on `ensure`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grows the universe to hold ids `0..n` (never shrinks).
+    pub fn ensure(&mut self, n: usize) {
+        let words = n.div_ceil(64);
+        if self.words.len() < words {
+            self.words.resize(words, 0);
+        }
+    }
+
+    /// Sets bit `id`. The id must be within the last `ensure`d universe.
+    #[inline]
+    pub fn insert(&mut self, id: u32) {
+        let w = (id / 64) as usize;
+        if self.words[w] == 0 {
+            self.touched.push(w as u32);
+        }
+        self.words[w] |= 1u64 << (id % 64);
+    }
+
+    /// Tests bit `id`.
+    #[inline]
+    pub fn contains(&self, id: u32) -> bool {
+        self.words[(id / 64) as usize] & (1u64 << (id % 64)) != 0
+    }
+
+    /// Clears every set bit in time proportional to the bits *set*, not
+    /// the universe.
+    pub fn clear(&mut self) {
+        for &w in &self.touched {
+            self.words[w as usize] = 0;
+        }
+        self.touched.clear();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -665,5 +722,36 @@ mod tests {
         assert!(CacheArena::from_csr_parts(vec![f(0), f(1)], vec![0, 2, 1], 2).is_err());
         assert!(CacheArena::from_csr_parts(vec![f(1), f(0)], vec![0, 2], 2).is_err());
         assert!(CacheArena::from_csr_parts(vec![f(5)], vec![0, 1], 2).is_err());
+    }
+
+    #[test]
+    fn row_bits_insert_probe_and_touched_clear() {
+        let mut bits = RowBits::new();
+        bits.ensure(300);
+        // Word boundaries: 63/64 share nothing, 64/65 share a word.
+        for id in [0u32, 63, 64, 65, 130, 299] {
+            bits.insert(id);
+        }
+        for id in [0u32, 63, 64, 65, 130, 299] {
+            assert!(bits.contains(id), "{id}");
+        }
+        for id in [1u32, 62, 66, 129, 131, 298] {
+            assert!(!bits.contains(id), "{id}");
+        }
+        bits.clear();
+        for id in 0..300u32 {
+            assert!(!bits.contains(id), "{id} survived clear");
+        }
+        // Reuse after clear, including re-dirtying the same words.
+        bits.insert(64);
+        assert!(bits.contains(64));
+        assert!(!bits.contains(65));
+        // Growing never drops existing bits.
+        bits.ensure(10_000);
+        assert!(bits.contains(64));
+        bits.insert(9_999);
+        assert!(bits.contains(9_999));
+        bits.clear();
+        assert!(!bits.contains(9_999));
     }
 }

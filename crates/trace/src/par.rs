@@ -91,6 +91,80 @@ pub fn parallel_map_init_threads<T: Sync, S, R: Send>(
         .collect()
 }
 
+/// [`parallel_map_init_threads`] that claims items in *descending
+/// weight order* instead of input order.
+///
+/// The sweep schedulers feed this wildly skewed tasks (one list-size-200
+/// cell costs more than all the small cells together); starting the
+/// heavy tasks first keeps the tail of the schedule short, while the
+/// output still comes back in input order. `weights[i]` is an abstract
+/// cost estimate for `items[i]` — only the ordering matters, and since
+/// every item is computed independently the result is bit-identical for
+/// any weight assignment and any thread count.
+///
+/// # Panics
+///
+/// Panics if `weights.len() != items.len()`.
+pub fn parallel_map_weighted<T: Sync, S, R: Send>(
+    items: &[T],
+    weights: &[u64],
+    threads: usize,
+    init: impl Fn() -> S + Sync,
+    f: impl Fn(&mut S, &T) -> R + Sync,
+) -> Vec<R> {
+    assert_eq!(
+        items.len(),
+        weights.len(),
+        "one weight per item is required"
+    );
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, items.len());
+    // Indirection: workers claim positions in `order`, which sorts item
+    // indices heaviest-first (stable, so equal weights keep input order).
+    let mut order: Vec<u32> = (0..items.len() as u32).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(weights[i as usize]));
+    // Tasks are few and heavy, so claim one at a time: perfect stealing
+    // beats chunked cursor amortization here.
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let partials: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let order = &order;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut state = init();
+                    let mut out = Vec::new();
+                    loop {
+                        let pos = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if pos >= order.len() {
+                            break;
+                        }
+                        let i = order[pos] as usize;
+                        out.push((i, f(&mut state, &items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for (i, r) in partials.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|r| r.expect("cursor covers every index"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,6 +199,27 @@ mod tests {
             assert_eq!(*x, i);
             assert!(*seen >= 1);
         }
+    }
+
+    #[test]
+    fn weighted_map_matches_plain_map_for_any_thread_count() {
+        let items: Vec<usize> = (0..97).collect();
+        let expect: Vec<usize> = items.iter().map(|&x| x * 3).collect();
+        // Skewed, uniform and zero weights must all be order-neutral.
+        let skewed: Vec<u64> = items.iter().map(|&x| (x as u64 % 7) * 1000).collect();
+        for weights in [skewed, vec![1; 97], vec![0; 97]] {
+            for threads in [1, 2, 5, 16] {
+                let out = parallel_map_weighted(&items, &weights, threads, || (), |(), &x| x * 3);
+                assert_eq!(out, expect, "threads = {threads}");
+            }
+        }
+        assert!(parallel_map_weighted(&[] as &[usize], &[], 4, || (), |(), &x| x).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per item")]
+    fn weighted_map_rejects_length_mismatch() {
+        let _ = parallel_map_weighted(&[1usize, 2], &[1], 2, || (), |(), &x| x);
     }
 
     #[test]

@@ -575,42 +575,83 @@ pub fn sorted_intersection(a: &[FileRef], b: &[FileRef]) -> Vec<FileRef> {
     out
 }
 
+/// Size-ratio cutoff above which the intersection kernels switch from
+/// the linear two-pointer merge to galloping search: past roughly this
+/// skew, `short * log2(long)` comparisons beat `short + long`.
+const GALLOP_CUTOFF: usize = 16;
+
+/// Exponential (galloping) lower-bound search: the index of the first
+/// element of `hay` (sorted) that is `>= needle`, assuming the caller
+/// already knows the answer is `>= lo`. Doubling steps from `lo` keep
+/// the probe count logarithmic in the *distance advanced*, not in
+/// `hay.len()`, so a full intersection stays `O(short * log(long))`.
+fn gallop_lower_bound(hay: &[FileRef], lo: usize, needle: FileRef) -> usize {
+    let mut step = 1;
+    let mut hi = lo;
+    while hi < hay.len() && hay[hi] < needle {
+        hi += step;
+        step *= 2;
+    }
+    let lo = hi.saturating_sub(step / 2).max(lo);
+    let hi = hi.min(hay.len());
+    lo + hay[lo..hi].partition_point(|&x| x < needle)
+}
+
 /// Merge-intersects two sorted, deduplicated slices into a caller-owned
 /// buffer (cleared first) — the allocation-free form the extrapolation
 /// hot path threads through its per-worker scratch.
+///
+/// Balanced inputs take the linear two-pointer merge; when one side is
+/// more than [`GALLOP_CUTOFF`]× longer (a peer's 6-file cache against a
+/// blockbuster row, say) the short side gallops through the long one
+/// instead, turning the cost from `O(short + long)` into
+/// `O(short * log(long))`.
 pub fn sorted_intersection_into(a: &[FileRef], b: &[FileRef], out: &mut Vec<FileRef>) {
     out.clear();
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                out.push(a[i]);
-                i += 1;
-                j += 1;
-            }
-        }
-    }
+    intersect_sorted(a, b, |f| out.push(f));
 }
 
 /// Counts elements common to two sorted, deduplicated slices without
-/// allocating.
+/// allocating. Same gallop-vs-merge selection as
+/// [`sorted_intersection_into`].
 pub fn sorted_intersection_len(a: &[FileRef], b: &[FileRef]) -> usize {
     let mut count = 0;
+    intersect_sorted(a, b, |_| count += 1);
+    count
+}
+
+/// The shared intersection core: picks merge vs gallop by size ratio
+/// and emits each common element, in ascending order, exactly once.
+#[inline]
+fn intersect_sorted(a: &[FileRef], b: &[FileRef], mut emit: impl FnMut(FileRef)) {
+    // Gallop with the *short* side driving; symmetric cases swap.
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if short.len() * GALLOP_CUTOFF < long.len() {
+        let mut lo = 0;
+        for &needle in short {
+            lo = gallop_lower_bound(long, lo, needle);
+            if lo == long.len() {
+                return;
+            }
+            if long[lo] == needle {
+                emit(needle);
+                lo += 1;
+            }
+        }
+        return;
+    }
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
         match a[i].cmp(&b[j]) {
             std::cmp::Ordering::Less => i += 1,
             std::cmp::Ordering::Greater => j += 1,
             std::cmp::Ordering::Equal => {
-                count += 1;
+                emit(a[i]);
                 i += 1;
                 j += 1;
             }
         }
     }
-    count
 }
 
 #[cfg(test)]
@@ -842,6 +883,32 @@ mod tests {
         assert_eq!(sorted_intersection_len(&a, &b), 2);
         assert_eq!(sorted_intersection_len(&a, &[]), 0);
         assert_eq!(sorted_intersection(&[], &b), Vec::<FileRef>::new());
+    }
+
+    #[test]
+    fn galloping_intersection_matches_merge_on_skewed_inputs() {
+        // Long side crosses the gallop cutoff; exercise the short side
+        // in either argument position, at both ends of the long side,
+        // and with runs that force multi-doubling gallops.
+        let long: Vec<FileRef> = (0..2000).map(|k| FileRef(2 * k)).collect();
+        let shorts: Vec<Vec<FileRef>> = vec![
+            vec![FileRef(0), FileRef(2), FileRef(3998)],
+            vec![FileRef(1), FileRef(1999), FileRef(3999)], // all misses
+            vec![FileRef(1500), FileRef(1501), FileRef(1502)],
+            (0..40).map(|k| FileRef(100 * k)).collect(),
+            vec![FileRef(5000)], // past the end
+        ];
+        for short in &shorts {
+            let naive: Vec<FileRef> = short
+                .iter()
+                .copied()
+                .filter(|f| long.binary_search(f).is_ok())
+                .collect();
+            assert_eq!(sorted_intersection(short, &long), naive, "{short:?}");
+            assert_eq!(sorted_intersection(&long, short), naive, "{short:?}");
+            assert_eq!(sorted_intersection_len(short, &long), naive.len());
+            assert_eq!(sorted_intersection_len(&long, short), naive.len());
+        }
     }
 
     #[test]

@@ -12,11 +12,14 @@ use edonkey_repro::proto::query::FileKind;
 use edonkey_repro::proto::query::Query;
 use edonkey_repro::proto::tags::{Tag, TagList, TagValue};
 use edonkey_repro::proto::wire::{Message, PublishedFile, SourceAddr};
+use edonkey_repro::semsearch::experiment::sweep_cells_threads;
 use edonkey_repro::semsearch::neighbours::{Lru, NeighbourPolicy};
 use edonkey_repro::semsearch::overlay::{
     simulate_overlay, simulate_overlay_reference, OverlayConfig,
 };
-use edonkey_repro::semsearch::sim::{simulate_arena_with_scratch, simulate_reference, SimScratch};
+use edonkey_repro::semsearch::sim::{
+    simulate_arena_health_with_scratch, simulate_arena_with_scratch, simulate_reference, SimScratch,
+};
 use edonkey_repro::semsearch::{simulate, AvailabilityConfig, QueryPolicy, SimConfig};
 use edonkey_repro::trace::compact::{CacheArena, TraceArena};
 use edonkey_repro::trace::io;
@@ -503,6 +506,52 @@ proptest! {
             let armed = config.with_availability(quiet.clone());
             let got = simulate_arena_with_scratch(&arena, &armed, &mut scratch);
             prop_assert_eq!(&legacy, &got, "config {:?}", armed);
+        }
+    }
+
+    /// The split-cell sweep scheduler is bit-identical to the
+    /// whole-cell oracle for any worker count, list size, policy and
+    /// churn rate — and, on quiet cells, to the legacy reference
+    /// simulator. This is the invariant the parallel sweeps rest on:
+    /// partitioning a cell's queriers across workers must never change
+    /// a single result bit.
+    #[test]
+    fn split_sweep_equals_oracle_for_any_thread_count(
+        caches in arb_caches(),
+        list_size in 1usize..8,
+        churn_permille in prop_oneof![Just(0u32), Just(150), Just(450)],
+        seed in 0u64..200,
+    ) {
+        let n_files = 64;
+        let arena = CacheArena::from_caches(&caches, n_files);
+        let avail = if churn_permille == 0 {
+            AvailabilityConfig::none()
+        } else {
+            AvailabilityConfig::churn(seed ^ 0xc4, churn_permille)
+                .with_query(QueryPolicy::retry_evict())
+        };
+        let configs: Vec<SimConfig> = [
+            SimConfig::lru(list_size),
+            SimConfig::history(list_size),
+            SimConfig::rare_lru(list_size, 2),
+        ]
+        .into_iter()
+        .map(|c| c.with_seed(seed).with_availability(avail.clone()))
+        .collect();
+        let mut scratch = SimScratch::new();
+        let expected: Vec<_> = configs
+            .iter()
+            .map(|c| simulate_arena_health_with_scratch(&arena, c, &mut scratch))
+            .collect();
+        for threads in [1usize, 2, 3, 8] {
+            let got = sweep_cells_threads(&arena, &configs, threads);
+            prop_assert_eq!(&got, &expected, "threads {}", threads);
+        }
+        if churn_permille == 0 {
+            for (config, (result, _)) in configs.iter().zip(&expected) {
+                let reference = simulate_reference(&caches, n_files, config);
+                prop_assert_eq!(&reference, result, "config {:?}", config);
+            }
         }
     }
 
