@@ -7,7 +7,7 @@ use edonkey_netsim::{run_crawl_full, CrawlerConfig, FaultConfig, NetConfig, Retr
 use edonkey_semsearch::sim::{
     simulate, simulate_arena_with_scratch, QueryPolicy, SimConfig, SimScratch,
 };
-use edonkey_semsearch::{churn_grid, ChurnCell};
+use edonkey_semsearch::{churn_grid, ChurnCell, IndexBackend};
 use edonkey_trace::compact::CacheArena;
 use edonkey_trace::randomize::{recommended_iterations, ArenaShuffler};
 use edonkey_workload::generate_trace;
@@ -240,6 +240,7 @@ pub fn ablation_churn_sweep(scale: Scale) {
         &[0, 100, 250, 500],
         &queries,
         &[],
+        IndexBackend::SingleServer,
         churn_seed,
         SEED,
     ) {
@@ -267,6 +268,7 @@ pub fn ablation_churn_sweep(scale: Scale) {
         &[250],
         &queries,
         &outage,
+        IndexBackend::SingleServer,
         churn_seed,
         SEED,
     ) {
@@ -279,6 +281,63 @@ pub fn ablation_churn_sweep(scale: Scale) {
             cell.health.stranded.to_string(),
             cell.health.recovered.to_string(),
         ]);
+    }
+    e.finish();
+}
+
+/// Index-backend ablation (DESIGN.md §10): the Fig. 18 policy ordering
+/// and the churn/outage matrix per pluggable index backend — single
+/// server, federated servers, and the Kademlia-style DHT. Quiet rows
+/// double as a cross-backend differential check: with no outage every
+/// backend must report the same hit rate (routing only changes *how* the
+/// fallback resolves, never *which* uploader answers).
+pub fn ablation_index_backends(scale: Scale) {
+    let mut e = Emitter::new("index_backend_sweep");
+    e.comment("Ablation: pluggable index backends (single / federated / DHT)");
+    e.comment(
+        "backend\tchurn_permille\toutage\tpolicy\thit_rate_pct\tanswered\t\
+         server_fallback\tstranded\trecovered\tforwarded\tdht_hops",
+    );
+    let (_, trace) = generate_trace(scale.config(SEED));
+    let filtered = edonkey_trace::pipeline::filter(&trace).trace;
+    let caches = filtered.static_caches();
+    let n_files = filtered.files.len();
+    let queries = [QueryPolicy::retry_evict()];
+    let churn_seed = SEED ^ 0xc4c4;
+    let backends = [
+        IndexBackend::SingleServer,
+        IndexBackend::Federated { n_servers: 8 },
+        IndexBackend::Dht { replication_k: 3 },
+    ];
+    let outage: Vec<u32> = (7..200).collect();
+    for backend in backends {
+        for (label, days) in [("none", &[][..]), ("days_7_plus", &outage[..])] {
+            for cell in churn_grid(
+                &caches,
+                n_files,
+                20,
+                &[0, 250],
+                &queries,
+                days,
+                backend,
+                churn_seed,
+                SEED,
+            ) {
+                e.row([
+                    backend.name(),
+                    cell.churn_permille.to_string(),
+                    label.to_string(),
+                    cell.policy.name().to_string(),
+                    f(100.0 * cell.result.hit_rate(), 2),
+                    cell.health.answered.to_string(),
+                    cell.health.server_fallback.to_string(),
+                    cell.health.stranded.to_string(),
+                    cell.health.recovered.to_string(),
+                    cell.health.forwarded.to_string(),
+                    cell.health.dht_hops.to_string(),
+                ]);
+            }
+        }
     }
     e.finish();
 }

@@ -309,6 +309,7 @@ fn main() {
                 &[0, 100, 250, 500],
                 &queries,
                 &[],
+                edonkey_semsearch::IndexBackend::SingleServer,
                 SEED ^ 0xc4c4,
                 SEED,
             )
@@ -341,6 +342,93 @@ fn main() {
                  4 policies, no_retry vs retry_evict), list size 20, pooled split \
                  scheduler, seed harness alloc baseline {CHURN_SEED_ALLOCS}",
                 cells.len()
+            ),
+            stages: None,
+        });
+    }
+
+    // Pluggable index backends: the quiet LRU list-size sweep routed
+    // through each IndexBackend at 1 and N threads. Three invariants are
+    // asserted before the report writes: every backend is
+    // thread-count-invariant; SingleServer through the trait is
+    // bit-identical to the sequential pre-trait oracle; and with no
+    // outage all three backends produce identical SimResults (routing
+    // only changes how the fallback resolves, never which uploader
+    // answers).
+    {
+        let sizes = [5usize, 20, 100];
+        let backends = [
+            edonkey_semsearch::IndexBackend::SingleServer,
+            edonkey_semsearch::IndexBackend::Federated { n_servers: 8 },
+            edonkey_semsearch::IndexBackend::Dht { replication_k: 3 },
+        ];
+        let oracle = experiment::sweep_list_sizes_seq(
+            &caches,
+            n_files,
+            PolicyKind::Lru,
+            &sizes,
+            false,
+            SEED,
+        );
+        let (runs, m) = timed(|| {
+            backends
+                .iter()
+                .map(|&backend| {
+                    let configs: Vec<_> =
+                        experiment::sweep_configs(PolicyKind::Lru, &sizes, false, SEED)
+                            .into_iter()
+                            .map(|c| c.with_backend(backend))
+                            .collect();
+                    [1, threads].map(|t| experiment::sweep_cells_threads(&arena, &configs, t))
+                })
+                .collect::<Vec<_>>()
+        });
+        for (backend, run) in backends.iter().zip(&runs) {
+            assert_eq!(
+                run[0],
+                run[1],
+                "{}: backend sweep must be identical at 1 and {threads} threads",
+                backend.name()
+            );
+        }
+        assert!(
+            runs[0][0]
+                .iter()
+                .zip(&oracle)
+                .all(|((result, _), o)| *result == o.result),
+            "single-server backend through the trait must be bit-identical to the \
+             sequential pre-trait oracle"
+        );
+        for (backend, run) in backends.iter().zip(&runs).skip(1) {
+            assert!(
+                run[0]
+                    .iter()
+                    .zip(&runs[0][0])
+                    .all(|((result, _), (single, _))| result == single),
+                "{}: quiet run must report the same results as the single server",
+                backend.name()
+            );
+        }
+        let requests: u64 = runs
+            .iter()
+            .flat_map(|run| run.iter().flatten())
+            .map(|(r, _)| r.requests)
+            .sum();
+        eprintln!(
+            "[bench_report] index_backend_sweep: {:.1} ms, {} backends x {} sizes x 2 \
+             thread counts, oracle and cross-backend results identical",
+            m.ms,
+            backends.len(),
+            sizes.len()
+        );
+        entries.push(Entry {
+            name: "index_backend_sweep",
+            meas: m,
+            throughput: requests as f64 / (m.ms / 1e3),
+            config: format!(
+                "requests/s over backends [single, federated8, dht_k3], LRU sizes {sizes:?}, \
+                 threads [1, {threads}], single_server_oracle_equal true, \
+                 backends_equal_quiet true, thread_invariant true"
             ),
             stages: None,
         });

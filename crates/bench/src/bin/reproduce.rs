@@ -56,5 +56,6 @@ fn main() {
     ablations::ablation_crawler(scale);
     ablations::ablation_fault_sweep(scale);
     ablations::ablation_churn_sweep(scale);
+    ablations::ablation_index_backends(scale);
     eprintln!("[reproduce] done.");
 }

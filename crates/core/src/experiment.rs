@@ -11,6 +11,7 @@ use rand::SeedableRng;
 use std::time::Instant;
 
 use crate::filters::{remove_top_files, remove_top_uploaders};
+use crate::index::IndexBackend;
 use crate::neighbours::PolicyKind;
 use crate::sim::{
     merge_partials, simulate_arena_health_with_scratch, simulate_arena_with_scratch,
@@ -529,9 +530,10 @@ pub const CHURN_POLICIES: [PolicyKind; 4] = [
 ];
 
 /// The churn ablation: every churn rate × [`CHURN_POLICIES`] × query
-/// policy cell at one list size, in parallel. Each cell's
-/// [`SearchHealth`] is reconciled against its [`SimResult`] before
-/// returning — a violation in any configuration panics.
+/// policy cell at one list size under one index backend, in parallel.
+/// Each cell's [`SearchHealth`] is reconciled against its [`SimResult`]
+/// before returning — a violation in any configuration panics, naming
+/// the cell (seed, list size, churn rate).
 #[allow(clippy::too_many_arguments)]
 pub fn churn_grid(
     caches: &[Vec<FileRef>],
@@ -540,6 +542,7 @@ pub fn churn_grid(
     permilles: &[u32],
     queries: &[QueryPolicy],
     outage_days: &[u32],
+    backend: IndexBackend,
     churn_seed: u64,
     seed: u64,
 ) -> Vec<ChurnCell> {
@@ -552,9 +555,10 @@ pub fn churn_grid(
             }
         }
     }
-    // Adaptive-policy cells without outages ride the split-cell
-    // scheduler; Random and outage cells fall back to whole-cell runs
-    // inside the same work-stealing pass.
+    // Adaptive-policy cells without outages under the single server
+    // ride the split-cell scheduler; Random, outage and forwarding-
+    // backend cells fall back to whole-cell runs inside the same
+    // work-stealing pass.
     let configs: Vec<SimConfig> = cells
         .iter()
         .map(|&(rate, policy, query)| SimConfig {
@@ -564,16 +568,15 @@ pub fn churn_grid(
             seed,
             availability: AvailabilityConfig::churn(churn_seed, rate)
                 .with_query(query)
-                .with_outages(outage_days.to_vec()),
+                .with_outages(outage_days.to_vec())
+                .with_backend(backend),
         })
         .collect();
     cells
         .into_iter()
-        .zip(sweep_cells(&arena, &configs))
-        .map(|((rate, policy, query), (result, health))| {
-            health
-                .check_against(&result)
-                .expect("SearchHealth must reconcile in every churn cell");
+        .zip(configs.iter().zip(sweep_cells(&arena, &configs)))
+        .map(|((rate, policy, query), (config, (result, health)))| {
+            health.expect_reconciled(&result, config);
             ChurnCell {
                 churn_permille: rate,
                 policy,
@@ -853,6 +856,7 @@ mod tests {
             &[0, 250],
             &[QueryPolicy::no_retry()],
             &[],
+            IndexBackend::SingleServer,
             13,
             1,
         );

@@ -11,6 +11,8 @@
 //! policies, and reports hit rates and per-peer query load.
 //!
 //! Modules:
+//! * [`index`] — pluggable index backends for the final-miss fallback
+//!   (single server, federated servers, Kademlia-style DHT);
 //! * [`neighbours`] — LRU, History (frequency) and Random list policies;
 //! * [`sim`] — the Section 5.1 request-replay simulator (one- and
 //!   two-hop);
@@ -41,6 +43,7 @@
 pub mod experiment;
 pub mod filters;
 pub mod gossip;
+pub mod index;
 pub mod neighbours;
 pub mod overlay;
 pub mod sim;
@@ -52,6 +55,7 @@ pub use experiment::{
 };
 pub use filters::{remove_top_files, remove_top_uploaders};
 pub use gossip::{build_overlay, overlay_hit_rate, GossipConfig, SemanticOverlay};
+pub use index::{IndexBackend, IndexRoute, IndexRouter, Lookup};
 pub use neighbours::{
     AnyPolicy, History, Lru, NeighbourPolicy, PolicyKind, RandomList, RareLru, StaleReaction,
 };

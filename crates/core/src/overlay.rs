@@ -21,6 +21,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 
+use crate::index::{IndexBackend, IndexRoute};
 use crate::neighbours::{AnyPolicy, NeighbourPolicy, Peer, PolicyKind, StaleReaction};
 use crate::sim::{AvailabilityConfig, ChurnSchedule, SearchHealth};
 
@@ -53,6 +54,13 @@ impl OverlayConfig {
     /// Runs under the given availability regime.
     pub fn with_availability(mut self, availability: AvailabilityConfig) -> Self {
         self.availability = availability;
+        self
+    }
+
+    /// Replaces the index backend (keeping the rest of the availability
+    /// regime).
+    pub fn with_backend(mut self, backend: IndexBackend) -> Self {
+        self.availability.backend = backend;
         self
     }
 }
@@ -155,6 +163,9 @@ pub fn simulate_overlay_health(
     let schedule = ChurnSchedule::new(config.availability.churn.clone());
     let quiet = schedule.is_quiet();
     let query = config.availability.query;
+    // Final misses route through the index backend; SingleServer is the
+    // byte-identical pre-trait path (outage check + zero-cost resolve).
+    let router = config.availability.backend.router(config.seed);
     let mut query_buf: Vec<Peer> = Vec::new();
     // Per-request consecutive-timeout streaks (see `SimScratch`).
     let mut stale_prev: Vec<(Peer, u32)> = Vec::new();
@@ -217,7 +228,7 @@ pub fn simulate_overlay_health(
             let mut attempt = 0u32;
             stale_prev.clear();
 
-            let (found, day) = loop {
+            let (found, day, milli) = loop {
                 health.attempted += 1;
                 if attempt > 0 {
                     health.retried += 1;
@@ -290,7 +301,7 @@ pub fn simulate_overlay_health(
                 };
 
                 if uploader.is_some() || !saw_timeout || attempt >= query.max_retries {
-                    break (uploader, day);
+                    break (uploader, day, milli);
                 }
                 elapsed += query.backoff_for(attempt);
                 attempt += 1;
@@ -306,9 +317,15 @@ pub fn simulate_overlay_health(
                     u
                 }
                 None => {
-                    if schedule.server_out(day) {
-                        // Overlay miss with the server down: the upload
-                        // never happens and no link is recorded.
+                    let lookup = router.lookup(&schedule, peer, file, day, milli);
+                    health.forwarded += lookup.forwarded;
+                    health.dht_hops += lookup.dht_hops;
+                    if !lookup.resolved {
+                        // Overlay miss with the index unreachable: the
+                        // upload never happens and no link is recorded
+                        // (the stranded path consumes no RNG, keeping
+                        // SingleServer draws in lockstep with the
+                        // reference).
                         health.stranded += 1;
                         continue;
                     }

@@ -41,6 +41,7 @@ use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 use std::time::Instant;
 
+use crate::index::{IndexBackend, IndexRoute};
 use crate::neighbours::{AnyPolicy, NeighbourPolicy, Peer, PolicyKind, StaleReaction};
 
 /// Stateless server-fallback pick: which of the `len` current sharers
@@ -73,6 +74,10 @@ pub struct AvailabilityConfig {
     /// trace-driven stream has no timestamps of its own). Irrelevant —
     /// but still bit-identically harmless — when `churn` is quiet.
     pub virtual_days: u32,
+    /// Which index backend resolves final misses (and how `outage_days`
+    /// degrade it). [`IndexBackend::SingleServer`] is the pre-trait
+    /// behaviour, bit-for-bit.
+    pub backend: IndexBackend,
 }
 
 /// Default span: the 14-day windows the Section 4 figures use.
@@ -86,6 +91,7 @@ impl AvailabilityConfig {
             churn: ChurnConfig::none(),
             query: QueryPolicy::no_retry(),
             virtual_days: DEFAULT_VIRTUAL_DAYS,
+            backend: IndexBackend::SingleServer,
         }
     }
 
@@ -107,6 +113,12 @@ impl AvailabilityConfig {
     /// Adds server-outage days (offsets into the virtual span).
     pub fn with_outages(mut self, days: Vec<u32>) -> Self {
         self.churn.outage_days = days;
+        self
+    }
+
+    /// Replaces the index backend.
+    pub fn with_backend(mut self, backend: IndexBackend) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -191,6 +203,13 @@ impl SimConfig {
         self.availability = availability;
         self
     }
+
+    /// Replaces the index backend (keeping the rest of the availability
+    /// regime).
+    pub fn with_backend(mut self, backend: IndexBackend) -> Self {
+        self.availability.backend = backend;
+        self
+    }
 }
 
 /// The availability ledger: every query attempt of a simulation run,
@@ -200,6 +219,9 @@ impl SimConfig {
 /// * `answered + server_fallback + stranded == requests`
 /// * `attempted == requests + retried`
 /// * `recovered <= answered`
+/// * `forwarded == dht_hops == 0` when no fallback lookup ever ran
+///   (`server_fallback + stranded == 0`) — routing hops only accrue on
+///   index lookups.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SearchHealth {
     /// Query attempts issued (initial attempts plus retries).
@@ -222,6 +244,12 @@ pub struct SearchHealth {
     /// Requests the overlay answered *during* a server outage — what
     /// server-less search rescued when there was no fallback.
     pub recovered: u64,
+    /// Inter-server forward hops taken by fallback lookups (federated
+    /// backend; zero for the single server and the DHT).
+    pub forwarded: u64,
+    /// XOR-routing hops taken by fallback lookups (DHT backend; zero
+    /// otherwise).
+    pub dht_hops: u64,
 }
 
 impl SearchHealth {
@@ -259,12 +287,32 @@ impl SearchHealth {
                 self.recovered, self.answered
             ));
         }
+        if self.server_fallback + self.stranded == 0 && self.forwarded + self.dht_hops != 0 {
+            return Err(format!(
+                "forwarded {} + dht_hops {} nonzero without any fallback lookup",
+                self.forwarded, self.dht_hops
+            ));
+        }
         Ok(())
     }
 
     /// [`SearchHealth::reconcile`] against a [`SimResult`].
     pub fn check_against(&self, result: &SimResult) -> Result<(), String> {
         self.reconcile(result.requests, result.one_hop_hits, result.two_hop_hits)
+    }
+
+    /// [`SearchHealth::check_against`], panicking with the cell
+    /// identity on violation. Sweep matrices run hundreds of cells;
+    /// "which cell" is the first question a failure raises, so the
+    /// message carries `(seed, list_size, churn_rate)` alongside the
+    /// violated identity.
+    pub fn expect_reconciled(&self, result: &SimResult, config: &SimConfig) {
+        if let Err(e) = self.check_against(result) {
+            panic!(
+                "SearchHealth failed to reconcile: {e} (seed {}, list_size {}, churn_rate {})",
+                config.seed, config.list_size, config.availability.churn.churn_permille
+            );
+        }
     }
 }
 
@@ -546,6 +594,9 @@ pub fn simulate_arena_health_with_scratch(
     let schedule = ChurnSchedule::new(availability.churn.clone());
     let quiet = schedule.is_quiet();
     let query = availability.query;
+    // Final misses route through the index backend; SingleServer is the
+    // byte-identical pre-trait path (outage check + zero-cost resolve).
+    let router = availability.backend.router(config.seed);
     // The static stream is spread uniformly over the virtual span, in
     // milli-days (1 day = 1000 md).
     let span_millis = u64::from(availability.virtual_days.max(1)) * 1000;
@@ -569,7 +620,7 @@ pub fn simulate_arena_health_with_scratch(
         let mut attempt = 0u32;
         stale_prev.clear();
 
-        let (mut uploader, hop, day) = loop {
+        let (mut uploader, hop, day, milli) = loop {
             health.attempted += 1;
             if attempt > 0 {
                 health.retried += 1;
@@ -684,7 +735,7 @@ pub fn simulate_arena_health_with_scratch(
             // Retry only when something actually timed out: a
             // definitive miss over fully online neighbours is final.
             if uploader.is_some() || !saw_timeout || attempt >= query.max_retries {
-                break (uploader, hop, day);
+                break (uploader, hop, day, milli);
             }
             elapsed += query.backoff_for(attempt);
             attempt += 1;
@@ -703,8 +754,11 @@ pub fn simulate_arena_health_with_scratch(
                 }
             }
             None => {
-                if schedule.server_out(day) {
-                    // Overlay miss with the fallback server down: the
+                let lookup = router.lookup(&schedule, peer, file, day, milli);
+                health.forwarded += lookup.forwarded;
+                health.dht_hops += lookup.dht_hops;
+                if !lookup.resolved {
+                    // Overlay miss with the index unreachable: the
                     // request strands — nothing acquired, nothing
                     // recorded, no RNG consumed.
                     health.stranded += 1;
@@ -712,10 +766,11 @@ pub fn simulate_arena_health_with_scratch(
                 }
                 // Server fallback: a uniform current sharer uploads the
                 // file, picked statelessly from the stream position (see
-                // [`fallback_index`]). The server queues uploads from
-                // currently-offline sharers, so the pick ranges over all
-                // of them — which is also exactly the quiet-regime draw,
-                // keeping quiet runs bit-identical to the reference.
+                // [`fallback_index`]). The pick is backend-agnostic —
+                // the backend decides reachability and routing cost,
+                // never *who* uploads — so zero-outage runs agree
+                // across backends, and quiet SingleServer runs stay
+                // bit-identical to the reference.
                 let pick = sharer_flat[head + fallback_index(config.seed, t as u64, f_len)];
                 health.server_fallback += 1;
                 uploader = Some(pick);
@@ -848,11 +903,16 @@ pub fn simulate_reference(
 /// when no server outage can strand a request (every request then pushes
 /// its peer onto the sharer list, making arrivals policy-independent),
 /// the policy draws nothing from the sequential RNG (excludes Random)
-/// and relays never matter (no two-hop).
+/// and relays never matter (no two-hop). Forwarding index backends
+/// (federated, DHT) are excluded too: their per-(querier, day) outage
+/// stranding breaks the same arrival-rank invariance, and their hop
+/// accounting has no mirror in the quiet interval-settled path — they
+/// always run whole-cell (DESIGN.md §10).
 pub fn split_eligible(config: &SimConfig) -> bool {
     !config.two_hop
         && !matches!(config.policy, PolicyKind::Random)
         && config.availability.churn.outage_days.is_empty()
+        && !config.availability.backend.forwards()
 }
 
 /// One request of a querier's stream, fully resolved at precomp time:
@@ -1630,6 +1690,8 @@ pub fn merge_partials(pre: &SweepPrecomp, parts: &[CellPartial]) -> (SimResult, 
         health.server_fallback += part.health.server_fallback;
         health.stranded += part.health.stranded;
         health.recovered += part.health.recovered;
+        health.forwarded += part.health.forwarded;
+        health.dht_hops += part.health.dht_hops;
     }
     (result, health)
 }
@@ -1806,6 +1868,7 @@ mod tests {
             churn: ChurnConfig::with_rate(0xdead_beef, 0),
             query: QueryPolicy::retry_evict(),
             virtual_days: 97,
+            backend: IndexBackend::SingleServer,
         };
         assert!(quiet.is_quiet());
         for base in [
@@ -1975,6 +2038,64 @@ mod tests {
         };
         let err = bad.reconcile(5, 3, 0).unwrap_err();
         assert!(err.contains("retried"), "{err}");
+        // Hops without a single fallback lookup cannot happen.
+        let bad = SearchHealth {
+            attempted: 5,
+            answered: 5,
+            server_fallback: 0,
+            forwarded: 2,
+            ..SearchHealth::default()
+        };
+        let err = bad.reconcile(5, 5, 0).unwrap_err();
+        assert!(err.contains("fallback lookup"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "(seed 42, list_size 5, churn_rate 250)")]
+    fn reconcile_panic_names_the_cell() {
+        // A doctored ledger: answered disagrees with the hit counts, so
+        // the panic must localize the cell by seed, list size and rate.
+        let health = SearchHealth {
+            attempted: 5,
+            answered: 3,
+            server_fallback: 2,
+            ..SearchHealth::default()
+        };
+        let result = SimResult {
+            requests: 5,
+            one_hop_hits: 2,
+            two_hop_hits: 0,
+            contributor_seeds: 0,
+            messages_per_peer: Vec::new(),
+        };
+        let config = SimConfig::lru(5)
+            .with_seed(42)
+            .with_availability(AvailabilityConfig::churn(7, 250));
+        health.expect_reconciled(&result, &config);
+    }
+
+    #[test]
+    fn forwarding_backends_account_hops_and_preserve_results() {
+        let caches = community(10, 30);
+        let (base, base_health) = simulate_health(&caches, 30, &SimConfig::lru(5));
+        assert_eq!(base_health.forwarded + base_health.dht_hops, 0);
+
+        // Zero outages: the uploader pick is backend-agnostic, so the
+        // SimResult is identical across backends — only the routing-cost
+        // counters move.
+        let fed = SimConfig::lru(5).with_backend(IndexBackend::Federated { n_servers: 8 });
+        let (fed_result, fed_health) = simulate_health(&caches, 30, &fed);
+        assert!(fed_health.check_against(&fed_result).is_ok());
+        assert_eq!(fed_result, base);
+        assert!(fed_health.forwarded > 0, "some fallback must forward");
+        assert_eq!(fed_health.dht_hops, 0);
+
+        let dht = SimConfig::lru(5).with_backend(IndexBackend::Dht { replication_k: 3 });
+        let (dht_result, dht_health) = simulate_health(&caches, 30, &dht);
+        assert!(dht_health.check_against(&dht_result).is_ok());
+        assert_eq!(dht_result, base);
+        assert!(dht_health.dht_hops > 0, "DHT lookups must walk the ring");
+        assert_eq!(dht_health.forwarded, 0);
     }
 
     #[test]

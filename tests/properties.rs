@@ -20,7 +20,9 @@ use edonkey_repro::semsearch::overlay::{
 use edonkey_repro::semsearch::sim::{
     simulate_arena_health_with_scratch, simulate_arena_with_scratch, simulate_reference, SimScratch,
 };
-use edonkey_repro::semsearch::{simulate, AvailabilityConfig, QueryPolicy, SimConfig};
+use edonkey_repro::semsearch::{
+    simulate, AvailabilityConfig, IndexBackend, QueryPolicy, SimConfig,
+};
 use edonkey_repro::trace::compact::{CacheArena, TraceArena};
 use edonkey_repro::trace::io;
 use edonkey_repro::trace::model::{
@@ -555,6 +557,72 @@ proptest! {
         }
     }
 
+    /// The index-backend trait is invisible when quiet: routing every
+    /// final miss through an explicit `SingleServer` backend stays
+    /// bit-identical to the pre-trait request-replay oracle, for every
+    /// policy family.
+    #[test]
+    fn single_server_backend_matches_reference(caches in arb_caches(), seed in 0u64..200) {
+        let n_files = 64;
+        let arena = CacheArena::from_caches(&caches, n_files);
+        let mut scratch = SimScratch::new();
+        let quiet = AvailabilityConfig::none()
+            .with_query(QueryPolicy::retry_evict())
+            .with_backend(IndexBackend::SingleServer);
+        for config in [
+            SimConfig::lru(4).with_seed(seed),
+            SimConfig::history(3).with_seed(seed),
+            SimConfig::random(3).with_seed(seed),
+            SimConfig::rare_lru(4, 2).with_seed(seed),
+            SimConfig::lru(2).with_seed(seed).with_two_hop(),
+        ] {
+            let reference = simulate_reference(&caches, n_files, &config);
+            let armed = config.with_availability(quiet.clone());
+            let got = simulate_arena_with_scratch(&arena, &armed, &mut scratch);
+            prop_assert_eq!(&got, &reference, "config {:?}", armed);
+        }
+    }
+
+    /// Every index backend — single server, federated, DHT — is a pure
+    /// function of the configuration seeds: the churn + outage sweep
+    /// reproduces results and ledgers bit-for-bit across reruns and for
+    /// 1, 2 and 8 worker threads. Forwarding backends take the
+    /// whole-cell path inside the same scheduler, so this also pins the
+    /// split-eligibility gate.
+    #[test]
+    fn index_backends_are_deterministic_across_threads(
+        caches in arb_caches(),
+        seed in prop_oneof![Just(1u64), Just(42), Just(977)],
+    ) {
+        let n_files = 64;
+        let arena = CacheArena::from_caches(&caches, n_files);
+        let outage: Vec<u32> = (2..5).collect();
+        for backend in [
+            IndexBackend::SingleServer,
+            IndexBackend::Federated { n_servers: 4 },
+            IndexBackend::Dht { replication_k: 2 },
+        ] {
+            let avail = AvailabilityConfig::churn(seed ^ 0xc4, 250)
+                .with_query(QueryPolicy::retry_evict())
+                .with_outages(outage.clone())
+                .with_backend(backend);
+            let configs: Vec<SimConfig> = [SimConfig::lru(4), SimConfig::history(3)]
+                .into_iter()
+                .map(|c| c.with_seed(seed).with_availability(avail.clone()))
+                .collect();
+            let baseline = sweep_cells_threads(&arena, &configs, 1);
+            for threads in [1usize, 2, 8] {
+                prop_assert_eq!(
+                    &sweep_cells_threads(&arena, &configs, threads),
+                    &baseline,
+                    "{} at {} threads",
+                    backend.name(),
+                    threads
+                );
+            }
+        }
+    }
+
     /// The live-overlay simulator under a quiet availability regime is
     /// bit-identical to its pre-availability oracle on arbitrary
     /// growing cache histories.
@@ -584,10 +652,18 @@ proptest! {
         let mut config = OverlayConfig::lru(4);
         config.seed = seed;
         let reference = simulate_overlay_reference(&days, 340, 16, &config);
-        let armed = config.with_availability(
+        let armed = config.clone().with_availability(
             AvailabilityConfig::none().with_query(QueryPolicy::retry_evict()),
         );
-        prop_assert_eq!(simulate_overlay(&days, 340, 16, &armed), reference);
+        prop_assert_eq!(simulate_overlay(&days, 340, 16, &armed), reference.clone());
+        // The same quiet run routed through an explicit SingleServer
+        // backend stays pinned to the pre-trait overlay oracle too.
+        let routed = config.with_availability(
+            AvailabilityConfig::none()
+                .with_query(QueryPolicy::retry_evict())
+                .with_backend(IndexBackend::SingleServer),
+        );
+        prop_assert_eq!(simulate_overlay(&days, 340, 16, &routed), reference);
     }
 
     /// Hit rates are monotone (within tolerance) in list size — more

@@ -9,6 +9,7 @@
 use std::sync::OnceLock;
 
 use edonkey_repro::semsearch::experiment::{churn_grid, CHURN_POLICIES};
+use edonkey_repro::semsearch::index::IndexBackend;
 use edonkey_repro::semsearch::neighbours::PolicyKind;
 use edonkey_repro::semsearch::sim::{simulate_reference, AvailabilityConfig, QueryPolicy};
 use edonkey_repro::semsearch::{simulate, SimConfig};
@@ -79,6 +80,7 @@ fn zero_churn_is_bit_identical_to_the_seed_simulator() {
         &[0],
         &queries,
         &[],
+        IndexBackend::SingleServer,
         CHURN_SEED,
         SEED,
     );
@@ -110,6 +112,7 @@ fn retry_and_eviction_recover_hits_at_25pct_churn_for_every_policy() {
         &[250],
         &queries,
         &[],
+        IndexBackend::SingleServer,
         CHURN_SEED,
         SEED,
     );
@@ -147,6 +150,7 @@ fn fig18_ordering_survives_churn() {
         &[250],
         &[QueryPolicy::retry_evict()],
         &[],
+        IndexBackend::SingleServer,
         CHURN_SEED,
         SEED,
     );
@@ -191,6 +195,7 @@ fn server_outage_strands_and_recovers_in_every_cell() {
         &[250],
         &queries,
         &outage,
+        IndexBackend::SingleServer,
         CHURN_SEED,
         SEED,
     );
@@ -232,6 +237,7 @@ fn total_churn_sends_everything_to_the_server() {
         &[1000],
         &[QueryPolicy::retry_evict()],
         &[],
+        IndexBackend::SingleServer,
         CHURN_SEED,
         SEED,
     );
@@ -256,6 +262,7 @@ fn churn_matrix_is_deterministic_across_runs() {
                 &[100, 500],
                 &[QueryPolicy::retry_evict()],
                 &[],
+                IndexBackend::SingleServer,
                 churn_seed,
                 SEED,
             )
