@@ -4,6 +4,7 @@
 
 use edonkey_analysis::{semantic, view};
 use edonkey_netsim::{run_crawl_full, CrawlerConfig, FaultConfig, NetConfig, RetryPolicy};
+use edonkey_semsearch::serve::{serve_arena_threads, ArrivalConfig, ServeConfig};
 use edonkey_semsearch::sim::{
     simulate, simulate_arena_with_scratch, QueryPolicy, SimConfig, SimScratch,
 };
@@ -337,6 +338,58 @@ pub fn ablation_index_backends(scale: Scale) {
                     cell.health.dht_hops.to_string(),
                 ]);
             }
+        }
+    }
+    e.finish();
+}
+
+/// Service-mode backpressure: the always-on serving plane under a
+/// bounded ingress queue (tick 20 md, queue 12, 2 served per tick per
+/// shard), swept over nested burst intensities per index backend. The
+/// knee shows up as the p999 / deferral / shed columns turning over
+/// while the hit rate holds — shed queries never reach the overlay
+/// plane, so what degrades under load is *latency and coverage*, not
+/// answer quality on the queries that do get served.
+pub fn ablation_service_mode(scale: Scale) {
+    let mut e = Emitter::new("ablation_service_mode");
+    e.comment("Ablation: service-mode backpressure (burst sweep per index backend)");
+    e.comment(
+        "backend\tburst_permille\tp50_md\tp99_md\tp999_md\tserved\tdeferred\t\
+         shed\tmax_queue_depth\thit_rate_pct",
+    );
+    let (_, trace) = generate_trace(scale.config(SEED));
+    let filtered = edonkey_trace::pipeline::filter(&trace).trace;
+    let caches = filtered.static_caches();
+    let n_files = filtered.files.len();
+    let arena = CacheArena::from_caches(&caches, n_files);
+    let backends = [
+        IndexBackend::SingleServer,
+        IndexBackend::Federated { n_servers: 8 },
+        IndexBackend::Dht { replication_k: 3 },
+    ];
+    for backend in backends {
+        for &burst in &[0u32, 300, 600, 900] {
+            let config = ServeConfig::new(SimConfig::lru(20).with_seed(SEED).with_backend(backend))
+                .with_arrival(ArrivalConfig::bursty(SEED ^ 0x5e, burst, 40))
+                .with_service(20, 12, 2);
+            let report = serve_arena_threads(&arena, &config, 4);
+            let (p50, p99, p999) = report.latency.p50_p99_p999();
+            let served = report.health.served.max(1);
+            e.row([
+                backend.name(),
+                burst.to_string(),
+                p50.to_string(),
+                p99.to_string(),
+                p999.to_string(),
+                report.health.served.to_string(),
+                report.health.deferred.to_string(),
+                report.health.shed.to_string(),
+                report.health.max_queue_depth.to_string(),
+                f(
+                    100.0 * report.health.search.answered as f64 / served as f64,
+                    2,
+                ),
+            ]);
         }
     }
     e.finish();

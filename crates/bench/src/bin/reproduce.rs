@@ -57,5 +57,6 @@ fn main() {
     ablations::ablation_fault_sweep(scale);
     ablations::ablation_churn_sweep(scale);
     ablations::ablation_index_backends(scale);
+    ablations::ablation_service_mode(scale);
     eprintln!("[reproduce] done.");
 }

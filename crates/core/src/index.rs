@@ -51,6 +51,14 @@ use crate::neighbours::Peer;
 /// day decides whether the record server is up.
 pub const FED_HOP_LATENCY_MD: u64 = 2;
 
+/// Per-hop XOR-routing latency of the DHT backend, in simulated
+/// milli-days (~1.5 minutes — one UDP round trip per routing step,
+/// cheaper than an inter-server forward). The simulator's hop *count*
+/// model predates this constant and is unchanged; the serving engine
+/// multiplies it in when converting a lookup's `dht_hops` into
+/// simulated query latency.
+pub const DHT_HOP_LATENCY_MD: u64 = 1;
+
 /// Size of the DHT's virtual node ring. 64 nodes on a 6-bit Kademlia
 /// ID space: each routing step resolves one more prefix bit, so a
 /// lookup costs at most 6 hops.

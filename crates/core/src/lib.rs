@@ -19,6 +19,9 @@
 //! * [`filters`] — top-uploader and popular-file removal (Figs. 19/20);
 //! * [`experiment`] — sweeps, removal grids and the Fig. 21
 //!   randomization sweep, with a parallel runner;
+//! * [`serve`] — the always-on query-serving mode: the trace replayed
+//!   as a continuous arrival stream through a sharded neighbour store,
+//!   with bounded ingress queues and latency percentiles;
 //! * [`overlay`] — the paper's announced next step: a *live* semantic
 //!   overlay maintained across days of cache churn;
 //! * [`gossip`] — the epidemic alternative (related work [31]): views
@@ -46,6 +49,7 @@ pub mod gossip;
 pub mod index;
 pub mod neighbours;
 pub mod overlay;
+pub mod serve;
 pub mod sim;
 
 pub use experiment::{
@@ -62,6 +66,10 @@ pub use neighbours::{
 pub use overlay::{
     simulate_overlay, simulate_overlay_health, simulate_overlay_reference, OverlayConfig,
     OverlayDayStats,
+};
+pub use serve::{
+    serve_arena, serve_arena_threads, ArrivalConfig, ArrivalProcess, LatencyHistogram, ServeConfig,
+    ServeHealth, ServeReport, QUERY_RTT_MD,
 };
 pub use sim::{
     simulate, simulate_health, split_eligible, AvailabilityConfig, ChurnConfig, ChurnSchedule,

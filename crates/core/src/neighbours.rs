@@ -653,6 +653,14 @@ impl AnyPolicy {
         }
     }
 
+    /// Owned copy of the current neighbour list, in list order — the
+    /// "final policy state" unit the service-mode differential tests
+    /// compare (a serving replay and a batch run must leave every peer
+    /// with the identical list).
+    pub fn snapshot(&self) -> Vec<Peer> {
+        self.neighbours().to_vec()
+    }
+
     /// Applies the policy's staleness reaction to a timed-out
     /// neighbour. `replacement` is only consulted by the Random policy;
     /// pass `None` for the others (a deterministic draw from the sharer

@@ -54,7 +54,7 @@ use crate::neighbours::{AnyPolicy, NeighbourPolicy, Peer, PolicyKind, StaleReact
 /// replay any querier's requests independently and still agree
 /// bit-for-bit with [`simulate_reference`].
 #[inline]
-fn fallback_index(seed: u64, t: u64, len: usize) -> usize {
+pub(crate) fn fallback_index(seed: u64, t: u64, len: usize) -> usize {
     debug_assert!(len > 0);
     let mut z = seed ^ t.wrapping_mul(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -304,13 +304,20 @@ impl SearchHealth {
     /// [`SearchHealth::check_against`], panicking with the cell
     /// identity on violation. Sweep matrices run hundreds of cells;
     /// "which cell" is the first question a failure raises, so the
-    /// message carries `(seed, list_size, churn_rate)` alongside the
-    /// violated identity.
+    /// message carries `(seed, list_size, churn_rate, backend)`
+    /// alongside the violated identity — the backend kind matters
+    /// because the forwarding backends (`federated{n}`, `dht_k{k}`)
+    /// take a different routing path than the single server, and a
+    /// hop-accounting bug would otherwise point at the wrong cell.
     pub fn expect_reconciled(&self, result: &SimResult, config: &SimConfig) {
         if let Err(e) = self.check_against(result) {
             panic!(
-                "SearchHealth failed to reconcile: {e} (seed {}, list_size {}, churn_rate {})",
-                config.seed, config.list_size, config.availability.churn.churn_permille
+                "SearchHealth failed to reconcile: {e} \
+                 (seed {}, list_size {}, churn_rate {}, backend {})",
+                config.seed,
+                config.list_size,
+                config.availability.churn.churn_permille,
+                config.availability.backend.name()
             );
         }
     }
@@ -470,6 +477,13 @@ impl SimScratch {
     /// Creates empty scratch; buffers grow on first use.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Neighbour-list snapshot after the last run, in peer order — the
+    /// final policy state the service-mode differential tests compare
+    /// against. Empty before the first run.
+    pub fn final_lists(&self) -> Vec<Vec<Peer>> {
+        self.policies.iter().map(AnyPolicy::snapshot).collect()
     }
 }
 
@@ -918,13 +932,14 @@ pub fn split_eligible(config: &SimConfig) -> bool {
 /// One request of a querier's stream, fully resolved at precomp time:
 /// stream position, file, arrival rank, and the file's arrival-CSR base
 /// offset — one 16-byte load where the hot loop would otherwise chase
-/// three parallel arrays.
+/// three parallel arrays. Shared with [`crate::serve`], which replays
+/// the same records as a timed arrival stream.
 #[derive(Clone, Copy, Debug)]
-struct QueryRec {
-    t: u32,
-    file: FileRef,
-    rank: u32,
-    off: u32,
+pub(crate) struct QueryRec {
+    pub(crate) t: u32,
+    pub(crate) file: FileRef,
+    pub(crate) rank: u32,
+    pub(crate) off: u32,
 }
 
 /// Policy-independent precomputation shared by every split-eligible
@@ -943,29 +958,40 @@ struct QueryRec {
 /// * each querier's request positions (`queries`), the unit the
 ///   work-stealing scheduler splits cells by.
 pub struct SweepPrecomp {
-    seed: u64,
-    stream: Vec<(u32, FileRef)>,
+    pub(crate) seed: u64,
+    pub(crate) stream: Vec<(u32, FileRef)>,
     /// Arrival-ordered sharers per file (CSR over files; each
     /// [`QueryRec`] carries its own row offset, so the offsets table is
     /// consumed during construction rather than stored).
-    arrivals: Vec<Peer>,
+    pub(crate) arrivals: Vec<Peer>,
     /// Fully-resolved requests per querier (CSR over peers); the
     /// offsets double as prefix sums of per-peer request counts.
-    queries: Vec<QueryRec>,
-    queries_off: Vec<u32>,
+    pub(crate) queries: Vec<QueryRec>,
+    pub(crate) queries_off: Vec<u32>,
     /// Arrival rank per arena CSR entry: `rank_by[k]` is the arrival
     /// rank of peer `p` for file `f` where `k` indexes `(p, f)` in the
     /// arena's own CSR layout — the member-major hit check's O(1)
     /// "when did member `m` start sharing `f`" lookup.
-    rank_by: Vec<u32>,
-    requests: u64,
-    contributor_seeds: u64,
-    n_peers: usize,
+    pub(crate) rank_by: Vec<u32>,
+    pub(crate) requests: u64,
+    pub(crate) contributor_seeds: u64,
+    pub(crate) n_peers: usize,
 }
 
 impl SweepPrecomp {
     /// Builds the precomputation: one shuffle plus two linear passes.
     pub fn new(arena: &CacheArena, seed: u64) -> Self {
+        Self::new_with_rng(arena, seed).0
+    }
+
+    /// [`SweepPrecomp::new`], also returning the RNG in its
+    /// post-shuffle state. The batch simulator seeds one `StdRng`,
+    /// shuffles the stream, then constructs the per-peer policies from
+    /// the *same* generator — so any path that wants to reproduce its
+    /// policy-construction draws (the serving engine does, for the
+    /// Random policy's seeded lists) needs the generator exactly where
+    /// the shuffle left it.
+    pub(crate) fn new_with_rng(arena: &CacheArena, seed: u64) -> (Self, StdRng) {
         let n_peers = arena.n_peers();
         let n_files = arena.n_files();
         let mut rng = StdRng::seed_from_u64(seed);
@@ -1043,17 +1069,20 @@ impl SweepPrecomp {
             rank_by[offsets[p as usize] as usize + pos] = rank[t];
         }
 
-        SweepPrecomp {
-            seed,
-            stream,
-            arrivals,
-            queries,
-            queries_off,
-            rank_by,
-            requests,
-            contributor_seeds,
-            n_peers,
-        }
+        (
+            SweepPrecomp {
+                seed,
+                stream,
+                arrivals,
+                queries,
+                queries_off,
+                rank_by,
+                requests,
+                contributor_seeds,
+                n_peers,
+            },
+            rng,
+        )
     }
 
     /// The seed this precomputation was built for.
@@ -1438,7 +1467,7 @@ fn renew_split_policy<'a>(
 /// times longer than the list. Purely a cost heuristic — both probes
 /// return the member with the minimal arrival rank, i.e. the same
 /// uploader the sequential sharer-order scan finds.
-const MEMBER_MAJOR_CUTOFF: usize = 128;
+pub(crate) const MEMBER_MAJOR_CUTOFF: usize = 128;
 
 /// Quiet-regime querier replay: interval-settled messages, rank-based
 /// hit checks, no walk buffers.
@@ -2050,11 +2079,9 @@ mod tests {
         assert!(err.contains("fallback lookup"), "{err}");
     }
 
-    #[test]
-    #[should_panic(expected = "(seed 42, list_size 5, churn_rate 250)")]
-    fn reconcile_panic_names_the_cell() {
-        // A doctored ledger: answered disagrees with the hit counts, so
-        // the panic must localize the cell by seed, list size and rate.
+    /// The doctored ledger both should-panic tests use: `answered`
+    /// disagrees with the hit counts.
+    fn doctored_cell() -> (SearchHealth, SimResult) {
         let health = SearchHealth {
             attempted: 5,
             answered: 3,
@@ -2068,9 +2095,32 @@ mod tests {
             contributor_seeds: 0,
             messages_per_peer: Vec::new(),
         };
+        (health, result)
+    }
+
+    #[test]
+    #[should_panic(expected = "(seed 42, list_size 5, churn_rate 250, backend single)")]
+    fn reconcile_panic_names_the_cell() {
+        // The panic must localize the cell by seed, list size, rate and
+        // backend kind.
+        let (health, result) = doctored_cell();
         let config = SimConfig::lru(5)
             .with_seed(42)
             .with_availability(AvailabilityConfig::churn(7, 250));
+        health.expect_reconciled(&result, &config);
+    }
+
+    #[test]
+    #[should_panic(expected = "(seed 42, list_size 5, churn_rate 250, backend federated8)")]
+    fn reconcile_panic_names_the_forwarding_backend() {
+        // A forwarding-backend cell must be named as such: the routing
+        // path differs from the single server, so "which backend" is
+        // part of the cell identity.
+        let (health, result) = doctored_cell();
+        let config = SimConfig::lru(5).with_seed(42).with_availability(
+            AvailabilityConfig::churn(7, 250)
+                .with_backend(IndexBackend::Federated { n_servers: 8 }),
+        );
         health.expect_reconciled(&result, &config);
     }
 

@@ -12,6 +12,8 @@
 //!
 //! Modules:
 //! * [`config`] — every knob, with paper-calibrated presets;
+//! * [`arrivals`] — deterministic burst/jitter arrival processes for
+//!   the always-on query-serving mode;
 //! * [`churn`] — deterministic session on/off schedules, server-outage
 //!   windows and the query retry policy for availability-aware search;
 //! * [`dist`] — Zipf–Mandelbrot, Pareto, Poisson, log-normal samplers;
@@ -32,6 +34,7 @@
 //! assert_eq!(caches.len(), pop.peers.len());
 //! ```
 
+pub mod arrivals;
 pub mod churn;
 pub mod config;
 pub mod dist;
@@ -40,6 +43,7 @@ pub mod geo;
 pub mod names;
 pub mod population;
 
+pub use arrivals::{ArrivalConfig, ArrivalProcess};
 pub use churn::{ChurnConfig, ChurnSchedule, QueryPolicy};
 pub use config::{KindProfile, WorkloadConfig};
 pub use dynamics::{generate_trace, Dynamics, GroundTruth};

@@ -17,6 +17,7 @@ use edonkey_repro::semsearch::neighbours::{Lru, NeighbourPolicy};
 use edonkey_repro::semsearch::overlay::{
     simulate_overlay, simulate_overlay_reference, OverlayConfig,
 };
+use edonkey_repro::semsearch::serve::{serve_arena_threads, ServeConfig};
 use edonkey_repro::semsearch::sim::{
     simulate_arena_health_with_scratch, simulate_arena_with_scratch, simulate_reference, SimScratch,
 };
@@ -553,6 +554,54 @@ proptest! {
             for (config, (result, _)) in configs.iter().zip(&expected) {
                 let reference = simulate_reference(&caches, n_files, config);
                 prop_assert_eq!(&reference, result, "config {:?}", config);
+            }
+        }
+    }
+
+    /// The serving engine with unbounded queues and identity arrivals
+    /// is bit-identical to the batch simulator — result, health ledger
+    /// *and* final neighbour lists — for every policy family (Random
+    /// included: the engine replays the batch policy-construction
+    /// draws), quiet or churned, for any worker count. This is the
+    /// split-sweep property lifted to the serving plane.
+    #[test]
+    fn service_replay_equals_batch_for_any_thread_count(
+        caches in arb_caches(),
+        churn_permille in prop_oneof![Just(0u32), Just(250)],
+        seed in 0u64..200,
+    ) {
+        let n_files = 64;
+        let arena = CacheArena::from_caches(&caches, n_files);
+        let avail = if churn_permille == 0 {
+            AvailabilityConfig::none()
+        } else {
+            AvailabilityConfig::churn(seed ^ 0xc4, churn_permille)
+                .with_query(QueryPolicy::retry_evict())
+        };
+        let mut scratch = SimScratch::new();
+        for config in [
+            SimConfig::lru(4),
+            SimConfig::history(3),
+            SimConfig::random(3),
+            SimConfig::rare_lru(4, 2),
+        ] {
+            let config = config.with_seed(seed).with_availability(avail.clone());
+            let (expected, expected_health) =
+                simulate_arena_health_with_scratch(&arena, &config, &mut scratch);
+            let expected_lists = scratch.final_lists();
+            for threads in [1usize, 2, 8] {
+                let report =
+                    serve_arena_threads(&arena, &ServeConfig::new(config.clone()), threads);
+                prop_assert_eq!(&report.result, &expected, "threads {}", threads);
+                prop_assert_eq!(
+                    &report.health.search,
+                    &expected_health,
+                    "threads {}",
+                    threads
+                );
+                prop_assert_eq!(&report.lists, &expected_lists, "threads {}", threads);
+                prop_assert_eq!(report.health.shed, 0);
+                prop_assert_eq!(report.health.deferred, 0);
             }
         }
     }
