@@ -8,7 +8,7 @@ use edonkey_semsearch::serve::{serve_arena_threads, ArrivalConfig, ServeConfig};
 use edonkey_semsearch::sim::{
     simulate, simulate_arena_with_scratch, QueryPolicy, SimConfig, SimScratch,
 };
-use edonkey_semsearch::{churn_grid, ChurnCell, IndexBackend};
+use edonkey_semsearch::{adversary_grid, churn_grid, AdversaryConfig, ChurnCell, IndexBackend};
 use edonkey_trace::compact::CacheArena;
 use edonkey_trace::randomize::{recommended_iterations, ArenaShuffler};
 use edonkey_workload::generate_trace;
@@ -391,6 +391,57 @@ pub fn ablation_service_mode(scale: Scale) {
                 ),
             ]);
         }
+    }
+    e.finish();
+}
+
+/// Adversary ablation (DESIGN.md §12): hit rate and the attack/defense
+/// ledger per attack mix × list policy × {undefended, defended}, at
+/// list size 20 under the single-server fallback. The honest rows
+/// double as the no-op check — an armed defense on an honest run moves
+/// no counter — and every cell's `SearchHealth` is reconciled inside
+/// `adversary_grid`, so a ledger violation panics the sweep.
+pub fn ablation_adversary(scale: Scale) {
+    let mut e = Emitter::new("adversary_sweep");
+    e.comment("Ablation: adversarial workload plane (sybil / pollution / free-riding)");
+    e.comment(
+        "sybil_permille\tpolluter_permille\tfreerider_permille\tpolicy\tdefended\t\
+         hit_rate_pct\twasted_queries\tsybil_slots_held\tpolluted_acquisitions\t\
+         reputation_evictions",
+    );
+    let (_, trace) = generate_trace(scale.config(SEED));
+    let filtered = edonkey_trace::pipeline::filter(&trace).trace;
+    let caches = filtered.static_caches();
+    let n_files = filtered.files.len();
+    let adversary_seed = SEED ^ 0xad5e;
+    let mixes = [
+        AdversaryConfig::none(),
+        AdversaryConfig::sybils(adversary_seed, 150),
+        AdversaryConfig::polluters(adversary_seed, 150),
+        AdversaryConfig::freeriders(adversary_seed, 150),
+        AdversaryConfig::sybils(adversary_seed, 50).with_polluters(50),
+    ];
+    for cell in adversary_grid(
+        &caches,
+        n_files,
+        20,
+        &mixes,
+        QueryPolicy::no_retry(),
+        IndexBackend::SingleServer,
+        SEED,
+    ) {
+        e.row([
+            cell.adversary.sybil_permille.to_string(),
+            cell.adversary.polluter_permille.to_string(),
+            cell.adversary.freerider_permille.to_string(),
+            cell.policy.name().to_string(),
+            cell.defended.to_string(),
+            f(100.0 * cell.result.hit_rate(), 2),
+            cell.health.wasted_queries.to_string(),
+            cell.health.sybil_slots_held.to_string(),
+            cell.health.polluted_acquisitions.to_string(),
+            cell.health.reputation_evictions.to_string(),
+        ]);
     }
     e.finish();
 }

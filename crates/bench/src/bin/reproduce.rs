@@ -58,5 +58,6 @@ fn main() {
     ablations::ablation_churn_sweep(scale);
     ablations::ablation_index_backends(scale);
     ablations::ablation_service_mode(scale);
+    ablations::ablation_adversary(scale);
     eprintln!("[reproduce] done.");
 }

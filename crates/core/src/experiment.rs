@@ -15,8 +15,8 @@ use crate::index::IndexBackend;
 use crate::neighbours::PolicyKind;
 use crate::sim::{
     merge_partials, simulate_arena_health_with_scratch, simulate_arena_with_scratch,
-    simulate_cell_range, split_eligible, AvailabilityConfig, CellPartial, QueryPolicy,
-    SearchHealth, SimConfig, SimResult, SimScratch, SplitScratch, SweepPrecomp,
+    simulate_cell_range, split_eligible, AdversaryConfig, AvailabilityConfig, CellPartial,
+    QueryPolicy, SearchHealth, SimConfig, SimResult, SimScratch, SplitScratch, SweepPrecomp,
 };
 
 /// One sweep point: a list size and its simulation result.
@@ -588,6 +588,84 @@ pub fn churn_grid(
         .collect()
 }
 
+/// One cell of the adversary ablation grid: an attack mix × policy ×
+/// defense combination with its result and ledger.
+#[derive(Clone, Debug)]
+pub struct AdversaryCell {
+    /// The injected attack mix.
+    pub adversary: AdversaryConfig,
+    /// Neighbour-list policy.
+    pub policy: PolicyKind,
+    /// Whether the reputation defense was armed.
+    pub defended: bool,
+    /// Full simulation result.
+    pub result: SimResult,
+    /// The ledger (already reconciled against `result`).
+    pub health: SearchHealth,
+}
+
+/// The adversary ablation: every attack mix × [`CHURN_POLICIES`] ×
+/// {undefended, defended} cell at one list size under one index
+/// backend, in parallel. Adversarial cells are split-ineligible, so
+/// they run whole inside the same work-stealing pass; quiet mixes
+/// (including [`AdversaryConfig::none`] baselines) still split. Each
+/// cell's [`SearchHealth`] is reconciled against its [`SimResult`]
+/// before returning — a violation panics, naming the cell.
+pub fn adversary_grid(
+    caches: &[Vec<FileRef>],
+    n_files: usize,
+    list_size: usize,
+    adversaries: &[AdversaryConfig],
+    query: QueryPolicy,
+    backend: IndexBackend,
+    seed: u64,
+) -> Vec<AdversaryCell> {
+    let arena = CacheArena::from_caches(caches, n_files);
+    let mut cells: Vec<(AdversaryConfig, PolicyKind, bool)> = Vec::new();
+    for adversary in adversaries {
+        for policy in CHURN_POLICIES {
+            for defended in [false, true] {
+                cells.push((adversary.clone(), policy, defended));
+            }
+        }
+    }
+    let configs: Vec<SimConfig> = cells
+        .iter()
+        .map(|(adversary, policy, defended)| {
+            let mut availability = AvailabilityConfig::none()
+                .with_query(query)
+                .with_backend(backend)
+                .with_adversary(adversary.clone());
+            if *defended {
+                availability = availability.with_reputation();
+            }
+            SimConfig {
+                list_size,
+                policy: *policy,
+                two_hop: false,
+                seed,
+                availability,
+            }
+        })
+        .collect();
+    cells
+        .into_iter()
+        .zip(configs.iter().zip(sweep_cells(&arena, &configs)))
+        .map(
+            |((adversary, policy, defended), (config, (result, health)))| {
+                health.expect_reconciled(&result, config);
+                AdversaryCell {
+                    adversary,
+                    policy,
+                    defended,
+                    result,
+                    health,
+                }
+            },
+        )
+        .collect()
+}
+
 // The parallel runner lives in `edonkey_trace::par` since the derivation
 // pipeline needs it too; re-exported here for the sweeps (and for the
 // callers that always imported it from this module).
@@ -842,6 +920,47 @@ mod tests {
         }
         // The unprofiled path must agree too (profiling only meters).
         assert_eq!(sweep_cells_threads(&arena, &configs, 2), oracle);
+    }
+
+    #[test]
+    fn adversary_grid_covers_the_matrix_and_reconciles() {
+        let (caches, n) = workload();
+        let mixes = [
+            AdversaryConfig::none(),
+            AdversaryConfig::sybils(21, 150).with_polluters(150),
+        ];
+        let grid = adversary_grid(
+            &caches,
+            n,
+            5,
+            &mixes,
+            QueryPolicy::no_retry(),
+            IndexBackend::SingleServer,
+            1,
+        );
+        assert_eq!(grid.len(), 2 * CHURN_POLICIES.len() * 2);
+        for policy in CHURN_POLICIES {
+            let cell = |mix: &AdversaryConfig, defended: bool| {
+                grid.iter()
+                    .find(|c| c.adversary == *mix && c.policy == policy && c.defended == defended)
+                    .unwrap()
+            };
+            // An armed defense on an honest run is a bitwise no-op.
+            let honest = cell(&mixes[0], false);
+            let honest_armed = cell(&mixes[0], true);
+            assert_eq!(honest.result, honest_armed.result, "{policy:?}");
+            assert_eq!(honest.health, honest_armed.health, "{policy:?}");
+            assert_eq!(honest.health.wasted_queries, 0);
+            // The attacked cell actually exercises the adversary, and
+            // the defense only fires when armed.
+            let attacked = cell(&mixes[1], false);
+            assert!(attacked.health.sybil_slots_held > 0, "{policy:?}");
+            assert_eq!(attacked.health.reputation_evictions, 0);
+            assert!(
+                attacked.result.one_hop_hits <= honest.result.one_hop_hits,
+                "{policy:?}"
+            );
+        }
     }
 
     #[test]

@@ -42,6 +42,7 @@
 
 use edonkey_trace::model::FileRef;
 use edonkey_workload::churn::ChurnSchedule;
+use edonkey_workload::mix::splitmix64;
 
 use crate::neighbours::Peer;
 
@@ -76,14 +77,8 @@ const SALT_DHT_VICTIM: u64 = 0x1d38_a7c2_90f1_0007;
 /// splitmix64 finalizer chained over `(seed ^ salt, key)` — the same
 /// construction the churn schedule uses for its stateless draws.
 fn route_hash(seed: u64, salt: u64, key: u64) -> u64 {
-    let mut z = seed ^ salt;
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^= z >> 31;
-    z ^= key.wrapping_mul(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
+    let z = splitmix64(seed ^ salt);
+    splitmix64(z ^ key.wrapping_mul(0x9e37_79b9_7f4a_7c15))
 }
 
 /// Which index backend resolves final overlay misses. Carried by
@@ -133,6 +128,22 @@ impl IndexBackend {
     /// interval-settled mirror (see `split_eligible`).
     pub fn forwards(&self) -> bool {
         !matches!(self, IndexBackend::SingleServer)
+    }
+
+    /// How many index replicas can carry a poisoned source record —
+    /// the adversary plan's pollution exposure (see
+    /// `edonkey_workload::adversary::AdversaryPlan::polluter`). The
+    /// single server holds one record; a federation holds it on the
+    /// aggregation server plus the ring neighbour that gossip mirrors
+    /// it to; the DHT holds one per replica. Replication, the very
+    /// mechanism that buys outage survival, is what amplifies
+    /// pollution.
+    pub fn pollution_exposure(&self) -> u32 {
+        match *self {
+            IndexBackend::SingleServer => 1,
+            IndexBackend::Federated { .. } => 2,
+            IndexBackend::Dht { replication_k } => replication_k.max(1),
+        }
     }
 
     /// Short stable name for reports and fixtures.
@@ -582,5 +593,23 @@ mod tests {
         assert!(IndexBackend::Federated { n_servers: 2 }.forwards());
         assert!(IndexBackend::Dht { replication_k: 1 }.forwards());
         assert_eq!(IndexBackend::default(), IndexBackend::SingleServer);
+    }
+
+    #[test]
+    fn pollution_exposure_scales_with_replication() {
+        assert_eq!(IndexBackend::SingleServer.pollution_exposure(), 1);
+        assert_eq!(
+            IndexBackend::Federated { n_servers: 8 }.pollution_exposure(),
+            2
+        );
+        assert_eq!(
+            IndexBackend::Dht { replication_k: 3 }.pollution_exposure(),
+            3
+        );
+        assert_eq!(
+            IndexBackend::Dht { replication_k: 0 }.pollution_exposure(),
+            1,
+            "degenerate replication clamps like the router does"
+        );
     }
 }

@@ -53,9 +53,10 @@ pub mod serve;
 pub mod sim;
 
 pub use experiment::{
-    churn_grid, policy_comparison, randomization_sweep, sweep_cells, sweep_cells_threads,
-    sweep_cells_threads_profiled, sweep_configs, sweep_list_sizes, sweep_list_sizes_arena,
-    ChurnCell, RandomizationPoint, SweepPoint, SweepStages, CHURN_POLICIES, PAPER_LIST_SIZES,
+    adversary_grid, churn_grid, policy_comparison, randomization_sweep, sweep_cells,
+    sweep_cells_threads, sweep_cells_threads_profiled, sweep_configs, sweep_list_sizes,
+    sweep_list_sizes_arena, AdversaryCell, ChurnCell, RandomizationPoint, SweepPoint, SweepStages,
+    CHURN_POLICIES, PAPER_LIST_SIZES,
 };
 pub use filters::{remove_top_files, remove_top_uploaders};
 pub use gossip::{build_overlay, overlay_hit_rate, GossipConfig, SemanticOverlay};
@@ -72,6 +73,6 @@ pub use serve::{
     ServeHealth, ServeReport, QUERY_RTT_MD,
 };
 pub use sim::{
-    simulate, simulate_health, split_eligible, AvailabilityConfig, ChurnConfig, ChurnSchedule,
-    QueryPolicy, SearchHealth, SimConfig, SimResult, SweepPrecomp,
+    simulate, simulate_health, split_eligible, AdversaryConfig, AdversaryPlan, AvailabilityConfig,
+    ChurnConfig, ChurnSchedule, QueryPolicy, SearchHealth, SimConfig, SimResult, SweepPrecomp,
 };

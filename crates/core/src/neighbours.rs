@@ -248,6 +248,24 @@ impl History {
         true
     }
 
+    /// Removes `peer` outright — list membership, upload counter and
+    /// recency all erased, so re-admission must be earned from zero.
+    /// This is the *reputation* reaction, deliberately harsher than the
+    /// staleness [`History::demote`]: a flaky-but-honest uploader keeps
+    /// (half) its history, an exposed adversary keeps nothing —
+    /// otherwise its inflated counter would re-admit it on the very
+    /// next hijacked record. Returns whether the peer was a member.
+    pub fn remove(&mut self, peer: Peer) -> bool {
+        if !self.members.remove(&peer) {
+            return false;
+        }
+        let pos = self.list.iter().position(|&p| p == peer).expect("member");
+        self.list.remove(pos);
+        self.counts.remove(&peer);
+        self.last_seen.remove(&peer);
+        true
+    }
+
     /// Clears all history in place to the empty state of `History::new
     /// (capacity)`, keeping the allocations (see [`Lru::reset`]).
     pub fn reset(&mut self, capacity: usize) {
@@ -661,6 +679,25 @@ impl AnyPolicy {
         self.neighbours().to_vec()
     }
 
+    /// Hard-removes a neighbour whose reputation collapsed (see
+    /// [`ReputationBook`]). Unlike the staleness reaction — which may
+    /// merely demote (History) — every policy drops the peer outright:
+    /// the defense only fires on members that were *recorded through an
+    /// attack* and then answered nothing, and a demotion would leave
+    /// the captured slot in place. `replacement` is only consulted by
+    /// the Random policy (same contract as [`AnyPolicy::handle_stale`]).
+    /// Returns whether the list changed.
+    pub fn expel(&mut self, peer: Peer, replacement: Option<Peer>) -> bool {
+        match self {
+            AnyPolicy::Lru(p) => p.evict(peer),
+            AnyPolicy::History(p) => p.remove(peer),
+            AnyPolicy::Random(p) => {
+                !matches!(p.replace_stale(peer, replacement), StaleReaction::Kept)
+            }
+            AnyPolicy::RareLru(p) => p.evict(peer),
+        }
+    }
+
     /// Applies the policy's staleness reaction to a timed-out
     /// neighbour. `replacement` is only consulted by the Random policy;
     /// pass `None` for the others (a deterministic draw from the sharer
@@ -737,6 +774,124 @@ impl NeighbourPolicy for AnyPolicy {
             AnyPolicy::Random(p) => p.capacity(),
             AnyPolicy::RareLru(p) => p.capacity(),
         }
+    }
+}
+
+/// How many broken promises a suspect survives before the defense
+/// expels it (see [`ReputationBook::on_query`]). Suspicion only ever
+/// attaches to adversarially recorded peers, so the probation window
+/// is short: it exists to absorb coincidence (a genuinely recorded
+/// peer sharing a suspect's identity is redeemed on its next upload),
+/// not to hedge against honest false positives.
+const REPUTATION_FIRE_AT: u32 = 3;
+
+/// One querier's reputation ledger over its *suspect* neighbours — the
+/// eDonkey-shaped defense against slot capture (DESIGN.md §12).
+///
+/// A suspect is a neighbour whose recording the querier has reason to
+/// distrust: the download it was recorded for failed content
+/// verification (pollution — eDonkey hashes every chunk) or arrived
+/// from someone else entirely (a sybil impersonation). Suspicion is
+/// probation, not proof: the entry stays listed, but every subsequent
+/// query it leaves unanswered raises a *promised-but-never-served*
+/// score — decayed exponentially (`p - p/8 + 1`) so old sins fade —
+/// and at [`REPUTATION_FIRE_AT`] the defense fires: the slot is
+/// hard-reclaimed ([`AnyPolicy::expel`]) and the peer is *banned* —
+/// the querier refuses to ever record it again. The ban is the real
+/// defense: expulsion alone barely moves the hit rate, because an
+/// attacker re-enters the list at the same capture rate it entered the
+/// first time; refusing re-admission is what starves it out. A suspect
+/// that genuinely serves an upload first is redeemed and leaves the
+/// book unbanned.
+///
+/// Only suspects are ever tracked: an honest run inserts nothing,
+/// consumes no RNG, and is bit-identical with the defense armed or
+/// not — the property `bench_report`'s `honest_defense_noop` gate
+/// pins.
+#[derive(Clone, Debug, Default)]
+pub struct ReputationBook {
+    /// `(suspect, promised-but-never-served score)` — a handful of
+    /// entries at most, so a Vec beats a map.
+    suspects: Vec<(Peer, u32)>,
+    /// Peers whose probation fired: never recorded again.
+    banned: Vec<Peer>,
+}
+
+impl ReputationBook {
+    /// An empty book.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True iff nobody is under suspicion or banned.
+    pub fn is_empty(&self) -> bool {
+        self.suspects.is_empty() && self.banned.is_empty()
+    }
+
+    /// O(n) membership test over the (tiny) suspect set.
+    pub fn contains(&self, peer: Peer) -> bool {
+        self.suspects.iter().any(|&(p, _)| p == peer)
+    }
+
+    /// Has `peer`'s probation fired? Banned peers must never be
+    /// recorded again — the caller drops the record on the floor.
+    pub fn banned(&self, peer: Peer) -> bool {
+        self.banned.contains(&peer)
+    }
+
+    /// Puts `peer` under suspicion. A *repeat* capture while already
+    /// on probation is corroboration, not coincidence: the entry moves
+    /// straight to the ban list and `true` is returned — the caller
+    /// must then reclaim the slot via [`AnyPolicy::expel`]. Bounding an
+    /// attacker to one miscredited record per probation is what keeps
+    /// cumulative-count policies (History) recoverable: unlike LRU,
+    /// frequency lists never age the stolen credit out.
+    pub fn suspect(&mut self, peer: Peer) -> bool {
+        if self.banned(peer) {
+            return false;
+        }
+        if let Some(i) = self.suspects.iter().position(|&(p, _)| p == peer) {
+            self.suspects.remove(i);
+            self.banned.push(peer);
+            true
+        } else {
+            self.suspects.push((peer, 0));
+            false
+        }
+    }
+
+    /// Scores one unanswered query to `peer`. Non-suspects are
+    /// untouched (returns `false`). A suspect's score decays then
+    /// increments; when it reaches [`REPUTATION_FIRE_AT`] the entry
+    /// moves to the ban list and `true` is returned — the caller must
+    /// then reclaim the slot via [`AnyPolicy::expel`], and the banned
+    /// peer is never recorded again.
+    pub fn on_query(&mut self, peer: Peer) -> bool {
+        let Some(i) = self.suspects.iter().position(|&(p, _)| p == peer) else {
+            return false;
+        };
+        let p = self.suspects[i].1;
+        let p = p - p / 8 + 1;
+        if p >= REPUTATION_FIRE_AT {
+            self.suspects.remove(i);
+            self.banned.push(peer);
+            true
+        } else {
+            self.suspects[i].1 = p;
+            false
+        }
+    }
+
+    /// Clears `peer`'s suspicion — it genuinely served an upload.
+    pub fn redeem(&mut self, peer: Peer) {
+        self.remove(peer);
+    }
+
+    /// Drops `peer` from the suspect set (it left the neighbour list
+    /// by other means, so there is no slot left to defend). A ban, if
+    /// any, persists — leaving the list is not rehabilitation.
+    pub fn remove(&mut self, peer: Peer) {
+        self.suspects.retain(|&(p, _)| p != peer);
     }
 }
 
@@ -1056,5 +1211,103 @@ mod tests {
         p.record_upload_with_popularity(4, 1);
         assert_eq!(p.handle_stale(4, None), StaleReaction::Evicted);
         assert!(p.neighbours().is_empty());
+    }
+
+    #[test]
+    fn history_remove_erases_the_whole_record() {
+        let mut h = History::new(2);
+        for _ in 0..5 {
+            h.record_upload(1);
+        }
+        h.record_upload(2);
+        assert!(h.remove(1), "member removal succeeds");
+        assert!(!h.contains(1));
+        assert_eq!(h.neighbours(), &[2]);
+        assert!(!h.remove(1), "already gone");
+        // The counter is erased too: unlike demote, one new upload does
+        // not restore the old rank.
+        h.record_upload(2);
+        h.record_upload(2);
+        h.record_upload(1);
+        assert_eq!(h.neighbours(), &[2, 1], "peer 1 re-enters at count 1");
+        check_invariants(&h);
+    }
+
+    #[test]
+    fn expel_hard_removes_under_every_policy() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let candidates: Vec<Peer> = (0..60).collect();
+        for kind in [
+            PolicyKind::Lru,
+            PolicyKind::History,
+            PolicyKind::RareLru { max_sources: 9 },
+        ] {
+            let mut p = AnyPolicy::new(kind, 4, 0, &candidates, &mut rng);
+            for _ in 0..3 {
+                p.record_upload_with_popularity(7, 1);
+            }
+            assert!(p.expel(7, None), "{kind:?}");
+            assert!(!p.contains(7), "{kind:?}: expelled outright, not demoted");
+            assert!(!p.expel(7, None), "{kind:?}: already gone");
+        }
+        let mut p = AnyPolicy::new(PolicyKind::Random, 5, 0, &candidates, &mut rng);
+        let target = p.neighbours()[0];
+        let fresh = (0..60)
+            .find(|&c| c != 0 && !p.contains(c))
+            .expect("pool larger than list");
+        assert!(p.expel(target, Some(fresh)));
+        assert!(!p.contains(target) && p.contains(fresh));
+    }
+
+    #[test]
+    fn reputation_book_scores_only_suspects() {
+        let mut book = ReputationBook::new();
+        assert!(book.is_empty());
+        // Non-suspects are never scored.
+        for _ in 0..100 {
+            assert!(!book.on_query(3));
+        }
+        assert!(!book.suspect(5), "first capture opens probation");
+        assert!(book.contains(5) && !book.contains(3));
+        // Scores below the threshold accumulate; the FIRE_AT-th
+        // unanswered query fires.
+        for _ in 0..REPUTATION_FIRE_AT - 1 {
+            assert!(!book.on_query(5));
+        }
+        assert!(book.on_query(5), "probation exhausted");
+        assert!(!book.contains(5), "firing clears the suspect entry");
+        assert!(book.banned(5), "firing bans the peer");
+        assert!(!book.banned(3), "non-suspects are never banned");
+        assert!(!book.on_query(5), "no double firing");
+        assert!(!book.is_empty(), "the ban persists");
+        book.remove(5);
+        assert!(book.banned(5), "leaving the list is not rehabilitation");
+    }
+
+    #[test]
+    fn reputation_book_redeems_and_removes() {
+        let mut book = ReputationBook::new();
+        book.suspect(1);
+        book.suspect(2);
+        assert!(!book.on_query(1));
+        book.redeem(1);
+        assert!(!book.contains(1), "a genuine upload clears suspicion");
+        book.remove(2);
+        assert!(book.is_empty());
+    }
+
+    #[test]
+    fn reputation_book_bans_on_repeat_capture() {
+        let mut book = ReputationBook::new();
+        assert!(!book.suspect(9), "first capture: probation only");
+        assert!(book.contains(9) && !book.banned(9));
+        assert!(book.suspect(9), "a second capture on probation fires");
+        assert!(book.banned(9) && !book.contains(9));
+        assert!(!book.suspect(9), "a banned peer never re-enters probation");
+        assert!(!book.contains(9), "and stays out of the suspect set");
+        // Redemption before the repeat capture resets probation.
+        assert!(!book.suspect(4));
+        book.redeem(4);
+        assert!(!book.suspect(4), "post-redemption capture starts fresh");
     }
 }

@@ -22,8 +22,10 @@ use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 
 use crate::index::{IndexBackend, IndexRoute};
-use crate::neighbours::{AnyPolicy, NeighbourPolicy, Peer, PolicyKind, StaleReaction};
-use crate::sim::{AvailabilityConfig, ChurnSchedule, SearchHealth};
+use crate::neighbours::{
+    AnyPolicy, NeighbourPolicy, Peer, PolicyKind, ReputationBook, StaleReaction,
+};
+use crate::sim::{AdversaryPlan, AvailabilityConfig, ChurnSchedule, SearchHealth};
 
 /// Live-overlay parameters.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -130,6 +132,14 @@ pub fn simulate_overlay(
 /// Overlay misses during a server-outage day strand: the upload never
 /// happens and nothing is recorded. (The *cache* still changes — the
 /// ground-truth history is what it is — but the semantic link is lost.)
+///
+/// Under an adversarial plan the overlay behaves like the batch
+/// simulator's: adversarial members swallow queries without answering
+/// (wasted, not timed out), adversarial holders never answer, sybils
+/// hijack record slots (keyed by a running acquisition number),
+/// polluters poison fallback records, and the armed reputation defense
+/// bans attackers out of the lists. Quiet plans change nothing, bit for
+/// bit.
 pub fn simulate_overlay_health(
     days: &[Vec<Vec<FileRef>>],
     start_day: u32,
@@ -166,6 +176,18 @@ pub fn simulate_overlay_health(
     // Final misses route through the index backend; SingleServer is the
     // byte-identical pre-trait path (outage check + zero-cost resolve).
     let router = config.availability.backend.router(config.seed);
+    let plan = AdversaryPlan::new(config.availability.adversary.clone());
+    let adv_quiet = plan.is_quiet();
+    let defend = config.availability.reputation && !adv_quiet;
+    let exposure = config.availability.backend.pollution_exposure();
+    let mut books: Vec<ReputationBook> = if defend {
+        vec![ReputationBook::default(); n_peers]
+    } else {
+        Vec::new()
+    };
+    // Hijack draws are keyed by a running acquisition number — the
+    // overlay's analogue of the batch simulator's stream position.
+    let mut acq_no: u64 = 0;
     let mut query_buf: Vec<Peer> = Vec::new();
     // Per-request consecutive-timeout streaks (see `SimScratch`).
     let mut stale_prev: Vec<(Peer, u32)> = Vec::new();
@@ -221,6 +243,7 @@ pub fn simulate_overlay_health(
                 continue;
             }
             day_stats.requests += 1;
+            acq_no += 1;
 
             // Acquisition j of the day happens j/day_len through it.
             let base_millis = j as u64 * 1000 / day_len;
@@ -241,12 +264,36 @@ pub fn simulate_overlay_health(
                 // staleness reaction); the list is copied out first
                 // because the reaction mutates it mid-walk.
                 let mut saw_timeout = false;
-                if !quiet {
+                if !quiet || !adv_quiet {
                     query_buf.clear();
                     query_buf.extend_from_slice(policies[peer as usize].neighbours());
                     stale_cur.clear();
                     for &n in query_buf.iter() {
-                        if !schedule.offline(n, day, milli) {
+                        if quiet || !schedule.offline(n, day, milli) {
+                            // Online. An adversarial member swallows the
+                            // query without answering — wasted, not
+                            // timed out, so no retry or staleness fires;
+                            // only the reputation score can clear it.
+                            if !adv_quiet && plan.answers_nothing(n) {
+                                health.wasted_queries += 1;
+                                if defend && books[peer as usize].on_query(n) {
+                                    let replacement = match config.policy {
+                                        PolicyKind::Random if !sharer_pool.is_empty() => {
+                                            let i = schedule.replacement_index(
+                                                peer,
+                                                n,
+                                                day,
+                                                sharer_pool.len(),
+                                            );
+                                            Some(sharer_pool[i])
+                                        }
+                                        _ => None,
+                                    };
+                                    if policies[peer as usize].expel(n, replacement) {
+                                        health.reputation_evictions += 1;
+                                    }
+                                }
+                            }
                             continue;
                         }
                         saw_timeout = true;
@@ -292,11 +339,15 @@ pub fn simulate_overlay_health(
                         member_bits.insert(m);
                     }
                     sources.iter().copied().find(|&s| {
-                        member_bits.contains(s) && (quiet || !schedule.offline(s, day, milli))
+                        member_bits.contains(s)
+                            && (quiet || !schedule.offline(s, day, milli))
+                            && (adv_quiet || !plan.answers_nothing(s))
                     })
                 } else {
                     sources.iter().copied().find(|&s| {
-                        policy.contains(s) && (quiet || !schedule.offline(s, day, milli))
+                        policy.contains(s)
+                            && (quiet || !schedule.offline(s, day, milli))
+                            && (adv_quiet || !plan.answers_nothing(s))
                     })
                 };
 
@@ -307,14 +358,14 @@ pub fn simulate_overlay_health(
                 attempt += 1;
             };
 
-            let uploader = match found {
+            let (uploader, fell_back) = match found {
                 Some(u) => {
                     day_stats.hits += 1;
                     health.answered += 1;
                     if schedule.server_out(day) {
                         health.recovered += 1;
                     }
-                    u
+                    (u, false)
                 }
                 None => {
                     let lookup = router.lookup(&schedule, peer, file, day, milli);
@@ -330,10 +381,76 @@ pub fn simulate_overlay_health(
                         continue;
                     }
                     health.server_fallback += 1;
-                    sources[rng.gen_range(0..sources.len())]
+                    (sources[rng.gen_range(0..sources.len())], true)
                 }
             };
-            policies[peer as usize].record_upload(uploader);
+            if adv_quiet {
+                policies[peer as usize].record_upload(uploader);
+            } else {
+                // Pollution replaces the *recorded* uploader only after
+                // the fallback draw above, keeping the RNG sequence in
+                // lockstep with the honest run. The rest mirrors the
+                // batch simulator's record step: pollution (fallback
+                // only) before hijack, banned peers never recorded,
+                // and the defense book learning from the delta.
+                let mut recorded = uploader;
+                let mut polluted = false;
+                let mut hijacked = false;
+                if fell_back {
+                    if let Some(pol) = plan.polluter(file.index() as u64, exposure, n_peers) {
+                        recorded = pol;
+                        polluted = true;
+                    }
+                }
+                if !polluted {
+                    if let Some(syb) = plan.hijacker(peer, acq_no, n_peers) {
+                        recorded = syb;
+                        hijacked = true;
+                    }
+                }
+                if defend && (polluted || hijacked) && books[peer as usize].banned(recorded) {
+                    // A banned peer's claim is void: the querier ignores
+                    // it and credits the peer it actually downloaded
+                    // from — the capture dies, the learning signal
+                    // survives.
+                    recorded = uploader;
+                    polluted = false;
+                    hijacked = false;
+                }
+                if defend && books[peer as usize].banned(recorded) {
+                    // The genuine uploader itself is banned (a fallback
+                    // pick can land on an attacker): nothing is
+                    // recorded.
+                } else {
+                    if polluted {
+                        health.polluted_acquisitions += 1;
+                    } else if hijacked {
+                        health.sybil_slots_held += 1;
+                    }
+                    // The overlay treats every upload as rare (no
+                    // popularity hint), so a zero source count keeps
+                    // RareLru's behaviour identical to `record_upload`.
+                    let (added, removed) =
+                        policies[peer as usize].record_upload_with_popularity_delta(recorded, 0);
+                    if defend {
+                        let book = &mut books[peer as usize];
+                        if polluted || hijacked {
+                            if (added == Some(recorded)
+                                || policies[peer as usize].contains(recorded))
+                                && book.suspect(recorded)
+                                && policies[peer as usize].expel(recorded, None)
+                            {
+                                health.reputation_evictions += 1;
+                            }
+                        } else if book.contains(recorded) {
+                            book.redeem(recorded);
+                        }
+                        if let Some(rm) = removed {
+                            book.remove(rm);
+                        }
+                    }
+                }
+            }
         }
 
         // Roll the world forward to tonight's caches.
@@ -477,15 +594,15 @@ mod tests {
         FileRef(i)
     }
 
-    /// Two disjoint communities of 4 peers churning through their own
-    /// file pools: each day every peer adds the next pool file.
-    fn community_history(days: usize) -> (Vec<Vec<Vec<FileRef>>>, usize) {
+    /// Two disjoint communities of `per` peers churning through their
+    /// own file pools: each day every peer adds the next pool file.
+    fn community_history_n(days: usize, per: u32) -> (Vec<Vec<Vec<FileRef>>>, usize) {
         let pool = 40u32;
         let mut history = Vec::new();
         for d in 0..days {
             let mut day = Vec::new();
             for community in 0..2u32 {
-                for peer in 0..4u32 {
+                for peer in 0..per {
                     // A sliding window over the community pool, offset per
                     // peer so yesterday's neighbour already has today's
                     // file.
@@ -501,6 +618,11 @@ mod tests {
             history.push(day);
         }
         (history, 80)
+    }
+
+    /// The two-communities-of-4 shape most tests use.
+    fn community_history(days: usize) -> (Vec<Vec<Vec<FileRef>>>, usize) {
+        community_history_n(days, 4)
     }
 
     #[test]
@@ -553,6 +675,71 @@ mod tests {
         let day2 = vec![vec![f(0), f(9)], vec![f(1)]];
         let stats = simulate_overlay(&[day0, day1, day2], 0, 10, &OverlayConfig::lru(3));
         assert_eq!(stats[2].requests, 0);
+    }
+
+    #[test]
+    fn quiet_adversary_overlay_is_bit_identical_to_reference() {
+        // A zero-fraction plan with the defense armed must not perturb
+        // a single draw: the availability path still mirrors the
+        // pre-availability oracle exactly.
+        let (history, n_files) = community_history(12);
+        let config = OverlayConfig::lru(4).with_availability(
+            AvailabilityConfig::none()
+                .with_adversary(crate::sim::AdversaryConfig::sybils(0xfeed, 0))
+                .with_reputation(),
+        );
+        let (stats, health) = simulate_overlay_health(&history, 0, n_files, &config);
+        assert_eq!(
+            stats,
+            simulate_overlay_reference(&history, 0, n_files, &config)
+        );
+        assert_eq!(health.wasted_queries, 0);
+        assert_eq!(health.sybil_slots_held + health.polluted_acquisitions, 0);
+    }
+
+    #[test]
+    fn adversary_degrades_overlay_and_defense_recovers() {
+        // Wide communities and a short list: a hijacked slot displaces
+        // an honest member, so capture hurts and a ban can recover. A
+        // pure sybil attack keeps the loss recoverable — a free-riding
+        // *holder* simply never answers, and no list change fixes that.
+        let (history, n_files) = community_history_n(14, 10);
+        let adversary = crate::sim::AdversaryConfig::sybils(11, 250);
+        let honest = OverlayConfig::lru(3);
+        let attacked = OverlayConfig::lru(3)
+            .with_availability(AvailabilityConfig::none().with_adversary(adversary.clone()));
+        let defended = OverlayConfig::lru(3).with_availability(
+            AvailabilityConfig::none()
+                .with_adversary(adversary)
+                .with_reputation(),
+        );
+        let h = |cfg: &OverlayConfig| {
+            let (stats, health) = simulate_overlay_health(&history, 0, n_files, cfg);
+            let total_requests: u64 = stats.iter().map(|s| s.requests).sum();
+            let total_hits: u64 = stats.iter().map(|s| s.hits).sum();
+            health
+                .reconcile(total_requests, total_hits, 0)
+                .expect("overlay ledger reconciles under attack");
+            (steady_state_hit_rate(&stats, 6), health)
+        };
+        let (honest_rate, honest_health) = h(&honest);
+        let (attacked_rate, attacked_health) = h(&attacked);
+        let (defended_rate, defended_health) = h(&defended);
+        assert_eq!(honest_health.wasted_queries, 0);
+        assert!(attacked_health.wasted_queries > 0, "refusals must cost");
+        assert!(attacked_health.sybil_slots_held > 0, "sybils must capture");
+        assert!(
+            attacked_rate < honest_rate,
+            "attack must hurt: honest {honest_rate} vs attacked {attacked_rate}"
+        );
+        assert!(
+            defended_health.reputation_evictions > 0,
+            "defense must fire"
+        );
+        assert!(
+            defended_rate > attacked_rate,
+            "defense must recover: attacked {attacked_rate} vs defended {defended_rate}"
+        );
     }
 
     #[test]

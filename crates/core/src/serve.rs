@@ -42,7 +42,9 @@
 //! [`SearchHealth`], same final neighbour lists — for every policy
 //! (including Random: the engine replays the batch path's
 //! policy-construction draws) and, because service instants then equal
-//! the batch path's query instants, even under churn.
+//! the batch path's query instants, even under churn — and under an
+//! adversarial plan, whose refusals, hijacks, pollution and reputation
+//! defense replay the batch path's exact sequence.
 
 use std::collections::VecDeque;
 use std::sync::Mutex;
@@ -53,9 +55,12 @@ pub use edonkey_workload::arrivals::{ArrivalConfig, ArrivalProcess};
 use edonkey_workload::churn::ChurnSchedule;
 
 use crate::index::{IndexRoute, DHT_HOP_LATENCY_MD, FED_HOP_LATENCY_MD};
-use crate::neighbours::{AnyPolicy, NeighbourPolicy, Peer, PolicyKind, StaleReaction};
+use crate::neighbours::{
+    AnyPolicy, NeighbourPolicy, Peer, PolicyKind, ReputationBook, StaleReaction,
+};
 use crate::sim::{
-    fallback_index, QueryRec, SearchHealth, SimConfig, SimResult, SweepPrecomp, MEMBER_MAJOR_CUTOFF,
+    fallback_index, AdversaryPlan, QueryRec, SearchHealth, SimConfig, SimResult, SweepPrecomp,
+    MEMBER_MAJOR_CUTOFF,
 };
 
 /// One overlay query round trip (ask the neighbours, hear back), in
@@ -320,13 +325,30 @@ impl ServeHealth {
         Ok(())
     }
 
-    /// [`ServeHealth::reconcile`], panicking with the shard identity on
-    /// violation. The engine checks every shard's partial ledger as the
-    /// shard finishes; "which shard, and how far had it ticked" is the
-    /// first question a failure raises.
-    pub fn expect_reconciled(&self, requests: u64, one_hop_hits: u64, shard: usize, tick: u64) {
+    /// [`ServeHealth::reconcile`], panicking with the full cell label on
+    /// violation — the same `(seed, list_size, churn_rate, backend)`
+    /// identity [`SearchHealth::expect_reconciled`] carries, plus the
+    /// serving plane's own coordinates: which shard, and how far it had
+    /// ticked. The engine checks every shard's partial ledger as the
+    /// shard finishes; "which cell, which shard" is the first question
+    /// a failure raises.
+    pub fn expect_reconciled(
+        &self,
+        requests: u64,
+        one_hop_hits: u64,
+        sim: &SimConfig,
+        shard: usize,
+        tick: u64,
+    ) {
         if let Err(e) = self.reconcile(requests, one_hop_hits) {
-            panic!("ServeHealth failed to reconcile: {e} (shard {shard}, tick {tick})");
+            panic!(
+                "ServeHealth failed to reconcile: {e} \
+                 (seed {}, list_size {}, churn_rate {}, backend {}, shard {shard}, tick {tick})",
+                sim.seed,
+                sim.list_size,
+                sim.availability.churn.churn_permille,
+                sim.availability.backend.name()
+            );
         }
     }
 
@@ -346,6 +368,10 @@ impl ServeHealth {
         s.recovered += o.recovered;
         s.forwarded += o.forwarded;
         s.dht_hops += o.dht_hops;
+        s.wasted_queries += o.wasted_queries;
+        s.sybil_slots_held += o.sybil_slots_held;
+        s.polluted_acquisitions += o.polluted_acquisitions;
+        s.reputation_evictions += o.reputation_evictions;
         self.arrived += other.arrived;
         self.served += other.served;
         self.shed += other.shed;
@@ -438,6 +464,18 @@ struct ShardScratch {
     query_buf: Vec<Peer>,
     stale_prev: Vec<(Peer, u32)>,
     stale_cur: Vec<(Peer, u32)>,
+}
+
+/// The adversary context a shard threads into every churn-path query:
+/// the role plan, the quiet/defend flags resolved once per run, and the
+/// backend's pollution exposure. Adversarial cells always take the
+/// churn path — [`crate::sim::AvailabilityConfig::is_quiet`] covers the
+/// adversary plan — so the quiet path never needs this.
+struct AdversaryCtx<'a> {
+    plan: &'a AdversaryPlan,
+    quiet: bool,
+    defend: bool,
+    exposure: u32,
 }
 
 /// One shard's complete outcome; merging in shard order reproduces the
@@ -621,6 +659,20 @@ fn run_shard(
     let quiet = sim.availability.is_quiet();
     let schedule = ChurnSchedule::new(sim.availability.churn.clone());
     let router = sim.availability.backend.router(sim.seed);
+    let plan = AdversaryPlan::new(sim.availability.adversary.clone());
+    let adv = AdversaryCtx {
+        quiet: plan.is_quiet(),
+        defend: sim.availability.reputation && !plan.is_quiet(),
+        exposure: sim.availability.backend.pollution_exposure(),
+        plan: &plan,
+    };
+    // Reputation books are querier-local (like the policies), so the
+    // shard partition carries the whole defense state.
+    let mut books: Vec<ReputationBook> = if adv.defend {
+        vec![ReputationBook::default(); (hi - lo) as usize]
+    } else {
+        Vec::new()
+    };
     let mut states: Vec<QuerierState> = vec![QuerierState::default(); (hi - lo) as usize];
     if scratch.mark.len() < pre.n_peers {
         scratch.mark.resize(pre.n_peers, 0);
@@ -674,6 +726,11 @@ fn run_shard(
                     &mut out,
                 )
             } else {
+                let book = if adv.defend {
+                    Some(&mut books[(arrival.querier - lo) as usize])
+                } else {
+                    None
+                };
                 serve_query_churn(
                     pre,
                     sim,
@@ -683,6 +740,8 @@ fn run_shard(
                     &arrival,
                     service_md,
                     policy,
+                    &adv,
+                    book,
                     scratch,
                     &mut out,
                 )
@@ -703,7 +762,7 @@ fn run_shard(
     }
     out.lists = policies.iter().map(AnyPolicy::snapshot).collect();
     out.health
-        .expect_reconciled(pre.requests_in(lo, hi), out.one_hop_hits, shard, tick);
+        .expect_reconciled(pre.requests_in(lo, hi), out.one_hop_hits, sim, shard, tick);
     out
 }
 
@@ -792,9 +851,11 @@ fn serve_query_quiet(
 /// Serves one churn-regime query: the batch path's timeout / retry /
 /// staleness walk with immediate message accounting, clocked from the
 /// *service* instant (equal to the batch instant exactly when the
-/// query never waited). Returns the walk's latency contribution:
-/// one round trip per attempt, the backoff the retries slept, and the
-/// final miss's routing cost.
+/// query never waited). Adversarial cells ride this path too (refusals,
+/// hijack, pollution, the reputation defense — the exact batch-path
+/// sequence, so the differential contract extends to them). Returns the
+/// walk's latency contribution: one round trip per attempt, the backoff
+/// the retries slept, and the final miss's routing cost.
 #[allow(clippy::too_many_arguments)]
 fn serve_query_churn(
     pre: &SweepPrecomp,
@@ -805,6 +866,8 @@ fn serve_query_churn(
     arrival: &Arrival,
     service_md: u64,
     policy: &mut AnyPolicy,
+    adv: &AdversaryCtx,
+    mut book: Option<&mut ReputationBook>,
     scratch: &mut ShardScratch,
     out: &mut ShardOutcome,
 ) -> u64 {
@@ -866,6 +929,35 @@ fn serve_query_churn(
                         }
                     }
                 }
+            } else if !adv.quiet && adv.plan.answers_nothing(n) {
+                // Refused: the adversary is online and the query costs
+                // a message, but no answer comes back and no mark is
+                // stamped. Not a timeout — no retry or staleness fires;
+                // only the reputation score can clear the slot.
+                out.messages[n as usize] += 1;
+                out.health.search.wasted_queries += 1;
+                if adv.defend
+                    && book
+                        .as_deref_mut()
+                        .expect("defense books exist when defending")
+                        .on_query(n)
+                {
+                    let replacement = match sim.policy {
+                        PolicyKind::Random if !sharer_pool.is_empty() => {
+                            let i = schedule.replacement_index(
+                                arrival.querier,
+                                n,
+                                day,
+                                sharer_pool.len(),
+                            );
+                            Some(sharer_pool[i])
+                        }
+                        _ => None,
+                    };
+                    if policy.expel(n, replacement) {
+                        out.health.search.reputation_evictions += 1;
+                    }
+                }
             } else {
                 out.messages[n as usize] += 1;
                 scratch.mark[n as usize] = scratch.generation;
@@ -888,7 +980,17 @@ fn serve_query_churn(
         Some(u) => {
             out.one_hop_hits += 1;
             out.health.search.answered += 1;
-            let _ = policy.record_upload_with_popularity_delta(u, r as u32);
+            record_after_walk(
+                adv,
+                pre.n_peers,
+                arrival.querier,
+                rec,
+                u,
+                false,
+                policy,
+                book,
+                &mut out.health.search,
+            );
             0
         }
         None => {
@@ -898,11 +1000,98 @@ fn serve_query_churn(
             debug_assert!(lookup.resolved, "no outages, so every lookup resolves");
             out.health.search.server_fallback += 1;
             let pick = prefix[fallback_index(pre.seed, u64::from(rec.t), r)];
-            let _ = policy.record_upload_with_popularity_delta(pick, r as u32);
+            record_after_walk(
+                adv,
+                pre.n_peers,
+                arrival.querier,
+                rec,
+                pick,
+                true,
+                policy,
+                book,
+                &mut out.health.search,
+            );
             lookup.forwarded * FED_HOP_LATENCY_MD + lookup.dht_hops * DHT_HOP_LATENCY_MD
         }
     };
     u64::from(attempt + 1) * QUERY_RTT_MD + elapsed + route_md
+}
+
+/// The record step at the end of a churn-path walk, mirroring the batch
+/// simulator's adversarial record exactly: pollution is checked first
+/// and only on fallback records, sybil hijack applies to anything the
+/// pollution left alone, a banned peer is never recorded again, and the
+/// defense book learns from the record's membership delta. Quiet plans
+/// reduce to the plain record.
+#[allow(clippy::too_many_arguments)]
+fn record_after_walk(
+    adv: &AdversaryCtx,
+    n_peers: usize,
+    querier: u32,
+    rec: QueryRec,
+    uploader: Peer,
+    fell_back: bool,
+    policy: &mut AnyPolicy,
+    book: Option<&mut ReputationBook>,
+    health: &mut SearchHealth,
+) {
+    if adv.quiet {
+        let _ = policy.record_upload_with_popularity_delta(uploader, rec.rank);
+        return;
+    }
+    let mut recorded = uploader;
+    let mut polluted = false;
+    let mut hijacked = false;
+    if fell_back {
+        if let Some(pol) = adv
+            .plan
+            .polluter(rec.file.index() as u64, adv.exposure, n_peers)
+        {
+            recorded = pol;
+            polluted = true;
+        }
+    }
+    if !polluted {
+        if let Some(syb) = adv.plan.hijacker(querier, u64::from(rec.t), n_peers) {
+            recorded = syb;
+            hijacked = true;
+        }
+    }
+    if adv.defend && (polluted || hijacked) && book.as_ref().is_some_and(|b| b.banned(recorded)) {
+        // A banned peer's claim is void: the querier ignores it and
+        // credits the peer it actually downloaded from — exactly as in
+        // the batch path.
+        recorded = uploader;
+        polluted = false;
+        hijacked = false;
+    }
+    if adv.defend && book.as_ref().is_some_and(|b| b.banned(recorded)) {
+        // The genuine uploader itself is banned (a fallback pick can
+        // land on an attacker): nothing is recorded.
+    } else {
+        if polluted {
+            health.polluted_acquisitions += 1;
+        } else if hijacked {
+            health.sybil_slots_held += 1;
+        }
+        let (added, removed) = policy.record_upload_with_popularity_delta(recorded, rec.rank);
+        if adv.defend {
+            let b = book.expect("defense books exist when defending");
+            if polluted || hijacked {
+                if (added == Some(recorded) || policy.contains(recorded))
+                    && b.suspect(recorded)
+                    && policy.expel(recorded, None)
+                {
+                    health.reputation_evictions += 1;
+                }
+            } else if b.contains(recorded) {
+                b.redeem(recorded);
+            }
+            if let Some(rm) = removed {
+                b.remove(rm);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -999,6 +1188,44 @@ mod tests {
     }
 
     #[test]
+    fn unconstrained_adversarial_serve_matches_batch() {
+        // Adversarial cells ride the churn path; with zero queue wait
+        // the service instants equal the batch instants, so refusals,
+        // hijacks, pollution and the reputation defense replay the
+        // batch sequence bit-for-bit — result, full ledger and final
+        // lists, for every policy.
+        let arena = community(30, 60);
+        let adversary = crate::sim::AdversaryConfig::sybils(21, 150)
+            .with_polluters(150)
+            .with_freeriders(150);
+        for policy in [
+            SimConfig::lru(4),
+            SimConfig::history(4),
+            SimConfig::random(4),
+            SimConfig::rare_lru(4, 10),
+        ] {
+            let sim = policy.with_seed(9).with_availability(
+                AvailabilityConfig::churn(77, 250)
+                    .with_query(QueryPolicy::retry_evict())
+                    .with_adversary(adversary.clone())
+                    .with_reputation(),
+            );
+            let mut scratch = SimScratch::new();
+            let (batch, batch_health) =
+                simulate_arena_health_with_scratch(&arena, &sim, &mut scratch);
+            assert!(
+                batch_health.wasted_queries > 0,
+                "{:?}: the cell must actually exercise the adversary",
+                sim.policy
+            );
+            let report = serve_arena_threads(&arena, &ServeConfig::new(sim.clone()), 3);
+            assert_eq!(report.result, batch, "{:?}", sim.policy);
+            assert_eq!(report.health.search, batch_health, "{:?}", sim.policy);
+            assert_eq!(report.lists, scratch.final_lists(), "{:?}", sim.policy);
+        }
+    }
+
+    #[test]
     fn reports_are_shard_merge_deterministic_across_threads() {
         let arena = community(16, 40);
         let config = ServeConfig::new(SimConfig::lru(4))
@@ -1079,16 +1306,25 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "(shard 3, tick 99)")]
-    fn serve_health_panic_names_the_shard_and_tick() {
-        // A doctored ledger: one arrival went missing.
+    #[should_panic(
+        expected = "(seed 42, list_size 5, churn_rate 250, backend dht_k3, shard 3, tick 99)"
+    )]
+    fn serve_health_panic_names_the_cell_shard_and_tick() {
+        // A doctored ledger: one arrival went missing. The panic must
+        // localize the full cell — seed, list size, churn rate and
+        // backend kind, as the batch ledger's does — plus the serving
+        // plane's own coordinates.
         let health = ServeHealth {
             arrived: 4,
             served: 5,
             shed: 0,
             ..ServeHealth::default()
         };
-        health.expect_reconciled(5, 2, 3, 99);
+        let sim = SimConfig::lru(5).with_seed(42).with_availability(
+            AvailabilityConfig::churn(7, 250)
+                .with_backend(crate::index::IndexBackend::Dht { replication_k: 3 }),
+        );
+        health.expect_reconciled(5, 2, &sim, 3, 99);
     }
 
     #[test]

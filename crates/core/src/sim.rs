@@ -35,14 +35,18 @@
 
 use edonkey_trace::compact::{CacheArena, RowBits};
 use edonkey_trace::model::FileRef;
+pub use edonkey_workload::adversary::{AdversaryConfig, AdversaryPlan};
 pub use edonkey_workload::churn::{ChurnConfig, ChurnSchedule, QueryPolicy};
+use edonkey_workload::mix::splitmix64;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 use std::time::Instant;
 
 use crate::index::{IndexBackend, IndexRoute};
-use crate::neighbours::{AnyPolicy, NeighbourPolicy, Peer, PolicyKind, StaleReaction};
+use crate::neighbours::{
+    AnyPolicy, NeighbourPolicy, Peer, PolicyKind, ReputationBook, StaleReaction,
+};
 
 /// Stateless server-fallback pick: which of the `len` current sharers
 /// uploads on a miss at stream position `t`, drawn by a splitmix64
@@ -56,10 +60,7 @@ use crate::neighbours::{AnyPolicy, NeighbourPolicy, Peer, PolicyKind, StaleReact
 #[inline]
 pub(crate) fn fallback_index(seed: u64, t: u64, len: usize) -> usize {
     debug_assert!(len > 0);
-    let mut z = seed ^ t.wrapping_mul(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^= z >> 31;
+    let z = splitmix64(seed ^ t.wrapping_mul(0x9e37_79b9_7f4a_7c15));
     (z % len as u64) as usize
 }
 
@@ -78,6 +79,15 @@ pub struct AvailabilityConfig {
     /// degrade it). [`IndexBackend::SingleServer`] is the pre-trait
     /// behaviour, bit-for-bit.
     pub backend: IndexBackend,
+    /// Which peers play sybil / polluter / free-rider on which days
+    /// (quiet by default — nobody attacks).
+    pub adversary: AdversaryConfig,
+    /// Arms the per-neighbour reputation defense: adversarially
+    /// recorded neighbours are scored on every refused answer and
+    /// hard-removed once the score fires. A no-op — mechanically, not
+    /// just statistically — when the adversary plan is quiet, because
+    /// suspects only enter the book through adversarial records.
+    pub reputation: bool,
 }
 
 /// Default span: the 14-day windows the Section 4 figures use.
@@ -92,6 +102,8 @@ impl AvailabilityConfig {
             query: QueryPolicy::no_retry(),
             virtual_days: DEFAULT_VIRTUAL_DAYS,
             backend: IndexBackend::SingleServer,
+            adversary: AdversaryConfig::none(),
+            reputation: false,
         }
     }
 
@@ -122,9 +134,21 @@ impl AvailabilityConfig {
         self
     }
 
+    /// Replaces the adversary plan.
+    pub fn with_adversary(mut self, adversary: AdversaryConfig) -> Self {
+        self.adversary = adversary;
+        self
+    }
+
+    /// Arms the reputation defense.
+    pub fn with_reputation(mut self) -> Self {
+        self.reputation = true;
+        self
+    }
+
     /// True iff the availability layer cannot affect the simulation.
     pub fn is_quiet(&self) -> bool {
-        self.churn.is_quiet()
+        self.churn.is_quiet() && self.adversary.is_quiet()
     }
 }
 
@@ -222,6 +246,13 @@ impl SimConfig {
 /// * `forwarded == dht_hops == 0` when no fallback lookup ever ran
 ///   (`server_fallback + stranded == 0`) — routing hops only accrue on
 ///   index lookups.
+/// * `polluted_acquisitions <= server_fallback` — pollution only
+///   strikes acquisitions the index resolved.
+/// * `sybil_slots_held <= answered + server_fallback` — a slot is only
+///   hijacked where a genuine record would have landed.
+/// * `reputation_evictions == 0` when
+///   `sybil_slots_held + polluted_acquisitions == 0` — the defense only
+///   scores peers that entered a list adversarially.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SearchHealth {
     /// Query attempts issued (initial attempts plus retries).
@@ -250,6 +281,18 @@ pub struct SearchHealth {
     /// XOR-routing hops taken by fallback lookups (DHT backend; zero
     /// otherwise).
     pub dht_hops: u64,
+    /// Queries delivered to an online adversary that refused to answer
+    /// (message paid, nothing gained; not a timeout).
+    pub wasted_queries: u64,
+    /// Neighbour-list records captured by a sybil impersonating the
+    /// genuine uploader.
+    pub sybil_slots_held: u64,
+    /// Server-fallback acquisitions resolved through a poisoned index
+    /// record (the file still arrives; the recorded uploader is the
+    /// polluter).
+    pub polluted_acquisitions: u64,
+    /// Neighbours hard-removed by the reputation defense.
+    pub reputation_evictions: u64,
 }
 
 impl SearchHealth {
@@ -291,6 +334,25 @@ impl SearchHealth {
             return Err(format!(
                 "forwarded {} + dht_hops {} nonzero without any fallback lookup",
                 self.forwarded, self.dht_hops
+            ));
+        }
+        if self.polluted_acquisitions > self.server_fallback {
+            return Err(format!(
+                "polluted_acquisitions {} > server_fallback {}",
+                self.polluted_acquisitions, self.server_fallback
+            ));
+        }
+        if self.sybil_slots_held > self.answered + self.server_fallback {
+            return Err(format!(
+                "sybil_slots_held {} > answered {} + server_fallback {}",
+                self.sybil_slots_held, self.answered, self.server_fallback
+            ));
+        }
+        if self.sybil_slots_held + self.polluted_acquisitions == 0 && self.reputation_evictions != 0
+        {
+            return Err(format!(
+                "reputation_evictions {} nonzero without any adversarial record",
+                self.reputation_evictions
             ));
         }
         Ok(())
@@ -608,6 +670,20 @@ pub fn simulate_arena_health_with_scratch(
     let schedule = ChurnSchedule::new(availability.churn.clone());
     let quiet = schedule.is_quiet();
     let query = availability.query;
+    // Adversary: a quiet plan takes none of the branches below and
+    // consumes no RNG, so honest runs are bit-identical to runs that
+    // never consulted it. The defense books are only allocated (and
+    // only consulted) when both the plan and the flag are armed, which
+    // is what makes `reputation` mechanically free on honest runs.
+    let plan = AdversaryPlan::new(availability.adversary.clone());
+    let adv_quiet = plan.is_quiet();
+    let defend = availability.reputation && !adv_quiet;
+    let exposure = availability.backend.pollution_exposure();
+    let mut books: Vec<ReputationBook> = if defend {
+        vec![ReputationBook::default(); n_peers]
+    } else {
+        Vec::new()
+    };
     // Final misses route through the index backend; SingleServer is the
     // byte-identical pre-trait path (outage check + zero-cost resolve).
     let router = availability.backend.router(config.seed);
@@ -684,6 +760,26 @@ pub fn simulate_arena_health_with_scratch(
                             }
                         }
                     }
+                } else if !adv_quiet && plan.answers_nothing(n) {
+                    // Refused: the adversary is online and the query
+                    // costs a message, but no answer comes back and no
+                    // mark is stamped. Not a timeout — no retry or
+                    // staleness fires; only the reputation score can
+                    // clear the slot.
+                    result.messages_per_peer[n as usize] += 1;
+                    health.wasted_queries += 1;
+                    if defend && books[peer_idx].on_query(n) {
+                        let replacement = match config.policy {
+                            PolicyKind::Random if !sharer_pool.is_empty() => {
+                                let i = schedule.replacement_index(peer, n, day, sharer_pool.len());
+                                Some(sharer_pool[i])
+                            }
+                            _ => None,
+                        };
+                        if policies[peer_idx].expel(n, replacement) {
+                            health.reputation_evictions += 1;
+                        }
+                    }
                 } else {
                     result.messages_per_peer[n as usize] += 1;
                     mark[n as usize] = *generation;
@@ -725,6 +821,7 @@ pub fn simulate_arena_health_with_scratch(
                             if s != peer
                                 && relay_bits.contains(s)
                                 && (quiet || !schedule.offline(s, day, milli))
+                                && (adv_quiet || !plan.answers_nothing(s))
                             {
                                 uploader = Some(s);
                                 hop = 2;
@@ -736,6 +833,7 @@ pub fn simulate_arena_health_with_scratch(
                             if s != peer
                                 && relay.contains(s)
                                 && (quiet || !schedule.offline(s, day, milli))
+                                && (adv_quiet || !plan.answers_nothing(s))
                             {
                                 uploader = Some(s);
                                 hop = 2;
@@ -755,6 +853,7 @@ pub fn simulate_arena_health_with_scratch(
             attempt += 1;
         };
 
+        let mut fell_back = false;
         match uploader {
             Some(_) => {
                 if hop == 1 {
@@ -787,12 +886,80 @@ pub fn simulate_arena_health_with_scratch(
                 // bit-identical to the reference.
                 let pick = sharer_flat[head + fallback_index(config.seed, t as u64, f_len)];
                 health.server_fallback += 1;
+                fell_back = true;
                 uploader = Some(pick);
             }
         }
 
         let uploader = uploader.expect("an uploader always exists here");
-        policies[peer_idx].record_upload_with_popularity(uploader, f_len as u32);
+        if adv_quiet {
+            policies[peer_idx].record_upload_with_popularity(uploader, f_len as u32);
+        } else {
+            // Pollution strikes first (only fallback acquisitions
+            // resolve through the index), a sybil hijack otherwise.
+            // Either replaces only the *recorded* uploader — the
+            // acquisition itself completes, so the sharer table below
+            // grows exactly as in the honest run.
+            let mut recorded = uploader;
+            let mut polluted = false;
+            let mut hijacked = false;
+            if fell_back {
+                if let Some(pol) = plan.polluter(file.index() as u64, exposure, n_peers) {
+                    recorded = pol;
+                    polluted = true;
+                }
+            }
+            if !polluted {
+                if let Some(syb) = plan.hijacker(peer, t as u64, n_peers) {
+                    recorded = syb;
+                    hijacked = true;
+                }
+            }
+            if defend && (polluted || hijacked) && books[peer_idx].banned(recorded) {
+                // A banned peer's claim is void: the querier ignores it
+                // and credits the peer it actually downloaded from. The
+                // capture dies; the learning signal survives. Refusing
+                // re-admission — not expulsion — is what starves an
+                // attacker out of the overlay.
+                recorded = uploader;
+                polluted = false;
+                hijacked = false;
+            }
+            if defend && books[peer_idx].banned(recorded) {
+                // The genuine uploader itself is banned (a fallback pick
+                // can land on an attacker): nothing is recorded.
+            } else {
+                if polluted {
+                    health.polluted_acquisitions += 1;
+                } else if hijacked {
+                    health.sybil_slots_held += 1;
+                }
+                let (added, removed) =
+                    policies[peer_idx].record_upload_with_popularity_delta(recorded, f_len as u32);
+                if defend {
+                    let book = &mut books[peer_idx];
+                    if polluted || hijacked {
+                        // Suspect any slot the adversary now holds —
+                        // won by this record or refreshed by it. A
+                        // record the policy rejected outright captured
+                        // nothing worth scoring. A repeat capture while
+                        // already on probation fires the ban outright.
+                        if (added == Some(recorded) || policies[peer_idx].contains(recorded))
+                            && book.suspect(recorded)
+                            && policies[peer_idx].expel(recorded, None)
+                        {
+                            health.reputation_evictions += 1;
+                        }
+                    } else if book.contains(recorded) {
+                        // A genuine upload from a suspect redeems it.
+                        book.redeem(recorded);
+                    }
+                    if let Some(rm) = removed {
+                        book.remove(rm);
+                    }
+                }
+            }
+        }
         sharer_flat[head + f_len] = peer;
         sharer_len[file.index()] += 1;
     }
@@ -921,12 +1088,16 @@ pub fn simulate_reference(
 /// (federated, DHT) are excluded too: their per-(querier, day) outage
 /// stranding breaks the same arrival-rank invariance, and their hop
 /// accounting has no mirror in the quiet interval-settled path — they
-/// always run whole-cell (DESIGN.md §10).
+/// always run whole-cell (DESIGN.md §10). Non-quiet adversary plans
+/// also run whole-cell: hijacked and polluted records change *which*
+/// peer a list holds, and the split paths have no mirror of the
+/// capture or defense bookkeeping.
 pub fn split_eligible(config: &SimConfig) -> bool {
     !config.two_hop
         && !matches!(config.policy, PolicyKind::Random)
         && config.availability.churn.outage_days.is_empty()
         && !config.availability.backend.forwards()
+        && config.availability.adversary.is_quiet()
 }
 
 /// One request of a querier's stream, fully resolved at precomp time:
@@ -1721,6 +1892,10 @@ pub fn merge_partials(pre: &SweepPrecomp, parts: &[CellPartial]) -> (SimResult, 
         health.recovered += part.health.recovered;
         health.forwarded += part.health.forwarded;
         health.dht_hops += part.health.dht_hops;
+        health.wasted_queries += part.health.wasted_queries;
+        health.sybil_slots_held += part.health.sybil_slots_held;
+        health.polluted_acquisitions += part.health.polluted_acquisitions;
+        health.reputation_evictions += part.health.reputation_evictions;
     }
     (result, health)
 }
@@ -1898,6 +2073,8 @@ mod tests {
             query: QueryPolicy::retry_evict(),
             virtual_days: 97,
             backend: IndexBackend::SingleServer,
+            adversary: AdversaryConfig::sybils(0xfeed, 0),
+            reputation: true,
         };
         assert!(quiet.is_quiet());
         for base in [
@@ -2077,6 +2254,127 @@ mod tests {
         };
         let err = bad.reconcile(5, 5, 0).unwrap_err();
         assert!(err.contains("fallback lookup"), "{err}");
+    }
+
+    #[test]
+    fn reconcile_rejects_adversary_violations() {
+        let health = SearchHealth {
+            attempted: 5,
+            answered: 3,
+            server_fallback: 2,
+            ..SearchHealth::default()
+        };
+        let bad = SearchHealth {
+            polluted_acquisitions: 3,
+            ..health
+        };
+        let err = bad.reconcile(5, 3, 0).unwrap_err();
+        assert!(err.contains("polluted_acquisitions"), "{err}");
+        let bad = SearchHealth {
+            sybil_slots_held: 6,
+            ..health
+        };
+        let err = bad.reconcile(5, 3, 0).unwrap_err();
+        assert!(err.contains("sybil_slots_held"), "{err}");
+        let bad = SearchHealth {
+            reputation_evictions: 1,
+            ..health
+        };
+        let err = bad.reconcile(5, 3, 0).unwrap_err();
+        assert!(err.contains("reputation_evictions"), "{err}");
+        let ok = SearchHealth {
+            sybil_slots_held: 2,
+            polluted_acquisitions: 1,
+            reputation_evictions: 1,
+            wasted_queries: 9,
+            ..health
+        };
+        assert!(ok.reconcile(5, 3, 0).is_ok());
+    }
+
+    #[test]
+    fn adversary_reconciles_and_counts_every_attack_kind() {
+        let caches = community(30, 60);
+        for base in [
+            SimConfig::lru(5),
+            SimConfig::history(5),
+            SimConfig::random(5),
+            SimConfig::rare_lru(5, 3),
+            SimConfig::lru(4).with_two_hop(),
+        ] {
+            let config = base.with_availability(
+                AvailabilityConfig::none().with_adversary(
+                    AdversaryConfig::sybils(21, 150)
+                        .with_polluters(150)
+                        .with_freeriders(150),
+                ),
+            );
+            let (result, health) = simulate_health(&caches, 60, &config);
+            health
+                .check_against(&result)
+                .unwrap_or_else(|e| panic!("{e} (config {config:?})"));
+            assert!(health.wasted_queries > 0, "refusals must bite");
+            assert!(health.sybil_slots_held > 0, "sybils must capture slots");
+            assert!(
+                health.polluted_acquisitions > 0,
+                "polluters must poison fallbacks"
+            );
+            assert_eq!(health.reputation_evictions, 0, "defense is off");
+        }
+    }
+
+    #[test]
+    fn adversary_degrades_hits_and_defense_recovers_them() {
+        let caches = community(30, 60);
+        let run = |adversary: AdversaryConfig, reputation: bool| {
+            let mut avail = AvailabilityConfig::none().with_adversary(adversary);
+            if reputation {
+                avail = avail.with_reputation();
+            }
+            simulate_health(&caches, 60, &SimConfig::lru(4).with_availability(avail))
+        };
+        let (honest, _) = run(AdversaryConfig::none(), false);
+        let (attacked, attacked_health) = run(AdversaryConfig::sybils(21, 300), false);
+        assert!(
+            attacked.hits() < honest.hits(),
+            "a 30% sybil plan must cost hits ({} vs {})",
+            attacked.hits(),
+            honest.hits()
+        );
+        let (defended, defended_health) = run(AdversaryConfig::sybils(21, 300), true);
+        assert!(
+            defended_health.reputation_evictions > 0,
+            "defense must fire"
+        );
+        assert!(
+            defended.hits() > attacked.hits(),
+            "defense must recover hits ({} vs {})",
+            defended.hits(),
+            attacked.hits()
+        );
+        assert!(attacked_health.reputation_evictions == 0);
+    }
+
+    #[test]
+    fn armed_defense_is_bitwise_free_on_honest_runs() {
+        // `reputation: true` with a quiet adversary plan must change
+        // nothing — even under churn, where the defense's walk branch
+        // sits next to live timeout handling.
+        let caches = community(10, 30);
+        for base in [
+            SimConfig::lru(5),
+            SimConfig::history(5),
+            SimConfig::random(5),
+            SimConfig::rare_lru(5, 3),
+        ] {
+            let avail = AvailabilityConfig::churn(7, 250).with_query(QueryPolicy::retry_evict());
+            let plain = base.clone().with_availability(avail.clone());
+            let armed = base.with_availability(avail.with_reputation());
+            assert_eq!(
+                simulate_health(&caches, 30, &plain),
+                simulate_health(&caches, 30, &armed)
+            );
+        }
     }
 
     /// The doctored ledger both should-panic tests use: `answered`

@@ -91,12 +91,7 @@ const SALT_TRUNCATE: u64 = 0x7472_756e;
 const SALT_QUERY: u64 = 0x7175_6572;
 const SALT_BURST: u64 = 0x6275_7273;
 
-/// splitmix64 finalizer: a strong 64-bit mix with no state.
-fn mix(mut z: u64) -> u64 {
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
+use edonkey_workload::mix::splitmix64 as mix;
 
 /// The fault schedule: [`FaultConfig`] plus the stateless rolls.
 ///

@@ -75,12 +75,7 @@ impl Default for ArrivalConfig {
 /// `churn::SALT_SESSION`: one seed, uncorrelated decision streams).
 const SALT_JITTER: u64 = 0xa441_7e5c_2b90_0001;
 
-/// splitmix64 finalizer (the workspace's stateless-draw primitive).
-fn mix(mut z: u64) -> u64 {
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
+use crate::mix::splitmix64 as mix;
 
 /// The stateless arrival oracle built from an [`ArrivalConfig`].
 #[derive(Clone, Debug)]

@@ -65,12 +65,7 @@ impl ChurnConfig {
 const SALT_SESSION: u64 = 0x5e55_10f4_c4a9_0001;
 const SALT_REPLACE: u64 = 0x5e55_10f4_c4a9_0002;
 
-/// splitmix64 finalizer: avalanches a counter into a hash.
-fn mix(mut z: u64) -> u64 {
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
+use crate::mix::splitmix64 as mix;
 
 /// The stateless availability oracle built from a [`ChurnConfig`].
 #[derive(Clone, Debug)]

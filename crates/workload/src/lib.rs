@@ -12,6 +12,8 @@
 //!
 //! Modules:
 //! * [`config`] — every knob, with paper-calibrated presets;
+//! * [`adversary`] — deterministic sybil / polluter / free-rider role
+//!   plans for adversarial-workload injection;
 //! * [`arrivals`] — deterministic burst/jitter arrival processes for
 //!   the always-on query-serving mode;
 //! * [`churn`] — deterministic session on/off schedules, server-outage
@@ -34,15 +36,18 @@
 //! assert_eq!(caches.len(), pop.peers.len());
 //! ```
 
+pub mod adversary;
 pub mod arrivals;
 pub mod churn;
 pub mod config;
 pub mod dist;
 pub mod dynamics;
 pub mod geo;
+pub mod mix;
 pub mod names;
 pub mod population;
 
+pub use adversary::{AdversaryConfig, AdversaryPlan, Role};
 pub use arrivals::{ArrivalConfig, ArrivalProcess};
 pub use churn::{ChurnConfig, ChurnSchedule, QueryPolicy};
 pub use config::{KindProfile, WorkloadConfig};

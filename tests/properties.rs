@@ -22,7 +22,7 @@ use edonkey_repro::semsearch::sim::{
     simulate_arena_health_with_scratch, simulate_arena_with_scratch, simulate_reference, SimScratch,
 };
 use edonkey_repro::semsearch::{
-    simulate, AvailabilityConfig, IndexBackend, QueryPolicy, SimConfig,
+    simulate, AdversaryConfig, AvailabilityConfig, IndexBackend, QueryPolicy, SimConfig,
 };
 use edonkey_repro::trace::compact::{CacheArena, TraceArena};
 use edonkey_repro::trace::io;
@@ -713,6 +713,74 @@ proptest! {
                 .with_backend(IndexBackend::SingleServer),
         );
         prop_assert_eq!(simulate_overlay(&days, 340, 16, &routed), reference);
+    }
+
+    /// A seeded adversary plan with every fraction at zero is
+    /// invisible, armed defense included: batch result, health ledger
+    /// and final neighbour lists stay bit-identical to the honest run
+    /// for every policy × index backend, and the serving replay
+    /// reproduces the same bytes at 1, 2 and 8 worker threads. The
+    /// quiet-plan guard consumes no RNG and takes no branches — this
+    /// is the property that makes the adversary layer safe to leave
+    /// permanently wired into every simulation plane.
+    #[test]
+    fn quiet_adversary_plan_is_invisible(
+        caches in arb_caches(),
+        seed in 0u64..200,
+        adversary_seed in any::<u64>(),
+    ) {
+        let n_files = 64;
+        let arena = CacheArena::from_caches(&caches, n_files);
+        let mut scratch = SimScratch::new();
+        for backend in [
+            IndexBackend::SingleServer,
+            IndexBackend::Federated { n_servers: 4 },
+            IndexBackend::Dht { replication_k: 2 },
+        ] {
+            for config in [
+                SimConfig::lru(4),
+                SimConfig::history(3),
+                SimConfig::random(3),
+                SimConfig::rare_lru(4, 2),
+            ] {
+                let honest = config
+                    .with_seed(seed)
+                    .with_availability(AvailabilityConfig::none().with_backend(backend));
+                let (expected, expected_health) =
+                    simulate_arena_health_with_scratch(&arena, &honest, &mut scratch);
+                let expected_lists = scratch.final_lists();
+                let quiet = honest.clone().with_availability(
+                    AvailabilityConfig::none()
+                        .with_backend(backend)
+                        .with_adversary(AdversaryConfig::sybils(adversary_seed, 0))
+                        .with_reputation(),
+                );
+                let (got, got_health) =
+                    simulate_arena_health_with_scratch(&arena, &quiet, &mut scratch);
+                prop_assert_eq!(&got, &expected, "batch {:?}", &quiet);
+                prop_assert_eq!(&got_health, &expected_health, "health {:?}", &quiet);
+                prop_assert_eq!(
+                    &scratch.final_lists(),
+                    &expected_lists,
+                    "lists {:?}",
+                    &quiet
+                );
+                prop_assert_eq!(got_health.wasted_queries, 0);
+                prop_assert_eq!(got_health.reputation_evictions, 0);
+                for threads in [1usize, 2, 8] {
+                    let report =
+                        serve_arena_threads(&arena, &ServeConfig::new(quiet.clone()), threads);
+                    prop_assert_eq!(&report.result, &expected, "serve threads {}", threads);
+                    prop_assert_eq!(
+                        &report.health.search,
+                        &expected_health,
+                        "serve health threads {}",
+                        threads
+                    );
+                    prop_assert_eq!(&report.lists, &expected_lists, "serve lists {}", threads);
+                }
+            }
+        }
     }
 
     /// Hit rates are monotone (within tolerance) in list size — more
