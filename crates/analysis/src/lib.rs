@@ -20,6 +20,7 @@
 //! Shared plumbing lives in [`stats`] (CDFs, rank curves, shares) and
 //! [`view`] (popularity vectors, inverted holder indexes, file spans).
 
+pub mod banded;
 pub mod contribution;
 pub mod daily;
 pub mod geo_clustering;

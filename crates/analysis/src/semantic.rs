@@ -32,6 +32,13 @@ pub struct OverlapCounts {
 }
 
 impl OverlapCounts {
+    /// Wraps a pre-sorted `((a, b), overlap)` entry list (the banded
+    /// engine emits in the same order as the engines here).
+    pub(crate) fn from_entries(entries: Vec<((u32, u32), u32)>) -> Self {
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0), "pair-sorted");
+        OverlapCounts { entries }
+    }
+
     /// Number of pairs with at least one common file.
     pub fn pair_count(&self) -> usize {
         self.entries.len()
@@ -64,28 +71,110 @@ pub fn overlap_counts(
     qualifies: impl Fn(FileRef) -> bool,
     max_holders: Option<usize>,
 ) -> OverlapCounts {
-    let mut holders: Vec<Vec<u32>> = vec![Vec::new(); n_files];
+    overlap_counts_with_scratch(
+        caches,
+        n_files,
+        qualifies,
+        max_holders,
+        &mut OverlapScratch::default(),
+    )
+}
+
+/// Reusable buffers for the sequential overlap oracle: the flat CSR
+/// inverted index (replacing one heap `Vec` per shared file) and the
+/// dense per-row accumulator (replacing the per-pair hash map). A
+/// scratch carried across oracle runs makes repeated seed comparisons
+/// allocation-free apart from the output itself — the same
+/// caller-owned pattern as `sorted_intersection_into`.
+#[derive(Debug, Default)]
+pub struct OverlapScratch {
+    /// CSR row offsets per file (`n_files + 1`).
+    heads: Vec<u32>,
+    /// Concatenated holder lists, each ascending by peer id.
+    flat: Vec<u32>,
+    /// `acc[b]` = row `a`'s running overlap with peer `b`.
+    acc: Vec<u32>,
+    /// The `b` slots touched by the current row.
+    touched: Vec<u32>,
+}
+
+/// [`overlap_counts`] with caller-owned scratch. Identical output; the
+/// algorithm is the arena engine's row fold run sequentially, so the
+/// entry list comes out pair-sorted without a final sort.
+pub fn overlap_counts_with_scratch(
+    caches: &[Vec<FileRef>],
+    n_files: usize,
+    qualifies: impl Fn(FileRef) -> bool,
+    max_holders: Option<usize>,
+    scratch: &mut OverlapScratch,
+) -> OverlapCounts {
+    let cap = max_holders.unwrap_or(usize::MAX);
+    let OverlapScratch {
+        heads,
+        flat,
+        acc,
+        touched,
+    } = scratch;
+
+    // Flat CSR inverted index: bucket-count, prefix-sum, fill. Peers
+    // are walked in ascending order, so every holder row is sorted.
+    heads.clear();
+    heads.resize(n_files + 1, 0);
+    let mut qualifying = 0usize;
+    for cache in caches {
+        for &f in cache {
+            if qualifies(f) {
+                heads[f.index() + 1] += 1;
+                qualifying += 1;
+            }
+        }
+    }
+    for i in 0..n_files {
+        heads[i + 1] += heads[i];
+    }
+    flat.clear();
+    flat.resize(qualifying, 0);
+    let mut cursor: Vec<u32> = heads[..n_files].to_vec();
     for (peer, cache) in caches.iter().enumerate() {
         for &f in cache {
             if qualifies(f) {
-                holders[f.index()].push(peer as u32);
+                let c = &mut cursor[f.index()];
+                flat[*c as usize] = peer as u32;
+                *c += 1;
             }
         }
     }
-    let cap = max_holders.unwrap_or(usize::MAX);
-    let mut counts: HashMap<(u32, u32), u32> = HashMap::new();
-    for hs in &holders {
-        if hs.len() < 2 || hs.len() > cap {
-            continue;
-        }
-        for i in 0..hs.len() {
-            for j in i + 1..hs.len() {
-                *counts.entry((hs[i], hs[j])).or_insert(0) += 1;
+
+    // Row-major dense accumulation — the same fold the arena engine
+    // runs per worker, here over every row in order.
+    acc.clear();
+    acc.resize(caches.len(), 0);
+    touched.clear();
+    let mut entries: Vec<((u32, u32), u32)> = Vec::new();
+    for (a, cache) in caches.iter().enumerate() {
+        for &f in cache {
+            if !qualifies(f) {
+                continue;
+            }
+            let hs = &flat[heads[f.index()] as usize..heads[f.index() + 1] as usize];
+            if hs.len() < 2 || hs.len() > cap {
+                continue;
+            }
+            let from = hs.partition_point(|&b| b <= a as u32);
+            for &b in &hs[from..] {
+                if acc[b as usize] == 0 {
+                    touched.push(b);
+                }
+                acc[b as usize] += 1;
             }
         }
+        touched.sort_unstable();
+        entries.extend(touched.iter().map(|&b| ((a as u32, b), acc[b as usize])));
+        for &b in touched.iter() {
+            acc[b as usize] = 0;
+        }
+        touched.clear();
     }
-    let mut entries: Vec<((u32, u32), u32)> = counts.into_iter().collect();
-    entries.sort_unstable_by_key(|&(pair, _)| pair);
     OverlapCounts { entries }
 }
 

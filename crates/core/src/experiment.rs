@@ -203,6 +203,62 @@ fn run_sweep_cells(
     (results, stages)
 }
 
+/// Bounded-working-set sweep — the out-of-core paper tier's simulator
+/// driver (DESIGN.md §13).
+///
+/// [`sweep_cells`] fans every cell's querier ranges out to a
+/// work-stealing pool and holds one [`CellPartial`] per subtask until
+/// the merge — at paper scale that is dozens of per-peer message
+/// vectors alive at once. This driver instead walks each
+/// split-eligible cell as a sequence of `window`-sized querier windows
+/// against the explicitly loaded window of the precomputed query
+/// stream, folding every window into a single running partial
+/// ([`CellPartial::absorb`]) before the next one loads: peak memory is
+/// the precomputation plus *two* per-peer vectors and one pooled
+/// scratch, independent of the window count. Ineligible cells run
+/// whole with pooled scratch, exactly as the work-stealing sweep runs
+/// them.
+///
+/// Because every merged quantity is a plain sum over disjoint querier
+/// sets, the result is bit-identical to [`sweep_cells`] (and therefore
+/// to the sequential oracle) for any window size.
+pub fn sweep_cells_windowed(
+    arena: &CacheArena,
+    configs: &[SimConfig],
+    window: usize,
+) -> Vec<(SimResult, SearchHealth)> {
+    let window = window.max(1) as u32;
+    let n_peers = arena.n_peers() as u32;
+    let mut precomps: Vec<(u64, SweepPrecomp)> = Vec::new();
+    let mut whole = SimScratch::new();
+    let mut split = SplitScratch::new();
+    configs
+        .iter()
+        .map(|config| {
+            if !split_eligible(config) {
+                return simulate_arena_health_with_scratch(arena, config, &mut whole);
+            }
+            let pre = match precomps.iter().position(|(s, _)| *s == config.seed) {
+                Some(i) => i,
+                None => {
+                    precomps.push((config.seed, SweepPrecomp::new(arena, config.seed)));
+                    precomps.len() - 1
+                }
+            };
+            let pre = &precomps[pre].1;
+            let mut acc = CellPartial::empty(arena.n_peers());
+            let mut lo = 0u32;
+            while lo < n_peers {
+                let hi = lo.saturating_add(window).min(n_peers);
+                let part = simulate_cell_range(arena, pre, config, (lo, hi), &mut split, false);
+                acc.absorb(&part);
+                lo = hi;
+            }
+            merge_partials(pre, std::slice::from_ref(&acc))
+        })
+        .collect()
+}
+
 /// The cell configurations of a list-size sweep.
 pub fn sweep_configs(
     policy: PolicyKind,
@@ -920,6 +976,33 @@ mod tests {
         }
         // The unprofiled path must agree too (profiling only meters).
         assert_eq!(sweep_cells_threads(&arena, &configs, 2), oracle);
+    }
+
+    #[test]
+    fn windowed_sweep_is_bit_identical_to_the_work_stealing_sweep() {
+        let (caches, n) = workload();
+        let arena = CacheArena::from_caches(&caches, n);
+        // Split cells (quiet + churn), a whole Random cell and a whole
+        // forwarding-backend cell — every path the windowed driver has.
+        let configs = vec![
+            SimConfig::lru(3).with_seed(7),
+            SimConfig::history(16).with_seed(7),
+            SimConfig::random(5).with_seed(7),
+            SimConfig::lru(5)
+                .with_seed(7)
+                .with_availability(AvailabilityConfig::churn(11, 250)),
+            SimConfig::lru(5)
+                .with_seed(7)
+                .with_backend(IndexBackend::Dht { replication_k: 3 }),
+        ];
+        let reference = sweep_cells_threads(&arena, &configs, 4);
+        for window in [1, 7, 64, usize::MAX] {
+            assert_eq!(
+                sweep_cells_windowed(&arena, &configs, window),
+                reference,
+                "window = {window}"
+            );
+        }
     }
 
     #[test]

@@ -1573,6 +1573,49 @@ pub struct CellPartial {
     pub update_ns: u64,
 }
 
+impl CellPartial {
+    /// An all-zero partial covering no queriers — the identity of
+    /// [`CellPartial::absorb`].
+    pub fn empty(n_peers: usize) -> Self {
+        CellPartial {
+            one_hop_hits: 0,
+            messages: vec![0; n_peers],
+            health: SearchHealth::default(),
+            intersect_ns: 0,
+            update_ns: 0,
+        }
+    }
+
+    /// Folds another partial in. Every field merges by plain summation
+    /// over disjoint querier sets — the property [`merge_partials`]
+    /// rests on — so windows can be accumulated one at a time without
+    /// ever holding more than one partial (the bounded-working-set
+    /// sweep's memory contract).
+    pub fn absorb(&mut self, other: &CellPartial) {
+        self.one_hop_hits += other.one_hop_hits;
+        for (dst, &src) in self.messages.iter_mut().zip(&other.messages) {
+            *dst += src;
+        }
+        self.health.attempted += other.health.attempted;
+        self.health.answered += other.health.answered;
+        self.health.timed_out += other.health.timed_out;
+        self.health.retried += other.health.retried;
+        self.health.evicted_stale += other.health.evicted_stale;
+        self.health.probed_stale += other.health.probed_stale;
+        self.health.server_fallback += other.health.server_fallback;
+        self.health.stranded += other.health.stranded;
+        self.health.recovered += other.health.recovered;
+        self.health.forwarded += other.health.forwarded;
+        self.health.dht_hops += other.health.dht_hops;
+        self.health.wasted_queries += other.health.wasted_queries;
+        self.health.sybil_slots_held += other.health.sybil_slots_held;
+        self.health.polluted_acquisitions += other.health.polluted_acquisitions;
+        self.health.reputation_evictions += other.health.reputation_evictions;
+        self.intersect_ns += other.intersect_ns;
+        self.update_ns += other.update_ns;
+    }
+}
+
 /// Simulates queriers `peers.0 .. peers.1` of one split-eligible cell.
 ///
 /// Replays exactly the per-querier slice of what
@@ -1868,36 +1911,18 @@ fn simulate_querier_churn(
 /// bit-for-bit; the stream-level totals (requests, contributor seeds)
 /// come from the precomputation.
 pub fn merge_partials(pre: &SweepPrecomp, parts: &[CellPartial]) -> (SimResult, SearchHealth) {
-    let mut result = SimResult {
+    let mut acc = CellPartial::empty(pre.n_peers);
+    for part in parts {
+        acc.absorb(part);
+    }
+    let result = SimResult {
         requests: pre.requests,
-        one_hop_hits: 0,
+        one_hop_hits: acc.one_hop_hits,
         two_hop_hits: 0,
         contributor_seeds: pre.contributor_seeds,
-        messages_per_peer: vec![0; pre.n_peers],
+        messages_per_peer: acc.messages,
     };
-    let mut health = SearchHealth::default();
-    for part in parts {
-        result.one_hop_hits += part.one_hop_hits;
-        for (dst, &src) in result.messages_per_peer.iter_mut().zip(&part.messages) {
-            *dst += src;
-        }
-        health.attempted += part.health.attempted;
-        health.answered += part.health.answered;
-        health.timed_out += part.health.timed_out;
-        health.retried += part.health.retried;
-        health.evicted_stale += part.health.evicted_stale;
-        health.probed_stale += part.health.probed_stale;
-        health.server_fallback += part.health.server_fallback;
-        health.stranded += part.health.stranded;
-        health.recovered += part.health.recovered;
-        health.forwarded += part.health.forwarded;
-        health.dht_hops += part.health.dht_hops;
-        health.wasted_queries += part.health.wasted_queries;
-        health.sybil_slots_held += part.health.sybil_slots_held;
-        health.polluted_acquisitions += part.health.polluted_acquisitions;
-        health.reputation_evictions += part.health.reputation_evictions;
-    }
-    (result, health)
+    (result, acc.health)
 }
 
 /// Fisher–Yates shuffle (kept local: `rand`'s `SliceRandom` would work,

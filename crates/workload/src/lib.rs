@@ -22,7 +22,9 @@
 //! * [`geo`] — countries, ASes and the address plan;
 //! * [`names`] — collision-prone nicknames for the crawler;
 //! * [`population`] — topics, files, peers, cache sampling;
-//! * [`dynamics`] — day-by-day evolution and the ideal-observer trace.
+//! * [`dynamics`] — day-by-day evolution and the ideal-observer trace;
+//! * [`stream`] — day-at-a-time streaming generation for the
+//!   out-of-core paper tier.
 //!
 //! # Examples
 //!
@@ -46,6 +48,7 @@ pub mod geo;
 pub mod mix;
 pub mod names;
 pub mod population;
+pub mod stream;
 
 pub use adversary::{AdversaryConfig, AdversaryPlan, Role};
 pub use arrivals::{ArrivalConfig, ArrivalProcess};
@@ -54,3 +57,6 @@ pub use config::{KindProfile, WorkloadConfig};
 pub use dynamics::{generate_trace, Dynamics, GroundTruth};
 pub use geo::Geography;
 pub use population::{GenFile, GenPeer, Population, Topic};
+pub use stream::{
+    generate_trace_streamed_in_memory, generate_trace_streaming, stream_trace, StreamStats,
+};

@@ -5,6 +5,7 @@
 
 use std::collections::{HashMap, HashSet};
 
+use edonkey_repro::analysis::banded::{self, BandedOverlapConfig};
 use edonkey_repro::analysis::semantic;
 use edonkey_repro::proto::error::{Reader, Writer};
 use edonkey_repro::proto::md4::{Digest, Md4};
@@ -12,7 +13,7 @@ use edonkey_repro::proto::query::FileKind;
 use edonkey_repro::proto::query::Query;
 use edonkey_repro::proto::tags::{Tag, TagList, TagValue};
 use edonkey_repro::proto::wire::{Message, PublishedFile, SourceAddr};
-use edonkey_repro::semsearch::experiment::sweep_cells_threads;
+use edonkey_repro::semsearch::experiment::{self, sweep_cells_threads};
 use edonkey_repro::semsearch::neighbours::{Lru, NeighbourPolicy};
 use edonkey_repro::semsearch::overlay::{
     simulate_overlay, simulate_overlay_reference, OverlayConfig,
@@ -34,7 +35,7 @@ use edonkey_repro::trace::pipeline::{
     retain_peers_arena, sorted_intersection, sorted_intersection_len, ExtrapolateConfig,
 };
 use edonkey_repro::trace::randomize::{ArenaShuffler, Shuffler};
-use edonkey_repro::workload::{ChurnConfig, ChurnSchedule};
+use edonkey_repro::workload::{stream, ChurnConfig, ChurnSchedule};
 use proptest::prelude::*;
 
 use edonkey_repro::netsim::{run_crawl_full, CrawlerConfig, FaultConfig, NetConfig, RetryPolicy};
@@ -170,6 +171,31 @@ fn arb_trace() -> impl Strategy<Value = Trace> {
                 })
                 .collect();
             Trace { files, peers, days }
+        })
+}
+
+/// Arbitrary small-but-varied workload configurations for the
+/// streaming-generation twin property: enough peers/files/days to
+/// exercise turnover, free-riders and empty days without making each
+/// proptest case generate a full population twice for minutes.
+fn arb_stream_config() -> impl Strategy<Value = WorkloadConfig> {
+    (
+        (any::<u64>(), 2usize..24, 8usize..96),
+        (2usize..6, 1u32..7, 0u32..=8),
+    )
+        .prop_map(|((seed, peers, files), (topics, days, free_riders))| {
+            let mut c = WorkloadConfig::test_scale(seed);
+            c.peers = peers;
+            c.files = files;
+            c.topics = topics;
+            c.days = days;
+            c.free_rider_fraction = f64::from(free_riders) / 10.0;
+            c.cache_max = c.cache_max.min(files as u64);
+            c.cache_min = c.cache_min.min(c.cache_max);
+            c.interests_max = c.interests_max.min(topics);
+            c.interests_min = c.interests_min.min(c.interests_max);
+            assert_eq!(c.validate(), Ok(()), "strategy must emit valid configs");
+            c
         })
 }
 
@@ -903,5 +929,125 @@ proptest! {
             rand::RngCore::next_u64(&mut tail_rng),
             rand::RngCore::next_u64(&mut full_rng)
         );
+    }
+
+    /// The out-of-core streaming generator writes the byte-identical
+    /// binary trace its in-memory twin materializes, at every thread
+    /// count — the invariant that lets the paper tier stream to disk
+    /// and every other consumer keep working on the same bytes.
+    #[test]
+    fn streamed_generation_matches_in_memory_any_threads(
+        config in arb_stream_config(),
+        threads in 1usize..6,
+    ) {
+        let (_, _, streamed) =
+            stream::stream_trace_to_bytes(&config, threads).expect("stream to bytes");
+        let (_, trace) = stream::generate_trace_streamed_in_memory(&config, 1);
+        prop_assert_eq!(streamed, io::bin::to_bin(&trace));
+    }
+
+    /// Banded-overlap laws, for any cache shape, band split, sketch
+    /// size, admit floor and thread count:
+    ///  * `prefilter_off` is bit-identical to the exact arena engine;
+    ///  * so is `admit_floor == 0` (everything admitted);
+    ///  * pruning only ever removes or shrinks pairs (never invents
+    ///    overlap), and the emitted pair set shrinks monotonically as
+    ///    the floor rises (the estimate per pair is fixed by the seed);
+    ///  * the out-of-core histogram equals the histogram of the
+    ///    materialized entries at the same configuration.
+    #[test]
+    fn banded_overlap_prefilter_laws(
+        caches in arb_caches(),
+        band_cap in 1usize..6,
+        sketch_k in 8usize..33,
+        seed in any::<u64>(),
+        threads in 1usize..5,
+    ) {
+        let arena = CacheArena::from_caches(&caches, 64);
+        let exact = semantic::overlap_counts_arena_with_threads(&arena, |_| true, None, threads);
+        let base = BandedOverlapConfig {
+            band_cap,
+            max_holders: None,
+            sketch_k,
+            admit_floor: 2,
+            prefilter_off: false,
+            seed,
+        };
+
+        let off = BandedOverlapConfig { prefilter_off: true, ..base };
+        let (off_counts, _) =
+            banded::overlap_counts_banded_with_threads(&arena, |_| true, &off, threads);
+        prop_assert!(
+            off_counts.iter().eq(exact.iter()),
+            "prefilter_off must be bit-identical to the exact engine"
+        );
+        let zero = BandedOverlapConfig { admit_floor: 0, ..base };
+        let (zero_counts, _) =
+            banded::overlap_counts_banded_with_threads(&arena, |_| true, &zero, threads);
+        prop_assert!(
+            zero_counts.iter().eq(exact.iter()),
+            "floor 0 admits everything and must also be exact"
+        );
+
+        let mut prev_pairs: Option<HashSet<(u32, u32)>> = None;
+        for floor in [0u32, 1, 2, 4] {
+            let cfg = BandedOverlapConfig { admit_floor: floor, ..base };
+            let (pruned, _) =
+                banded::overlap_counts_banded_with_threads(&arena, |_| true, &cfg, threads);
+            let mut max_count = 0u32;
+            for ((a, b), count) in pruned.iter() {
+                prop_assert!(
+                    count <= exact.overlap(a, b),
+                    "pruning must never invent overlap"
+                );
+                max_count = max_count.max(count);
+            }
+            let pairs: HashSet<(u32, u32)> = pruned.iter().map(|(pair, _)| pair).collect();
+            if let Some(prev) = &prev_pairs {
+                prop_assert!(
+                    pairs.is_subset(prev),
+                    "raising the floor must only shrink the emitted pair set"
+                );
+            }
+            prev_pairs = Some(pairs);
+
+            let (mut hist, _) =
+                banded::banded_overlap_histogram_with_threads(&arena, |_| true, &cfg, threads);
+            let mut expected = vec![0u64; max_count as usize + 1];
+            for (_, count) in pruned.iter() {
+                expected[count as usize] += 1;
+            }
+            // Trailing zeros are representational (an empty run may
+            // come back as `[]` or `[0]`); trim both before comparing.
+            while hist.last() == Some(&0) {
+                hist.pop();
+            }
+            while expected.last() == Some(&0) {
+                expected.pop();
+            }
+            prop_assert_eq!(
+                hist, expected,
+                "the out-of-core histogram must match the materialized entries"
+            );
+        }
+    }
+
+    /// The bounded-working-set sweep is bit-identical to the
+    /// work-stealing scheduler for every window size, including windows
+    /// of one querier and windows larger than the population.
+    #[test]
+    fn windowed_sweep_matches_work_stealing(
+        caches in arb_caches(),
+        window in 1usize..40,
+        seed in 0u64..500,
+    ) {
+        let arena = CacheArena::from_caches(&caches, 64);
+        let configs = [
+            SimConfig::lru(3).with_seed(seed),
+            SimConfig::history(8).with_seed(seed),
+        ];
+        let windowed = experiment::sweep_cells_windowed(&arena, &configs, window);
+        let full = sweep_cells_threads(&arena, &configs, 4);
+        prop_assert_eq!(windowed, full);
     }
 }
